@@ -1,0 +1,112 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are *not* in the paper's tables; they quantify the knobs the paper
+discusses in prose:
+
+* direct-kernel choice ("any sequential direct solver whether it is
+  dense, band or sparse") -- microbenchmarks of the four kernels;
+* convergence-detection protocol (centralized [2] vs decentralized [4]);
+* weighting family (Section 4's derived algorithms);
+* synchronous/asynchronous crossover as a function of WAN latency.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.core import MultisplittingSolver
+from repro.direct import get_solver
+from repro.grid import custom_cluster, cluster3
+from repro.matrices import banded_random, cage_like, diagonally_dominant, rhs_for_solution
+
+
+# -- direct kernels ----------------------------------------------------
+@pytest.mark.parametrize("kernel", ["dense", "banded", "sparse", "scipy"])
+def test_kernel_factor(benchmark, kernel):
+    """Factor a 300x300 banded dominant matrix with each kernel."""
+    A = banded_random(300, lower_bw=6, upper_bw=6, seed=1)
+    solver = get_solver(kernel)
+    Ad = A.toarray() if kernel == "dense" else A
+    benchmark(lambda: solver.factor(Ad))
+
+
+@pytest.mark.parametrize("kernel", ["sparse", "scipy"])
+def test_kernel_factor_cage(benchmark, kernel):
+    """Sparse kernels on a fill-heavy cage analog (n=400)."""
+    A = cage_like(400, seed=2)
+    solver = get_solver(kernel)
+    benchmark(lambda: solver.factor(A))
+
+
+def test_kernel_resolve(benchmark):
+    """Re-solve cost: the per-iteration work of the multisplitting loop."""
+    A = cage_like(600, seed=3)
+    fact = get_solver("scipy").factor(A)
+    b = np.ones(600)
+    benchmark(lambda: fact.solve(b))
+
+
+# -- detection protocols ------------------------------------------------
+@pytest.mark.parametrize("detection", ["centralized", "decentralized"])
+def test_detection_protocol_cost(benchmark, detection):
+    """Full async solve with each detection protocol on the WAN cluster."""
+    A = diagonally_dominant(600, dominance=1.5, bandwidth=25, seed=4)
+    b, _ = rhs_for_solution(A, seed=5)
+
+    def run():
+        solver = MultisplittingSolver(mode="asynchronous", detection=detection)
+        return solver.solve(A, b, cluster=cluster3(8))
+
+    res = run_once(benchmark, run)
+    assert res.status == "ok"
+    print(
+        f"\n{detection}: simulated {res.simulated_time:.4f}s, "
+        f"{res.detection_messages} detection messages, "
+        f"iterations {res.per_proc_iterations}"
+    )
+
+
+# -- weighting families ---------------------------------------------------
+@pytest.mark.parametrize("weighting", ["ownership", "averaging", "schwarz"])
+def test_weighting_family(benchmark, weighting):
+    """Synchronous solve with each Section-4 combination (overlap 20)."""
+    A = diagonally_dominant(800, dominance=1.1, bandwidth=40, seed=6)
+    b, _ = rhs_for_solution(A, seed=7)
+
+    def run():
+        solver = MultisplittingSolver(
+            mode="synchronous", overlap=20, weighting=weighting, max_iterations=4000
+        )
+        return solver.solve(A, b, cluster=cluster3(8))
+
+    res = run_once(benchmark, run)
+    assert res.converged
+    print(f"\n{weighting}: {res.iterations} iterations, {res.simulated_time:.4f}s")
+
+
+# -- sync/async crossover vs latency -------------------------------------
+@pytest.mark.parametrize("wan_latency", [1e-4, 5e-3, 5e-2])
+def test_sync_async_crossover(benchmark, wan_latency):
+    """Sweep inter-site latency: async's advantage grows with distance."""
+    A = diagonally_dominant(600, dominance=1.5, bandwidth=25, seed=8)
+    b, _ = rhs_for_solution(A, seed=9)
+
+    def cluster():
+        return custom_cluster(
+            f"lat{wan_latency:g}",
+            {"a": [117e6] * 4, "b": [117e6] * 4},
+            wan_latency=wan_latency,
+        )
+
+    def run():
+        sync = MultisplittingSolver(mode="synchronous").solve(A, b, cluster=cluster())
+        asyn = MultisplittingSolver(mode="asynchronous").solve(A, b, cluster=cluster())
+        return sync, asyn
+
+    sync, asyn = run_once(benchmark, run)
+    assert sync.status == "ok" and asyn.status == "ok"
+    print(
+        f"\nWAN latency {wan_latency:g}s: sync {sync.simulated_time:.4f}s, "
+        f"async {asyn.simulated_time:.4f}s, ratio "
+        f"{sync.simulated_time / asyn.simulated_time:.2f}"
+    )

@@ -1,0 +1,36 @@
+"""Regenerates Figure 3: the impact of the overlapping size.
+
+Series (paper): synchronous time, asynchronous time, factorizing time,
+and synchronous iterations (paper plots iterations/100).  The sweep
+extends past the paper's 5% of n because the laptop-scale factorization
+is relatively cheaper (see EXPERIMENTS.md); the qualitative content is
+identical: iterations fall, factorization grows, both solvers have an
+interior optimal overlap.
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    FIGURE3_NOTES,
+    check_figure3_shape,
+    figure3,
+    format_table,
+)
+
+
+def test_figure3(benchmark, paper):
+    result = run_once(benchmark, figure3, scale=0.4)
+    print()
+    print(format_table(result))
+    print("\npaper's findings:")
+    for key, note in FIGURE3_NOTES.items():
+        print(f"  {key}: {note}")
+    check_figure3_shape(result)
+
+    rows = sorted(result.rows, key=lambda r: r["overlap"])
+    iters = [r["sync iterations"] for r in rows]
+    assert iters == sorted(iters, reverse=True), "iterations must fall with overlap"
+    facts = [r["factorization time"] for r in rows]
+    assert facts == sorted(facts), "factorization must grow with overlap"
+    best = min(rows, key=lambda r: r["sync time"])
+    assert 0 < best["overlap"] < rows[-1]["overlap"], "interior optimum"

@@ -1,0 +1,30 @@
+"""Regenerates Table 1: cage10 scalability on the homogeneous cluster1.
+
+Paper columns: number of processors | distributed SuperLU | synchronous
+multisplitting-LU | asynchronous multisplitting-LU | factorization time.
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    TABLE1,
+    check_scalability_shape,
+    format_table,
+    table1,
+)
+
+
+def test_table1(benchmark, paper):
+    result = run_once(benchmark, table1)
+    print()
+    print(format_table(result))
+    print("\npaper (seconds):")
+    for procs, row in TABLE1.items():
+        print(f"  {procs:2d} procs: SuperLU={row[0]} sync={row[1]} async={row[2]} factor={row[3]}")
+    check_scalability_shape(result)
+
+    # headline shape: by 8+ processors multisplitting wins by >10x, as in
+    # the paper (34.34 vs 1.05 at 8 procs = 33x there).
+    for row in result.rows:
+        if row["processors"] >= 8 and isinstance(row["sync multisplitting-LU"], float):
+            assert row["distributed SuperLU"] > 10 * row["sync multisplitting-LU"]

@@ -1,0 +1,29 @@
+"""Regenerates Table 4: perturbing flows on the inter-site link.
+
+The paper's robustness experiment: 0/1/5/10 artificial background
+transfers share the 20 Mb/s WAN with the solvers; synchronous
+multisplitting slows steeply, asynchronous degrades gracefully, and the
+distributed baseline -- already communication-bound -- suffers throughout.
+"""
+
+from conftest import run_once
+
+from repro.experiments import TABLE4, check_table4_shape, format_table, table4
+
+
+def test_table4(benchmark, paper):
+    result = run_once(benchmark, table4)
+    print()
+    print(format_table(result))
+    print("\npaper (seconds):")
+    for flows, row in TABLE4.items():
+        print(f"  {flows:2d} flows: SuperLU={row[0]} sync={row[1]} async={row[2]}")
+    check_table4_shape(result)
+
+    rows = sorted(result.rows, key=lambda r: r["perturbing communications"])
+    # monotone degradation for the synchronous variant
+    sync_times = [r["sync multisplitting-LU"] for r in rows]
+    assert all(b >= a * 0.98 for a, b in zip(sync_times, sync_times[1:]))
+    # async wins under every perturbed setting, as in the paper
+    for r in rows[1:]:
+        assert r["async multisplitting-LU"] < r["sync multisplitting-LU"]

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench replays one of the paper's tables/figures once (they are
+aggregate experiments, not microbenchmarks), prints the regenerated rows
+next to the paper's published numbers, and asserts the qualitative shape.
+``--benchmark-only`` works as usual; the printing keeps the run useful as
+a report generator (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an aggregate experiment exactly once."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def paper():
+    """The paper's published numbers."""
+    from repro.experiments import paperdata
+
+    return paperdata

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Robustness to WAN perturbation: synchronous vs asynchronous (Table 4).
+
+The paper injects "perturbing communications" between its two distant
+sites and observes that the synchronous multisplitting solver slows down
+steeply while the asynchronous one degrades gracefully -- the case for
+asynchronism on shared wide-area links.
+
+This example replays that experiment: background flows occupy fair
+shares of the 20 Mb/s inter-site link, and both solver variants run on
+identical perturbed topologies.  Watch the sync/async gap widen with
+the load.
+
+Run:  python examples/async_under_perturbation.py
+"""
+
+import numpy as np
+
+from repro.core import MultisplittingSolver
+from repro.grid import cluster3
+from repro.matrices import load_workload
+
+A, b, _ = load_workload("gen-large", scale=0.3)
+print(f"workload: n={A.shape[0]}, nnz={A.nnz} (gen-large analog)\n")
+
+print(f"{'flows':>5} | {'sync s':>9} | {'async s':>9} | {'async/sync':>10}")
+print("-" * 42)
+baseline = {}
+for flows in (0, 1, 5, 10):
+    results = {}
+    for mode in ("synchronous", "asynchronous"):
+        cluster = cluster3(10)
+        cluster.add_perturbations(flows)  # the paper's background traffic
+        res = MultisplittingSolver(mode=mode).solve(A, b, cluster=cluster)
+        assert res.status == "ok", f"{mode} failed under {flows} flows"
+        results[mode] = res.simulated_time
+    if flows == 0:
+        baseline = dict(results)
+    print(
+        f"{flows:5d} | {results['synchronous']:9.4f} | "
+        f"{results['asynchronous']:9.4f} | "
+        f"{results['asynchronous'] / results['synchronous']:10.2f}"
+    )
+
+print("\nslowdown vs unperturbed:")
+for mode in ("synchronous", "asynchronous"):
+    cluster = cluster3(10)
+    cluster.add_perturbations(10)
+    res = MultisplittingSolver(mode=mode).solve(A, b, cluster=cluster)
+    print(f"  {mode:12s}: x{res.simulated_time / baseline[mode]:.2f} at 10 flows")
+print(
+    "\nthe asynchronous variant 'provides robustness to the unpredictable "
+    "perturbations of the network bandwidth' (paper, conclusion)."
+)

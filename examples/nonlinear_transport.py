@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Nonlinear extension: multisplitting-Newton on a reaction-diffusion model.
+
+The paper's conclusion announces the generalisation "to the case of
+nonlinear problems", realised in the companion work [5] on a 3-D
+pollutant-transport model.  This example solves a 2-D steady
+reaction-diffusion problem
+
+    -Lap(u) + g * u^3 = f        (homogeneous Dirichlet boundary)
+
+with an outer Newton iteration whose linearised systems are solved by
+the multisplitting-direct method -- the Jacobians inherit the M-matrix
+structure of Section 5, so every inner solve sits in the provably
+convergent regime.
+
+Run:  python examples/nonlinear_transport.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core import newton_multisplitting
+from repro.matrices import poisson_2d
+
+nx = 24
+n = nx * nx
+L = poisson_2d(nx)
+gamma = 1.5
+
+# manufactured solution: a smooth bump
+xs = np.linspace(0, 1, nx)
+X, Y = np.meshgrid(xs, xs)
+u_star = (np.sin(np.pi * X) * np.sin(np.pi * Y)).ravel()
+f = L @ u_star + gamma * u_star**3
+
+
+def F(u: np.ndarray) -> np.ndarray:
+    """Nonlinear residual of the discretised operator."""
+    return L @ u + gamma * u**3 - f
+
+
+def J(u: np.ndarray):
+    """Jacobian: Laplacian plus the (positive) reaction diagonal."""
+    return L + sp.diags(3.0 * gamma * u**2)
+
+
+print(f"reaction-diffusion on a {nx}x{nx} grid (n={n}), gamma={gamma}")
+for processors, overlap in ((4, 0), (8, 0), (8, 12)):
+    res = newton_multisplitting(
+        F, J, np.zeros(n), processors=processors, overlap=overlap
+    )
+    err = np.max(np.abs(res.x - u_star))
+    print(
+        f"L={processors} overlap={overlap:2d}: "
+        f"{res.newton_iterations} Newton steps, "
+        f"{res.inner_iterations:4d} inner multisplitting iterations, "
+        f"||F||={res.residual_history[-1]:.2e}, error={err:.2e}"
+    )
+    assert res.converged and err < 1e-6
+
+print("\nresidual history (last run):")
+for m, r in enumerate(res.residual_history):
+    print(f"  Newton step {m}: ||F||_inf = {r:.3e}")

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""PDE workload on a heterogeneous grid: 2-D advection-diffusion.
+
+The paper's Section 5 motivates the method with "scientific applications
+modeled by PDEs and discretized by the finite difference method".  This
+example builds a non-symmetric upwind advection-diffusion operator (an
+irreducibly diagonally dominant Z-matrix, i.e. Propositions 1-3 all
+apply), verifies the matrix classes, and solves it on a custom two-site
+heterogeneous grid with speed-proportional band sizes.
+
+It also contrasts the direct kernels: the same multisplitting outer loop
+over our own sparse Gilbert-Peierls LU versus SciPy's SuperLU.
+
+Run:  python examples/poisson_grid.py
+"""
+
+import numpy as np
+
+from repro.core import MultisplittingSolver
+from repro.direct import get_solver
+from repro.grid import custom_cluster
+from repro.matrices import (
+    advection_diffusion_2d,
+    is_irreducibly_diagonally_dominant,
+    is_m_matrix,
+    is_z_matrix,
+    rhs_for_solution,
+)
+
+# -- the PDE operator -------------------------------------------------
+nx = 40
+A = advection_diffusion_2d(nx, peclet=1.2)
+b, u_true = rhs_for_solution(A, seed=7)
+print(f"advection-diffusion on a {nx}x{nx} grid: n={A.shape[0]}, nnz={A.nnz}")
+print(
+    "matrix classes: Z-matrix:",
+    is_z_matrix(A),
+    "| irreducibly dominant:",
+    is_irreducibly_diagonally_dominant(A),
+    "| M-matrix:",
+    is_m_matrix(A),
+)
+
+# -- a heterogeneous two-site grid ------------------------------------
+# site "lab" has three fast machines, site "campus" two slow ones,
+# joined by a 20 Mb/s link (the paper's cluster3 regime).
+grid = custom_cluster(
+    "lab+campus",
+    {
+        "lab": [120e6, 120e6, 110e6],
+        "campus": [55e6, 50e6],
+    },
+)
+print(f"grid: {len(grid.hosts)} hosts on sites {grid.sites}")
+
+# -- solve with speed-proportional bands -------------------------------
+for label, proportional in (("proportional bands", True), ("uniform bands", False)):
+    solver = MultisplittingSolver(
+        mode="synchronous", proportional=proportional, direct_solver="scipy"
+    )
+    res = solver.solve(A, b, cluster=grid)
+    print(
+        f"{label:19s}: {res.iterations:3d} iterations, "
+        f"{res.simulated_time:.4f} s simulated, residual {res.residual:.2e}"
+    )
+
+# -- swap the direct kernel: our own sparse LU vs SciPy's SuperLU ------
+for kernel in ("sparse", "scipy"):
+    solver = MultisplittingSolver(
+        mode="synchronous", direct_solver=get_solver(kernel)
+    )
+    res = solver.solve(A, b, cluster=grid)
+    err = res.error_vs(u_true)
+    print(
+        f"kernel {kernel:6s}: residual {res.residual:.2e}, "
+        f"error vs manufactured solution {err:.2e}"
+    )
+    assert err < 1e-6
+print("the outer iteration is kernel-agnostic, as the paper claims.")

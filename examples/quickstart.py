@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: solve one sparse system three ways.
+
+Demonstrates the core public API in ~40 lines:
+
+1. generate a diagonally dominant workload (Proposition 1 territory);
+2. check the convergence theory before solving;
+3. run the in-process reference solver, then the synchronous and
+   asynchronous distributed solvers on the paper's cluster presets;
+4. compare iterations, simulated times and residuals.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import MultisplittingSolver, load_workload
+from repro.core import check_theorem1, uniform_bands
+from repro.grid import cluster1, cluster3
+
+# 1. a workload (the analog of the paper's generated matrices)
+A, b, x_true = load_workload("gen-large", scale=0.2)
+n = A.shape[0]
+print(f"workload: n={n}, nnz={A.nnz}")
+
+# 2. Theorem 1 pre-flight: every band splitting must be convergent
+partition = uniform_bands(n, 8).to_general()
+report = check_theorem1(A, partition)
+print(
+    f"theorem 1: sync ok={report.synchronous_ok} "
+    f"async ok={report.asynchronous_ok} "
+    f"max rho={max(report.sync_radii):.3f}"
+)
+
+# 3a. in-process reference run (no simulator)
+seq = MultisplittingSolver(8, mode="sequential").solve(A, b)
+print(
+    f"sequential : {seq.iterations:4d} iterations, "
+    f"residual {seq.residual:.2e}, error {seq.error_vs(x_true):.2e}"
+)
+
+# 3b. synchronous MPI-style run on the local homogeneous cluster
+sync = MultisplittingSolver(mode="synchronous").solve(A, b, cluster=cluster1(8))
+print(
+    f"synchronous: {sync.iterations:4d} iterations, "
+    f"{sync.simulated_time:.3f} s simulated "
+    f"(factorization {sync.factorization_time:.3f} s), "
+    f"residual {sync.residual:.2e}"
+)
+
+# 3c. asynchronous run on the two-site grid
+asyn = MultisplittingSolver(mode="asynchronous").solve(A, b, cluster=cluster3(8))
+print(
+    f"asynchronous: iterations per rank {asyn.per_proc_iterations}, "
+    f"{asyn.simulated_time:.3f} s simulated, residual {asyn.residual:.2e}"
+)
+
+assert sync.residual < 1e-7 and asyn.residual < 1e-6
+print("all three solvers agree with the direct solution.")

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which need ``bdist_wheel``) are unavailable.
+This shim lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,213 @@
+"""Shared infrastructure for the distributed (simulated) solvers.
+
+Both the synchronous and asynchronous multisplitting solvers follow the
+same deployment pattern on the grid simulator:
+
+* the *numerics* (slicing, factorization, triangular solves) execute once
+  in the driver process -- they are real NumPy/SciPy computations;
+* the *costs* (simulated memory, factorization flops, per-iteration flops,
+  message bytes) are charged inside each simulated coroutine against its
+  host and the network, which is where the tables' times come from.
+
+This module holds the result record, the placement logic, and the common
+initialisation step (memory charge + factorization charge) so the two
+algorithms differ only in their iteration loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.local import LocalSystem
+from repro.core.partition import GeneralPartition
+from repro.direct.costs import BYTES_PER_NNZ
+from repro.grid.engine import SimContext
+from repro.grid.topology import Cluster
+from repro.grid.trace import RunStats
+
+__all__ = [
+    "DistributedRunResult",
+    "ProcOutcome",
+    "CommPattern",
+    "communication_pattern",
+    "placement_for",
+    "charge_initialisation",
+    "band_memory_bytes",
+]
+
+#: Status values of a distributed run.
+STATUS_OK = "ok"
+STATUS_NEM = "nem"  # not enough memory -- the paper's Table 3 outcome
+STATUS_MAXITER = "max-iterations"
+
+
+@dataclass
+class ProcOutcome:
+    """Per-processor summary returned by each simulated coroutine."""
+
+    rank: int
+    iterations: int
+    core_piece: np.ndarray | None
+    factor_ready_at: float
+    finished_at: float
+    locally_converged: bool
+    detection_messages: int = 0
+
+
+@dataclass
+class DistributedRunResult:
+    """Outcome of one simulated distributed solve.
+
+    Attributes
+    ----------
+    x:
+        Assembled solution (``None`` when the run failed with "nem").
+    status:
+        ``"ok"``, ``"nem"`` (simulated out-of-memory) or
+        ``"max-iterations"``.
+    converged:
+        True when global convergence was detected.
+    iterations:
+        Maximum per-processor outer iteration count (the synchronous count
+        is identical on every rank; asynchronous counts "widely differ",
+        as the paper notes).
+    per_proc_iterations:
+        The full per-rank counts.
+    simulated_time:
+        Simulated seconds until the last processor finished -- the number
+        comparable to the paper's table entries.
+    factorization_time:
+        Simulated seconds until the last factorization completed
+        (the paper's separate "factorization time" column).
+    residual:
+        True ``||b - A x||_inf`` computed by the driver after the run.
+    stats:
+        Aggregated trace statistics (messages, bytes, compute time).
+    detection_messages:
+        Total detection-protocol messages (cost of the termination layer).
+    """
+
+    x: np.ndarray | None
+    status: str
+    converged: bool
+    iterations: int
+    per_proc_iterations: list[int]
+    simulated_time: float
+    factorization_time: float
+    residual: float
+    stats: RunStats | None = None
+    detection_messages: int = 0
+    mode: str = ""
+    nprocs: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def placement_for(cluster: Cluster, nprocs: int):
+    """Map ranks to hosts (one process per machine, paper-style).
+
+    Raises
+    ------
+    ValueError
+        If the cluster has fewer machines than requested processes.
+    """
+    if nprocs > len(cluster.hosts):
+        raise ValueError(
+            f"{nprocs} processes requested but cluster {cluster.name!r} has "
+            f"{len(cluster.hosts)} hosts"
+        )
+    return cluster.hosts[:nprocs]
+
+
+def band_memory_bytes(system: LocalSystem) -> int:
+    """Simulated resident bytes of one processor's band data.
+
+    Band rows (couplings) + right-hand side + local copies + the
+    factorization itself.
+    """
+    n_local = system.size
+    return int(
+        system.dep.nnz * BYTES_PER_NNZ
+        + system.factor_memory_bytes
+        + 8 * 4 * n_local  # BSub, XSub, BLoc, previous piece
+    )
+
+
+def charge_initialisation(ctx: SimContext, system: LocalSystem):
+    """Generator: charge memory + factorization for one processor.
+
+    Raises (inside the coroutine) ``OutOfSimMemory`` when the band and its
+    factors exceed the host's remaining RAM -- callers translate that into
+    the ``"nem"`` status.
+    """
+    yield ctx.malloc(band_memory_bytes(system))
+    yield ctx.compute(system.factor_flops)
+
+
+def assemble_solution(
+    partition: GeneralPartition, outcomes: list[ProcOutcome]
+) -> np.ndarray:
+    """Reassemble the global vector from the owned (core) pieces."""
+    x = np.empty(partition.n)
+    for out in outcomes:
+        if out.core_piece is None:
+            raise ValueError(f"rank {out.rank} returned no solution piece")
+        x[partition.core[out.rank]] = out.core_piece
+    return x
+
+
+@dataclass
+class CommPattern:
+    """Weighting-aware communication structure of one decomposition.
+
+    For each rank ``l``, ``recv_terms[l][k] = (piece_idx, col_idx, w)``
+    describes how a piece arriving from ``k`` contributes to the components
+    ``l`` actually *reads* (the non-zero columns of its coupling block):
+    ``z[col_idx] += w * piece[piece_idx]``.  ``deps``/``dependents`` are
+    derived from these terms, so a weighting that spreads a component over
+    two overlap owners (O'Leary-White averaging) correctly makes *both*
+    owners senders, while ownership-style weightings keep the minimal
+    pattern of Algorithm 1.
+    """
+
+    needed_cols: list[np.ndarray]
+    deps: list[list[int]]
+    dependents: list[list[int]]
+    recv_terms: list[dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]]]
+
+
+def communication_pattern(partition, weighting, systems: list[LocalSystem]) -> CommPattern:
+    """Derive who-sends-to-whom and the per-message update terms."""
+    L = partition.nprocs
+    needed_cols: list[np.ndarray] = []
+    recv_terms: list[dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]]] = []
+    deps: list[list[int]] = []
+    dependents: list[list[int]] = [[] for _ in range(L)]
+    for l in range(L):
+        needed = np.unique(systems[l].dep.indices)
+        needed_cols.append(needed)
+        terms: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        my_deps: list[int] = []
+        if needed.size:
+            needed_mask = np.zeros(partition.n, dtype=bool)
+            needed_mask[needed] = True
+            for k in range(L):
+                if k == l:
+                    continue
+                w = weighting.weight_vector(l, k)
+                J_k = partition.sets[k]
+                sel = (w != 0.0) & needed_mask[J_k]
+                if np.any(sel):
+                    piece_idx = np.nonzero(sel)[0]
+                    terms[k] = (piece_idx, J_k[piece_idx], w[piece_idx])
+                    my_deps.append(k)
+                    dependents[k].append(l)
+        recv_terms.append(terms)
+        deps.append(my_deps)
+    return CommPattern(
+        needed_cols=needed_cols,
+        deps=deps,
+        dependents=[sorted(v) for v in dependents],
+        recv_terms=recv_terms,
+    )

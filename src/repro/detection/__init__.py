@@ -1,0 +1,43 @@
+"""Global convergence detection protocols.
+
+Algorithm 1's last step is "Convergence detection", for which the paper
+points at two methods: "either we can use a centralized algorithm described
+in [2] or a decentralized version that is more general as described in
+[4]".  This package implements both, for the synchronous and the
+asynchronous execution modes:
+
+* :mod:`repro.detection.synchronous` -- exact per-iteration votes
+  (centralized master reduction, or a binomial-tree reduction as the
+  decentralized variant);
+* :mod:`repro.detection.centralized` -- asynchronous master-based protocol
+  with a verification phase (after [2], Bahi et al., HPCS 2002);
+* :mod:`repro.detection.decentralized` -- asynchronous tree protocol with
+  cancellation and root verification waves (after [4], Bahi et al., IEEE
+  TPDS 2005).
+
+The asynchronous detectors are state machines whose ``update`` method is a
+generator to be driven with ``yield from`` inside a simulated process; they
+exchange messages on reserved tags and guarantee that a STOP decision is
+only taken after a verification round in which every process re-confirmed
+local convergence.
+"""
+
+from repro.detection.centralized import AsyncCentralizedDetector
+from repro.detection.decentralized import AsyncDecentralizedDetector
+from repro.detection.synchronous import sync_converged
+
+__all__ = [
+    "AsyncCentralizedDetector",
+    "AsyncDecentralizedDetector",
+    "make_async_detector",
+    "sync_converged",
+]
+
+
+def make_async_detector(kind: str, ctx, **kwargs):
+    """Factory: ``kind`` is ``"centralized"`` or ``"decentralized"``."""
+    if kind == "centralized":
+        return AsyncCentralizedDetector(ctx, **kwargs)
+    if kind == "decentralized":
+        return AsyncDecentralizedDetector(ctx, **kwargs)
+    raise KeyError(f"unknown detector kind {kind!r}")

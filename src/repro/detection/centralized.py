@@ -1,0 +1,154 @@
+"""Asynchronous centralized convergence detection (after [2]).
+
+One coordinator (rank 0 by default) tracks the last *reported* local
+convergence state of every process.  Processes report only on state
+changes, so steady iteration costs no messages.  When the coordinator's
+view becomes all-true it runs a **verification round**: every process is
+asked to re-confirm its current state; only if every answer is positive
+does the coordinator broadcast STOP.  A negative answer cancels the round
+and detection resumes.
+
+The verification round is what makes the protocol safe against the classic
+race: a process reports convergence, then receives fresh dependency data
+and diverges again while the coordinator is deciding.  (Under the paper's
+contraction hypotheses -- Theorem 1's asynchronous condition -- local
+residuals eventually stay below tolerance, so verification eventually
+succeeds.)
+
+Drive the protocol by calling ``yield from detector.update(flag)`` once
+per outer iteration; it returns ``True`` once STOP is decided, on every
+rank.
+"""
+
+from __future__ import annotations
+
+from repro.grid.engine import ANY, SimContext
+
+__all__ = ["AsyncCentralizedDetector"]
+
+TAG_STATE = "__adet_state__"
+TAG_VERIFY = "__adet_verify__"
+TAG_VREPLY = "__adet_vreply__"
+TAG_STOP = "__adet_stop__"
+
+
+class AsyncCentralizedDetector:
+    """Master-based asynchronous detection with verification.
+
+    Parameters
+    ----------
+    ctx:
+        The process's :class:`~repro.grid.engine.SimContext`.
+    coordinator:
+        Rank of the master (default 0).
+    """
+
+    def __init__(self, ctx: SimContext, *, coordinator: int = 0):
+        if not (0 <= coordinator < ctx.nprocs):
+            raise ValueError("coordinator rank out of range")
+        self.ctx = ctx
+        self.coordinator = coordinator
+        self._last_reported: bool | None = None
+        self._stopped = False
+        # coordinator state
+        self._states = [False] * ctx.nprocs
+        self._verify_round = 0
+        self._verify_pending: set[int] | None = None
+        self._verify_ok = True
+        # worker state
+        self._messages_sent = 0
+
+    @property
+    def stopped(self) -> bool:
+        """True once the global STOP decision has been received/taken."""
+        return self._stopped
+
+    @property
+    def messages_sent(self) -> int:
+        """Detection messages emitted by this rank (for the cost reports)."""
+        return self._messages_sent
+
+    def update(self, locally_converged: bool):
+        """Advance the protocol; returns True when globally stopped.
+
+        Generator -- drive with ``yield from``.
+        """
+        ctx = self.ctx
+        if self._stopped:
+            return True
+        if ctx.nprocs == 1:
+            self._stopped = bool(locally_converged)
+            return self._stopped
+
+        if ctx.rank == self.coordinator:
+            yield from self._coordinator_update(locally_converged)
+        else:
+            yield from self._worker_update(locally_converged)
+        return self._stopped
+
+    # -- worker side ---------------------------------------------------
+    def _worker_update(self, flag: bool):
+        ctx = self.ctx
+        if flag != self._last_reported:
+            yield ctx.send(self.coordinator, nbytes=24, payload=bool(flag), tag=TAG_STATE)
+            self._messages_sent += 1
+            self._last_reported = bool(flag)
+        while True:
+            msg = yield ctx.try_recv(source=self.coordinator, tag=TAG_VERIFY)
+            if msg is None:
+                break
+            yield ctx.send(
+                self.coordinator,
+                nbytes=24,
+                payload=(msg.payload, bool(flag)),
+                tag=TAG_VREPLY,
+            )
+            self._messages_sent += 1
+        stop = yield ctx.try_recv(source=self.coordinator, tag=TAG_STOP)
+        if stop is not None:
+            self._stopped = True
+
+    # -- coordinator side ----------------------------------------------
+    def _coordinator_update(self, flag: bool):
+        ctx = self.ctx
+        self._states[ctx.rank] = bool(flag)
+        while True:
+            msg = yield ctx.try_recv(tag=TAG_STATE)
+            if msg is None:
+                break
+            self._states[msg.source] = bool(msg.payload)
+        # collect verification replies
+        if self._verify_pending is not None:
+            while True:
+                msg = yield ctx.try_recv(tag=TAG_VREPLY)
+                if msg is None:
+                    break
+                round_id, ok = msg.payload
+                if round_id != self._verify_round:
+                    continue  # stale reply from a cancelled round
+                self._verify_pending.discard(msg.source)
+                self._verify_ok = self._verify_ok and bool(ok)
+            if not self._verify_pending:
+                if self._verify_ok and all(self._states):
+                    yield from self._broadcast_stop()
+                self._verify_pending = None
+        # maybe start a verification round
+        if self._verify_pending is None and not self._stopped and all(self._states):
+            self._verify_round += 1
+            self._verify_pending = {
+                r for r in range(ctx.nprocs) if r != self.coordinator
+            }
+            self._verify_ok = True
+            for dst in sorted(self._verify_pending):
+                yield ctx.send(dst, nbytes=24, payload=self._verify_round, tag=TAG_VERIFY)
+                self._messages_sent += 1
+            if not self._verify_pending:  # single-worker edge case
+                yield from self._broadcast_stop()
+
+    def _broadcast_stop(self):
+        ctx = self.ctx
+        for dst in range(ctx.nprocs):
+            if dst != self.coordinator:
+                yield ctx.send(dst, nbytes=16, payload=True, tag=TAG_STOP)
+                self._messages_sent += 1
+        self._stopped = True

@@ -1,0 +1,162 @@
+"""Asynchronous decentralized convergence detection (after [4]).
+
+The protocol runs on a binary spanning tree over the ranks (parent of
+``r`` is ``(r-1)//2``).  It has three message waves:
+
+* **PARTIAL** (up): a node reports to its parent whenever the conjunction
+  of its own local state and its children's last reports *changes* --
+  including cancellations (true -> false), which is what makes the
+  protocol safe under asynchronous iterations;
+* **VERIFY** (down) / **VREPLY** (up): when the root's subtree conjunction
+  becomes true it floods a verification wave; every node re-evaluates its
+  *current* state, and the conjunction travels back up;
+* **STOP** (down): flooded by the root when a verification wave returns
+  all-true; every node terminates detection on receipt.
+
+Compared with the centralized protocol the root is not a hot spot: each
+node talks only to its (at most three) tree neighbours, which is why [4]
+calls the scheme "more general" -- it scales and it tolerates
+cluster-local communication patterns.
+
+Drive with ``yield from detector.update(flag)`` once per outer iteration.
+"""
+
+from __future__ import annotations
+
+from repro.grid.engine import SimContext
+
+__all__ = ["AsyncDecentralizedDetector"]
+
+TAG_PARTIAL = "__ddet_partial__"
+TAG_VERIFY = "__ddet_verify__"
+TAG_VREPLY = "__ddet_vreply__"
+TAG_STOP = "__ddet_stop__"
+
+
+class AsyncDecentralizedDetector:
+    """Tree-based asynchronous detection with cancellation + verification."""
+
+    def __init__(self, ctx: SimContext):
+        self.ctx = ctx
+        rank, size = ctx.rank, ctx.nprocs
+        self.parent = (rank - 1) // 2 if rank > 0 else None
+        self.children = [c for c in (2 * rank + 1, 2 * rank + 2) if c < size]
+        self._child_state = {c: False for c in self.children}
+        self._last_partial_sent: bool | None = None
+        self._stopped = False
+        self._messages_sent = 0
+        # verification state
+        self._active_round: int | None = None
+        self._vreplies: dict[int, bool] = {}
+        self._root_round = 0
+
+    @property
+    def stopped(self) -> bool:
+        """True once STOP has been received (or decided, at the root)."""
+        return self._stopped
+
+    @property
+    def messages_sent(self) -> int:
+        """Detection messages emitted by this rank."""
+        return self._messages_sent
+
+    def update(self, locally_converged: bool):
+        """Advance the protocol; returns True when globally stopped."""
+        ctx = self.ctx
+        if self._stopped:
+            return True
+        if ctx.nprocs == 1:
+            self._stopped = bool(locally_converged)
+            return self._stopped
+        flag = bool(locally_converged)
+
+        # 1. drain child partial-convergence reports
+        while True:
+            msg = yield ctx.try_recv(tag=TAG_PARTIAL)
+            if msg is None:
+                break
+            self._child_state[msg.source] = bool(msg.payload)
+
+        subtree = flag and all(self._child_state.values())
+
+        # 2. report changes to the parent (including cancellations)
+        if self.parent is not None and subtree != self._last_partial_sent:
+            yield ctx.send(self.parent, nbytes=24, payload=subtree, tag=TAG_PARTIAL)
+            self._messages_sent += 1
+            self._last_partial_sent = subtree
+
+        # 3. verification machinery
+        yield from self._handle_verify(flag)
+        if self._stopped:
+            return True
+
+        # 4. root starts a verification wave when its subtree looks converged
+        if self.parent is None and subtree and self._active_round is None:
+            self._root_round += 1
+            yield from self._begin_round(self._root_round, flag)
+            # single-node-tree edge: no children at the root
+            yield from self._maybe_close_round(flag)
+
+        # 5. STOP wave
+        stop = yield ctx.try_recv(tag=TAG_STOP)
+        if stop is not None:
+            yield from self._flood_stop()
+        return self._stopped
+
+    # -- verification helpers -------------------------------------------
+    def _begin_round(self, round_id: int, flag: bool):
+        del flag  # the node's state is read at close time, not at start
+        ctx = self.ctx
+        self._active_round = round_id
+        self._vreplies = {}
+        for c in self.children:
+            yield ctx.send(c, nbytes=24, payload=round_id, tag=TAG_VERIFY)
+            self._messages_sent += 1
+
+    def _handle_verify(self, flag: bool):
+        ctx = self.ctx
+        # VERIFY arriving from the parent: join the round, forward down.
+        while True:
+            msg = yield ctx.try_recv(tag=TAG_VERIFY)
+            if msg is None:
+                break
+            yield from self._begin_round(msg.payload, flag)
+            yield from self._maybe_close_round(flag)
+        # VREPLY arriving from children
+        if self._active_round is not None:
+            while True:
+                msg = yield ctx.try_recv(tag=TAG_VREPLY)
+                if msg is None:
+                    break
+                round_id, ok = msg.payload
+                if round_id != self._active_round:
+                    continue
+                self._vreplies[msg.source] = bool(ok)
+            yield from self._maybe_close_round(flag)
+
+    def _maybe_close_round(self, flag: bool):
+        ctx = self.ctx
+        if self._active_round is None:
+            return
+        if len(self._vreplies) < len(self.children):
+            return
+        verdict = bool(flag) and all(self._vreplies.values())
+        round_id = self._active_round
+        self._active_round = None
+        if self.parent is not None:
+            yield ctx.send(
+                self.parent, nbytes=24, payload=(round_id, verdict), tag=TAG_VREPLY
+            )
+            self._messages_sent += 1
+        elif verdict:
+            yield from self._flood_stop()
+        # root with a failed round simply waits for the next all-true state
+
+    def _flood_stop(self):
+        ctx = self.ctx
+        if self._stopped:
+            return
+        self._stopped = True
+        for c in self.children:
+            yield ctx.send(c, nbytes=16, payload=True, tag=TAG_STOP)
+            self._messages_sent += 1

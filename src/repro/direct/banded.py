@@ -1,0 +1,154 @@
+"""Banded LU factorization in LAPACK-style band storage, from scratch.
+
+The paper stresses that the multisplitting construction accepts "any
+sequential direct solver whether it is dense, band or sparse".  This kernel
+covers the band case: storage is the ``gbtrf`` layout (diagonals as rows),
+elimination runs column by column touching only the band window.
+
+Pivoting: the kernel eliminates **without row pivoting** and rejects small
+pivots.  This is the classical safe regime -- for the diagonally dominant
+and M-matrix classes of Section 5 (exactly where multisplitting is provably
+convergent) LU without pivoting is backward stable, and no fill outside the
+band can appear.  Callers with general matrices should use the ``dense`` or
+``sparse`` kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.direct.base import (
+    DirectSolver,
+    Factorization,
+    FactorStats,
+    SingularMatrixError,
+    register_solver,
+)
+from repro.linalg.sparse import as_csr, lower_bandwidth, upper_bandwidth
+
+__all__ = ["BandedLU", "BandedFactorization", "to_band_storage"]
+
+
+def to_band_storage(A, kl: int, ku: int) -> np.ndarray:
+    """Pack ``A`` into band storage ``ab`` with ``ab[ku + i - j, j] = A[i, j]``.
+
+    The returned array has shape ``(kl + ku + 1, n)``; entries outside the
+    band are dropped (they must be zero for the factorization to be exact,
+    which :class:`BandedLU` verifies).
+    """
+    csr = as_csr(A)
+    n = csr.shape[0]
+    ab = np.zeros((kl + ku + 1, n))
+    coo = csr.tocoo()
+    for i, j, v in zip(coo.row, coo.col, coo.data):
+        d = i - j
+        if -ku <= d <= kl:
+            ab[ku + d, j] = v
+    return ab
+
+
+class BandedFactorization(Factorization):
+    """Band LU handle: ``L`` (unit, ``kl`` sub-diagonals) and ``U`` in band storage."""
+
+    def __init__(self, ab: np.ndarray, kl: int, ku: int, stats: FactorStats):
+        self._ab = ab
+        self._kl = kl
+        self._ku = ku
+        self.stats = stats
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Forward/backward substitution sweeping the band rows only."""
+        n = self.stats.n
+        kl, ku = self._kl, self._ku
+        ab = self._ab
+        x = np.array(b, dtype=float, copy=True)
+        if x.shape != (n,):
+            raise ValueError(f"rhs must have shape ({n},)")
+        # Forward: L has unit diagonal; multipliers are stored at ab[ku+1:, j].
+        for j in range(n):
+            xj = x[j]
+            if xj != 0.0:
+                i_hi = min(n, j + kl + 1)
+                rows = np.arange(j + 1, i_hi)
+                if rows.size:
+                    x[rows] -= ab[ku + rows - j, j] * xj
+        # Backward with U.
+        for j in range(n - 1, -1, -1):
+            d = ab[ku, j]
+            x[j] /= d
+            xj = x[j]
+            if xj != 0.0:
+                i_lo = max(0, j - ku)
+                rows = np.arange(i_lo, j)
+                if rows.size:
+                    x[rows] -= ab[ku + rows - j, j] * xj
+        return x
+
+    @property
+    def bandwidths(self) -> tuple[int, int]:
+        """Return ``(kl, ku)``."""
+        return self._kl, self._ku
+
+
+@register_solver
+class BandedLU(DirectSolver):
+    """Band LU without pivoting (registry name ``"banded"``).
+
+    Parameters
+    ----------
+    pivot_tol:
+        Relative pivot threshold; a pivot whose magnitude falls below
+        ``pivot_tol * max|A|`` aborts with :class:`SingularMatrixError`
+        rather than silently producing garbage.
+    """
+
+    name = "banded"
+
+    def __init__(self, *, pivot_tol: float = 1e-12):
+        if pivot_tol < 0:
+            raise ValueError("pivot_tol must be non-negative")
+        self.pivot_tol = pivot_tol
+
+    def factor(self, A) -> BandedFactorization:
+        csr = as_csr(A)
+        n = csr.shape[0]
+        if n == 0:
+            raise ValueError("empty matrix")
+        kl = lower_bandwidth(csr)
+        ku = upper_bandwidth(csr)
+        ab = to_band_storage(csr, kl, ku)
+        scale = float(np.max(np.abs(ab))) if ab.size else 0.0
+        if scale == 0.0:
+            raise SingularMatrixError("zero matrix")
+        threshold = self.pivot_tol * scale
+        flops = 0.0
+        # Column-wise elimination inside the band.
+        for k in range(n):
+            pivot = ab[ku, k]
+            if abs(pivot) <= threshold:
+                raise SingularMatrixError(
+                    f"pivot {pivot!r} below threshold at step {k}; "
+                    "use the dense or sparse kernel for this matrix"
+                )
+            i_hi = min(n, k + kl + 1)
+            for i in range(k + 1, i_hi):
+                m = ab[ku + i - k, k] / pivot
+                ab[ku + i - k, k] = m
+                if m != 0.0:
+                    j_hi = min(n, k + ku + 1)
+                    cols = np.arange(k + 1, j_hi)
+                    if cols.size:
+                        ab[ku + i - cols, cols] -= m * ab[ku + k - cols, cols]
+                        flops += 2.0 * cols.size + 1.0
+        nnz_factors = int((kl + ku + 1) * n)
+        nnz_input = max(csr.nnz, 1)
+        stats = FactorStats(
+            n=n,
+            factor_flops=flops,
+            solve_flops=2.0 * n * (kl + ku + 1),
+            nnz_factors=nnz_factors,
+            memory_bytes=ab.nbytes,
+            fill_ratio=nnz_factors / nnz_input,
+        )
+        return BandedFactorization(ab, kl, ku, stats)

@@ -1,0 +1,141 @@
+"""Dense LU factorization with partial pivoting, from scratch.
+
+Right-looking (outer-product) elimination with row partial pivoting, the
+textbook ``getrf`` algorithm, vectorised with NumPy rank-1 updates.  Used
+for small sub-systems, as the reference against which the banded and sparse
+kernels are validated, and as the numeric engine of the distributed-LU
+baseline's real-data mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.direct.base import (
+    DirectSolver,
+    Factorization,
+    FactorStats,
+    SingularMatrixError,
+    register_solver,
+)
+from repro.direct.triangular import backward_substitution, forward_substitution
+
+__all__ = ["DenseLU", "DenseFactorization", "lu_decompose"]
+
+
+def lu_decompose(A: np.ndarray, *, pivot_tol: float = 0.0) -> tuple[np.ndarray, np.ndarray, float]:
+    """Compute an in-place packed LU with partial pivoting.
+
+    Returns ``(LU, piv, flops)`` where ``LU`` stores ``L`` strictly below
+    the diagonal (unit diagonal implied) and ``U`` on and above it, and
+    ``piv[k]`` is the row swapped with ``k`` at step ``k`` (LAPACK ipiv
+    convention, 0-based).
+
+    Raises
+    ------
+    SingularMatrixError
+        If the selected pivot magnitude is ``<= pivot_tol``.
+    """
+    LU = np.array(A, dtype=float, copy=True)
+    if LU.ndim != 2 or LU.shape[0] != LU.shape[1]:
+        raise ValueError("matrix must be square")
+    n = LU.shape[0]
+    piv = np.arange(n)
+    flops = 0.0
+    for k in range(n):
+        col = np.abs(LU[k:, k])
+        p = int(np.argmax(col)) + k
+        if col[p - k] <= pivot_tol:
+            raise SingularMatrixError(f"singular pivot at step {k}")
+        piv[k] = p
+        if p != k:
+            LU[[k, p], :] = LU[[p, k], :]
+        if k < n - 1:
+            LU[k + 1 :, k] /= LU[k, k]
+            LU[k + 1 :, k + 1 :] -= np.outer(LU[k + 1 :, k], LU[k, k + 1 :])
+            m = n - k - 1
+            flops += m + 2.0 * m * m
+    return LU, piv, flops
+
+
+def _apply_row_pivots(b: np.ndarray, piv: np.ndarray) -> np.ndarray:
+    x = np.array(b, dtype=float, copy=True)
+    for k, p in enumerate(piv):
+        if p != k:
+            x[k], x[p] = x[p], x[k]
+    return x
+
+
+class DenseFactorization(Factorization):
+    """Packed dense LU handle."""
+
+    def __init__(self, LU: np.ndarray, piv: np.ndarray, stats: FactorStats):
+        self._LU = LU
+        self._piv = piv
+        self.stats = stats
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve via row pivots + forward + backward substitution."""
+        b = np.asarray(b, dtype=float)
+        if b.shape != (self.stats.n,):
+            raise ValueError(f"rhs must have shape ({self.stats.n},)")
+        y = _apply_row_pivots(b, self._piv)
+        y = forward_substitution(self._LU, y, unit_diagonal=True)
+        return backward_substitution(self._LU, y)
+
+    @property
+    def L(self) -> np.ndarray:
+        """Unit lower factor (for tests and the theory module)."""
+        n = self.stats.n
+        return np.tril(self._LU, -1) + np.eye(n)
+
+    @property
+    def U(self) -> np.ndarray:
+        """Upper factor."""
+        return np.triu(self._LU)
+
+    @property
+    def permutation(self) -> np.ndarray:
+        """Row permutation ``perm`` with ``A[perm] = L @ U``."""
+        n = self.stats.n
+        perm = np.arange(n)
+        for k, p in enumerate(self._piv):
+            if p != k:
+                perm[k], perm[p] = perm[p], perm[k]
+        return perm
+
+
+@register_solver
+class DenseLU(DirectSolver):
+    """Dense LU with partial pivoting (registry name ``"dense"``).
+
+    Parameters
+    ----------
+    pivot_tol:
+        Pivot magnitudes at or below this threshold raise
+        :class:`SingularMatrixError`; the default ``0.0`` only rejects exact
+        zeros, matching LAPACK semantics.
+    """
+
+    name = "dense"
+
+    def __init__(self, *, pivot_tol: float = 0.0):
+        if pivot_tol < 0:
+            raise ValueError("pivot_tol must be non-negative")
+        self.pivot_tol = pivot_tol
+
+    def factor(self, A) -> DenseFactorization:
+        dense = A.toarray() if sp.issparse(A) else np.asarray(A, dtype=float)
+        nnz_input = int(np.count_nonzero(dense)) or 1
+        LU, piv, flops = lu_decompose(dense, pivot_tol=self.pivot_tol)
+        n = LU.shape[0]
+        stats = FactorStats(
+            n=n,
+            factor_flops=flops,
+            solve_flops=2.0 * n * n,
+            nnz_factors=n * n,
+            memory_bytes=LU.nbytes + piv.nbytes,
+            fill_ratio=(n * n) / nnz_input,
+        )
+        return DenseFactorization(LU, piv, stats)

@@ -1,0 +1,33 @@
+"""Distributed direct-solver baseline (the SuperLU_DIST 2.0 role).
+
+The paper's comparison target: a distributed-memory right-looking LU whose
+per-panel broadcasts make it fine-grained and synchronisation-heavy --
+exactly what multisplitting avoids.  See :mod:`repro.distbaseline.dist_lu`
+for the two execution modes and the memory model behind the "nem" rows of
+Table 3.
+"""
+
+from repro.distbaseline.blockcyclic import BlockCyclic, panel_bounds
+from repro.distbaseline.dist_lu import (
+    STRUCTURE_OVERHEAD,
+    BaselineResult,
+    run_dense_distributed_lu,
+    run_distributed_lu,
+)
+from repro.distbaseline.fillmodel import (
+    FillProfile,
+    exact_fill_profile,
+    extrapolated_fill_profile,
+)
+
+__all__ = [
+    "BaselineResult",
+    "BlockCyclic",
+    "FillProfile",
+    "STRUCTURE_OVERHEAD",
+    "exact_fill_profile",
+    "extrapolated_fill_profile",
+    "panel_bounds",
+    "run_dense_distributed_lu",
+    "run_distributed_lu",
+]

@@ -1,0 +1,59 @@
+"""Experiment harness: replay every table and figure of Section 6.
+
+* :mod:`repro.experiments.tables` -- the runners (``table1`` ..
+  ``figure3``) and the ``EXPERIMENTS`` registry;
+* :mod:`repro.experiments.paperdata` -- the published numbers;
+* :mod:`repro.experiments.report` -- text rendering + qualitative shape
+  checks;
+* :mod:`repro.experiments.cli` -- the ``repro-experiments`` command.
+"""
+
+from repro.experiments.paperdata import (
+    FIGURE3_NOTES,
+    TABLE1,
+    TABLE2,
+    TABLE3,
+    TABLE4,
+    paper_speedup,
+)
+from repro.experiments.report import (
+    ShapeViolation,
+    check_figure3_shape,
+    check_scalability_shape,
+    check_table3_shape,
+    check_table4_shape,
+    format_table,
+)
+from repro.experiments.tables import (
+    EXPERIMENTS,
+    ExperimentResult,
+    figure3,
+    run_experiment,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "FIGURE3_NOTES",
+    "ShapeViolation",
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "TABLE4",
+    "check_figure3_shape",
+    "check_scalability_shape",
+    "check_table3_shape",
+    "check_table4_shape",
+    "figure3",
+    "format_table",
+    "paper_speedup",
+    "run_experiment",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,85 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples::
+
+    repro-experiments table1
+    repro-experiments table4 --scale 0.5
+    repro-experiments all --scale 0.25
+    repro-experiments figure3 --check
+
+``--scale`` multiplies every workload's default order (1.0 reproduces the
+laptop-scale defaults documented in DESIGN.md); ``--check`` additionally
+runs the qualitative shape assertions against the paper's findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.report import (
+    check_figure3_shape,
+    check_scalability_shape,
+    check_table3_shape,
+    check_table4_shape,
+    format_table,
+)
+from repro.experiments.tables import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+_CHECKS = {
+    "table1": check_scalability_shape,
+    "table2": check_scalability_shape,
+    "table3": check_table3_shape,
+    "table4": check_table4_shape,
+    "figure3": check_figure3_shape,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one (or all) Section-6 experiments and print the tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Replay the paper's tables and figure on the grid simulator.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to replay",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload size multiplier (default 1.0 = registry defaults)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the qualitative shape against the paper's findings",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    status = 0
+    for name in names:
+        t0 = time.time()
+        result = run_experiment(name, scale=args.scale)
+        elapsed = time.time() - t0
+        print(format_table(result))
+        print(f"(replayed in {elapsed:.1f}s wall; scale={args.scale})")
+        if args.check:
+            try:
+                _CHECKS[name](result)
+                print(f"shape check: OK ({name} matches the paper's findings)")
+            except AssertionError as exc:
+                print(f"shape check FAILED: {exc}", file=sys.stderr)
+                status = 1
+        print()
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

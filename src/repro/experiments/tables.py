@@ -1,0 +1,306 @@
+"""Experiment runners regenerating every table and figure of Section 6.
+
+Each ``tableN()`` / ``figure3()`` function replays the corresponding
+experiment on the simulated clusters and returns a list of row
+dictionaries mirroring the paper's columns; :mod:`repro.experiments.report`
+formats them and checks the qualitative shape against
+:mod:`repro.experiments.paperdata`.
+
+Scaling: matrix orders are the registry defaults
+(:mod:`repro.matrices.collection`) times ``scale``; cluster RAM follows
+``DEFAULT_MEMORY_SCALE``.  Absolute seconds are therefore NOT comparable
+to the paper (the whole point of the simulator is to preserve *ratios and
+regimes*); EXPERIMENTS.md discusses the mapping row by row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.solver import MultisplittingSolver
+from repro.distbaseline.dist_lu import BaselineResult, run_distributed_lu
+from repro.distbaseline.fillmodel import FillProfile, exact_fill_profile
+from repro.grid.topology import Cluster, cluster1, cluster2, cluster3
+from repro.matrices.collection import load_workload
+
+__all__ = [
+    "ExperimentResult",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure3",
+    "EXPERIMENTS",
+    "run_experiment",
+]
+
+#: Panel width used by the distributed baseline throughout Section-6 replays.
+BASELINE_BLOCK = 24
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + metadata of one replayed experiment."""
+
+    experiment: str
+    columns: list[str]
+    rows: list[dict[str, Any]]
+    notes: dict[str, Any] = field(default_factory=dict)
+
+
+_fill_cache: dict[tuple[str, float], FillProfile] = {}
+
+
+def _cached_fill(name: str, scale: float, A) -> FillProfile:
+    key = (name, scale)
+    if key not in _fill_cache:
+        _fill_cache[key] = exact_fill_profile(A)
+    return _fill_cache[key]
+
+
+def _baseline(A, cluster: Cluster, fill: FillProfile | None, nprocs: int) -> BaselineResult:
+    return run_distributed_lu(
+        A, None, cluster, block=BASELINE_BLOCK, nprocs=nprocs, fill=fill,
+        fill_mode="probe" if fill is None else "exact",
+    )
+
+
+def _multisplitting(mode: str, A, b, cluster: Cluster, *, overlap: int = 0,
+                    max_iterations: int | None = None):
+    solver = MultisplittingSolver(
+        mode=mode, direct_solver="scipy", overlap=overlap,
+        max_iterations=max_iterations,
+    )
+    return solver.solve(A, b, cluster=cluster)
+
+
+def _fmt(value) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return value
+    return float(value)
+
+
+def _scalability_table(name: str, procs_list: list[int], *, scale: float) -> ExperimentResult:
+    """Common driver for Tables 1 and 2 (cluster1 scalability)."""
+    A, b, _ = load_workload(name, scale=scale)
+    fill = _cached_fill(name, scale, A)
+    rows: list[dict[str, Any]] = []
+    for procs in procs_list:
+        cluster = cluster1(max(procs, 1))
+        base = _baseline(A, cluster, fill, procs)
+        row: dict[str, Any] = {"processors": procs}
+        row["distributed SuperLU"] = (
+            "nem" if base.status == "nem" else base.simulated_time
+        )
+        if procs == 1:
+            # The paper leaves multisplitting blank on one processor.
+            row["sync multisplitting-LU"] = None
+            row["async multisplitting-LU"] = None
+            row["factorization time"] = None
+        else:
+            sync = _multisplitting("synchronous", A, b, cluster)
+            asyn = _multisplitting("asynchronous", A, b, cluster)
+            row["sync multisplitting-LU"] = (
+                "nem" if sync.status == "nem" else sync.simulated_time
+            )
+            row["async multisplitting-LU"] = (
+                "nem" if asyn.status == "nem" else asyn.simulated_time
+            )
+            row["factorization time"] = sync.factorization_time
+            row["sync iterations"] = sync.iterations
+            row["async iterations"] = max(asyn.per_proc_iterations or [0])
+            row["residual sync"] = sync.residual
+        rows.append(row)
+    return ExperimentResult(
+        experiment=name,
+        columns=[
+            "processors",
+            "distributed SuperLU",
+            "sync multisplitting-LU",
+            "async multisplitting-LU",
+            "factorization time",
+        ],
+        rows=rows,
+        notes={"workload": name, "n": A.shape[0], "scale": scale},
+    )
+
+
+def table1(*, scale: float = 1.0, procs_list: list[int] | None = None) -> ExperimentResult:
+    """Table 1: scalability on cluster1 with the cage10 analog."""
+    procs = procs_list or [1, 2, 3, 4, 6, 8, 9, 12, 16, 20]
+    res = _scalability_table("cage10", procs, scale=scale)
+    res.notes["paper_table"] = "Table 1"
+    return res
+
+
+def table2(*, scale: float = 1.0, procs_list: list[int] | None = None) -> ExperimentResult:
+    """Table 2: scalability on cluster1 with the cage11 analog.
+
+    Rows below 4 processors are reported as "nem" (the paper: "the
+    considered matrix requires too much memory to be solved with less than
+    4 processors").
+    """
+    procs = procs_list or [4, 6, 8, 9, 12, 16, 20]
+    res = _scalability_table("cage11", procs, scale=scale)
+    res.notes["paper_table"] = "Table 2"
+    return res
+
+
+def table3(*, scale: float = 1.0) -> ExperimentResult:
+    """Table 3: the distant/heterogeneous cluster comparison."""
+    cases = [
+        ("cage11", "cluster2", cluster2(8), 8),
+        ("cage12", "cluster3", cluster3(10), 10),
+        ("gen-large", "cluster3", cluster3(10), 10),
+    ]
+    rows: list[dict[str, Any]] = []
+    for name, cluster_name, cluster, nprocs in cases:
+        A, b, _ = load_workload(name, scale=scale)
+        # cage12's full factorization is exactly the infeasible case ->
+        # probe-based fill; the others are measured exactly.
+        if name == "cage12":
+            base = run_distributed_lu(
+                A, None, cluster, block=BASELINE_BLOCK, nprocs=nprocs,
+                fill_mode="probe",
+            )
+        else:
+            base = _baseline(A, cluster, _cached_fill(name, scale, A), nprocs)
+        sync = _multisplitting("synchronous", A, b, cluster)
+        fresh = (
+            cluster2(8) if cluster_name == "cluster2" else cluster3(10)
+        )
+        asyn = _multisplitting("asynchronous", A, b, fresh)
+        rows.append(
+            {
+                "matrix": name,
+                "cluster": cluster_name,
+                "distributed SuperLU": "nem" if base.status == "nem" else base.simulated_time,
+                "sync multisplitting-LU": "nem" if sync.status == "nem" else sync.simulated_time,
+                "async multisplitting-LU": "nem" if asyn.status == "nem" else asyn.simulated_time,
+                "factorization time": sync.factorization_time,
+                "residual sync": sync.residual,
+            }
+        )
+    return ExperimentResult(
+        experiment="table3",
+        columns=[
+            "matrix",
+            "cluster",
+            "distributed SuperLU",
+            "sync multisplitting-LU",
+            "async multisplitting-LU",
+            "factorization time",
+        ],
+        rows=rows,
+        notes={"paper_table": "Table 3", "scale": scale},
+    )
+
+
+def table4(*, scale: float = 1.0, perturbations: list[int] | None = None) -> ExperimentResult:
+    """Table 4: background traffic on the inter-site link (gen-large)."""
+    perturbs = perturbations if perturbations is not None else [0, 1, 5, 10]
+    A, b, _ = load_workload("gen-large", scale=scale)
+    fill = _cached_fill("gen-large", scale, A)
+    rows: list[dict[str, Any]] = []
+    for count in perturbs:
+        c_base = cluster3(10)
+        c_base.add_perturbations(count)
+        base = _baseline(A, c_base, fill, 10)
+        c_sync = cluster3(10)
+        c_sync.add_perturbations(count)
+        sync = _multisplitting("synchronous", A, b, c_sync)
+        c_async = cluster3(10)
+        c_async.add_perturbations(count)
+        asyn = _multisplitting("asynchronous", A, b, c_async)
+        rows.append(
+            {
+                "perturbing communications": count,
+                "distributed SuperLU": "nem" if base.status == "nem" else base.simulated_time,
+                "sync multisplitting-LU": "nem" if sync.status == "nem" else sync.simulated_time,
+                "async multisplitting-LU": "nem" if asyn.status == "nem" else asyn.simulated_time,
+                "sync iterations": sync.iterations,
+                "async iterations": max(asyn.per_proc_iterations or [0]),
+            }
+        )
+    return ExperimentResult(
+        experiment="table4",
+        columns=[
+            "perturbing communications",
+            "distributed SuperLU",
+            "sync multisplitting-LU",
+            "async multisplitting-LU",
+        ],
+        rows=rows,
+        notes={"paper_table": "Table 4", "scale": scale},
+    )
+
+
+def figure3(*, scale: float = 1.0, overlaps: list[int] | None = None) -> ExperimentResult:
+    """Figure 3: overlap sweep on the near-singular generated matrix.
+
+    Overlap values default to 0..5% of n in six steps, mirroring the
+    paper's 0..5000 on n=100000.
+    """
+    A, b, _ = load_workload("gen-overlap", scale=scale)
+    n = A.shape[0]
+    if overlaps is None:
+        # The paper sweeps 0..5% of n; at laptop scale the factorization is
+        # relatively cheaper, so the sweep extends further to expose the
+        # same interior optimum (iteration savings vs factorization cost).
+        overlaps = [
+            int(round(f * n))
+            for f in (0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.45)
+        ]
+    rows: list[dict[str, Any]] = []
+    for ov in overlaps:
+        cluster_s = cluster3(10)
+        sync = _multisplitting("synchronous", A, b, cluster_s, overlap=ov,
+                               max_iterations=5_000)
+        cluster_a = cluster3(10)
+        asyn = _multisplitting("asynchronous", A, b, cluster_a, overlap=ov)
+        rows.append(
+            {
+                "overlap": ov,
+                "sync time": sync.simulated_time,
+                "async time": asyn.simulated_time,
+                "factorization time": sync.factorization_time,
+                "sync iterations": sync.iterations,
+                "async iterations": max(asyn.per_proc_iterations or [0]),
+                "residual sync": sync.residual,
+            }
+        )
+    return ExperimentResult(
+        experiment="figure3",
+        columns=[
+            "overlap",
+            "sync time",
+            "async time",
+            "factorization time",
+            "sync iterations",
+        ],
+        rows=rows,
+        notes={"paper_table": "Figure 3", "scale": scale, "n": n},
+    )
+
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "figure3": figure3,
+}
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Dispatch by experiment id (``table1`` .. ``figure3``)."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}") from None
+    return fn(**kwargs)

@@ -1,0 +1,88 @@
+"""Deterministic discrete-event grid simulator.
+
+This package is the substitute for the paper's physical testbed (two
+distant clusters, MPI + Corba): simulated hosts with flop rates and RAM,
+a flow-level network with latency, fair bandwidth sharing and background
+perturbation traffic, and coroutine processes driven by a deterministic
+event loop.
+
+* :mod:`repro.grid.engine` -- event loop, processes, messages.
+* :mod:`repro.grid.host` -- machines (speed, memory) and OOM simulation.
+* :mod:`repro.grid.network` -- links, flows, fair sharing, perturbations.
+* :mod:`repro.grid.topology` -- the paper's cluster1/2/3 presets.
+* :mod:`repro.grid.comm` -- MPI-like collectives (``yield from`` helpers).
+* :mod:`repro.grid.trace` -- event recording and run statistics.
+"""
+
+from repro.grid.comm import (
+    allgather,
+    allreduce_logical_and,
+    allreduce_sum,
+    barrier,
+    bcast,
+    gather,
+    max_norm_distributed,
+    reduce_sum,
+    vector_bytes,
+)
+from repro.grid.engine import (
+    ANY,
+    DeadlockError,
+    Engine,
+    Message,
+    SimContext,
+    SimProcessError,
+)
+from repro.grid.host import Host, OutOfSimMemory
+from repro.grid.network import Flow, Link, Network
+from repro.grid.topology import (
+    DEFAULT_MEMORY_SCALE,
+    LAN_BANDWIDTH,
+    LAN_LATENCY,
+    P4_EFFECTIVE_FLOPS,
+    WAN_BANDWIDTH,
+    WAN_LATENCY,
+    Cluster,
+    cluster1,
+    cluster2,
+    cluster3,
+    custom_cluster,
+)
+from repro.grid.trace import RunStats, TraceEvent, TraceRecorder
+
+__all__ = [
+    "ANY",
+    "Cluster",
+    "DEFAULT_MEMORY_SCALE",
+    "DeadlockError",
+    "Engine",
+    "Flow",
+    "Host",
+    "LAN_BANDWIDTH",
+    "LAN_LATENCY",
+    "Link",
+    "Message",
+    "Network",
+    "OutOfSimMemory",
+    "P4_EFFECTIVE_FLOPS",
+    "RunStats",
+    "SimContext",
+    "SimProcessError",
+    "TraceEvent",
+    "TraceRecorder",
+    "WAN_BANDWIDTH",
+    "WAN_LATENCY",
+    "allgather",
+    "allreduce_logical_and",
+    "allreduce_sum",
+    "barrier",
+    "bcast",
+    "cluster1",
+    "cluster2",
+    "cluster3",
+    "custom_cluster",
+    "gather",
+    "max_norm_distributed",
+    "reduce_sum",
+    "vector_bytes",
+]

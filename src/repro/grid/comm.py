@@ -1,0 +1,159 @@
+"""MPI-like collective helpers over the simulator's point-to-point layer.
+
+The synchronous multisplitting solver of the paper is an MPI program; its
+collective needs are modest (neighbour exchanges plus a convergence
+reduction), and the distributed-LU baseline needs panel broadcasts.  These
+helpers are *generator functions*: call them with ``yield from`` inside a
+simulated process:
+
+.. code-block:: python
+
+    def worker(ctx):
+        total = yield from allreduce_sum(ctx, my_value)
+        yield from barrier(ctx)
+        data = yield from bcast(ctx, data, root=0, nbytes=1024)
+
+All collectives assume every rank participates (the full communicator) and
+use deterministic linear or binomial-tree schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.grid.engine import SimContext
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "gather",
+    "allgather",
+    "reduce_sum",
+    "allreduce_sum",
+    "allreduce_logical_and",
+    "max_norm_distributed",
+    "vector_bytes",
+]
+
+#: Reserved tag namespace for collectives (avoids colliding with user tags).
+_TAG_BARRIER = "__barrier__"
+_TAG_BCAST = "__bcast__"
+_TAG_GATHER = "__gather__"
+
+
+def _coll_tag(ctx: SimContext, base: str) -> tuple[str, int]:
+    """Return a tag unique to this collective *instance*.
+
+    The simulated network does not guarantee FIFO ordering between a host
+    pair (a small message can overtake a large one), so two back-to-back
+    collectives could cross.  Every process counts the collectives it has
+    entered; since all ranks must call collectives in the same order (the
+    MPI rule), the counter values agree and messages from different
+    instances can never match each other.
+    """
+    seq = getattr(ctx, "_coll_seq", 0)
+    ctx._coll_seq = seq + 1  # type: ignore[attr-defined]
+    return (base, seq)
+
+
+def vector_bytes(n: int) -> int:
+    """Wire size of an ``n``-vector of float64 (8 bytes each + small header)."""
+    return 8 * int(n) + 64
+
+
+def barrier(ctx: SimContext):
+    """Linear barrier: everyone reports to rank 0, rank 0 releases everyone."""
+    size, rank = ctx.nprocs, ctx.rank
+    tag = _coll_tag(ctx, _TAG_BARRIER)
+    if size == 1:
+        return
+    if rank == 0:
+        for _ in range(size - 1):
+            yield ctx.recv(tag=tag)
+        for dst in range(1, size):
+            yield ctx.send(dst, nbytes=1, tag=tag)
+    else:
+        yield ctx.send(0, nbytes=1, tag=tag)
+        yield ctx.recv(source=0, tag=tag)
+
+
+def bcast(ctx: SimContext, value: Any, root: int = 0, *, nbytes: int = 64):
+    """Binomial-tree broadcast; returns the root's value on every rank.
+
+    Tree shape: relative rank ``r > 0`` receives from ``r - 2^k`` where
+    ``2^k`` is the highest power of two ``<= r``, and every rank that holds
+    the value sends to ``r + m`` for each power of two ``m > r``.  Each
+    rank receives exactly once and senders always hold the value before
+    their sending turns.
+    """
+    size, rank = ctx.nprocs, ctx.rank
+    tag = _coll_tag(ctx, _TAG_BCAST)
+    if size == 1:
+        return value
+    rel = (rank - root) % size
+    if rel != 0:
+        msg = yield ctx.recv(tag=tag)
+        value = msg.payload
+    mask = 1
+    while mask < size:
+        if rel < mask:
+            child = rel + mask
+            if child < size:
+                yield ctx.send((child + root) % size, nbytes=nbytes, payload=value, tag=tag)
+        mask <<= 1
+    return value
+
+
+def gather(ctx: SimContext, value: Any, root: int = 0, *, nbytes: int = 64):
+    """Linear gather; returns the list of per-rank values at ``root`` else None."""
+    size, rank = ctx.nprocs, ctx.rank
+    tag = _coll_tag(ctx, _TAG_GATHER)
+    if rank == root:
+        out: list[Any] = [None] * size
+        out[root] = value
+        for _ in range(size - 1):
+            msg = yield ctx.recv(tag=tag)
+            out[msg.source] = msg.payload
+        return out
+    yield ctx.send(root, nbytes=nbytes, payload=value, tag=tag)
+    return None
+
+
+def allgather(ctx: SimContext, value: Any, *, nbytes: int = 64):
+    """Gather to rank 0 then broadcast the list; returns the list everywhere."""
+    gathered = yield from gather(ctx, value, root=0, nbytes=nbytes)
+    out = yield from bcast(ctx, gathered, root=0, nbytes=nbytes * ctx.nprocs)
+    return out
+
+
+def reduce_sum(ctx: SimContext, value, root: int = 0, *, nbytes: int = 64):
+    """Linear sum-reduction to ``root``; returns the sum there, None elsewhere."""
+    parts = yield from gather(ctx, value, root=root, nbytes=nbytes)
+    if ctx.rank == root:
+        total = parts[0]
+        for p in parts[1:]:
+            total = total + p
+        return total
+    return None
+
+
+def allreduce_sum(ctx: SimContext, value, *, nbytes: int = 64):
+    """Sum-allreduce (gather + bcast); returns the total on every rank."""
+    total = yield from reduce_sum(ctx, value, root=0, nbytes=nbytes)
+    total = yield from bcast(ctx, total, root=0, nbytes=nbytes)
+    return total
+
+
+def allreduce_logical_and(ctx: SimContext, flag: bool):
+    """AND-allreduce of booleans -- the synchronous convergence vote."""
+    total = yield from allreduce_sum(ctx, 1 if flag else 0, nbytes=16)
+    return total == ctx.nprocs
+
+
+def max_norm_distributed(ctx: SimContext, local_vector: np.ndarray):
+    """Allreduce of the max-norm of distributed vector pieces."""
+    local = float(np.max(np.abs(local_vector))) if local_vector.size else 0.0
+    parts = yield from allgather(ctx, local, nbytes=16)
+    return max(parts)

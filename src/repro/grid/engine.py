@@ -1,0 +1,475 @@
+"""Deterministic discrete-event engine with coroutine processes.
+
+Simulated processes are Python generators that ``yield`` command objects
+and receive results back, in the style of SimPy (which is not available
+offline and is re-implemented here in the minimal form the repository
+needs):
+
+.. code-block:: python
+
+    def worker(ctx: SimContext):
+        yield ctx.compute(flops=2.5e9)          # occupy this host's CPU
+        yield ctx.send(dst=1, nbytes=8_192, payload=vec, tag=0)
+        msg = yield ctx.recv(source=ANY, tag=0) # block for a message
+        maybe = yield ctx.try_recv()            # poll (asynchronous mode)
+        yield ctx.sleep(0.5)
+
+The engine owns a single event heap keyed ``(time, sequence)``, which makes
+every run bit-for-bit deterministic -- a property the tests assert and the
+experiment tables rely on.
+
+Messages travel through :class:`repro.grid.network.Network` flows, so send
+completion times respect latency, bandwidth and fair sharing with any
+background (perturbation) traffic.  Memory allocations go through
+:class:`repro.grid.host.Host`, and failures are *thrown into* the
+requesting coroutine so a simulated solver can die (or recover) exactly
+where a real ``malloc`` failure would hit it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+from repro.grid.host import Host
+from repro.grid.network import Flow, Network, Route
+
+__all__ = [
+    "ANY",
+    "DeadlockError",
+    "Engine",
+    "Message",
+    "SimContext",
+    "SimProcessError",
+]
+
+#: Wildcard for ``recv``/``try_recv`` source and tag matching.
+ANY = object()
+
+
+class DeadlockError(RuntimeError):
+    """Raised when every live process is blocked and no event is pending."""
+
+
+class SimProcessError(RuntimeError):
+    """An exception escaped a simulated process; wraps the original."""
+
+    def __init__(self, pid: int, name: str, original: BaseException):
+        self.pid = pid
+        self.process_name = name
+        self.original = original
+        super().__init__(f"process {name!r} (pid {pid}) failed: {original!r}")
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message."""
+
+    source: int
+    dest: int
+    tag: Any
+    payload: Any
+    nbytes: int
+    sent_at: float
+    delivered_at: float
+
+
+# -- commands -----------------------------------------------------------
+@dataclass(frozen=True)
+class _Compute:
+    flops: float
+
+
+@dataclass(frozen=True)
+class _Sleep:
+    duration: float
+
+
+@dataclass(frozen=True)
+class _Send:
+    dst: int
+    nbytes: int
+    payload: Any
+    tag: Any
+    coalesce: bool = False
+
+
+@dataclass(frozen=True)
+class _Recv:
+    source: Any
+    tag: Any
+
+
+@dataclass(frozen=True)
+class _TryRecv:
+    source: Any
+    tag: Any
+
+
+@dataclass(frozen=True)
+class _Alloc:
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class _Free:
+    nbytes: int
+
+
+class SimContext:
+    """Per-process handle used inside coroutine bodies.
+
+    All methods except :attr:`now`, :attr:`rank` and :attr:`host` build
+    command objects that must be ``yield``-ed to take effect.
+    """
+
+    def __init__(self, engine: "Engine", pid: int):
+        self._engine = engine
+        self._pid = pid
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._engine.now
+
+    @property
+    def rank(self) -> int:
+        """This process's pid (its rank in the communicator)."""
+        return self._pid
+
+    @property
+    def nprocs(self) -> int:
+        """Total number of spawned processes."""
+        return len(self._engine._procs)
+
+    @property
+    def host(self) -> Host:
+        """The host this process runs on."""
+        return self._engine._procs[self._pid].host
+
+    def compute(self, flops: float) -> _Compute:
+        """Occupy the CPU for ``flops / host.speed`` seconds."""
+        return _Compute(float(flops))
+
+    def sleep(self, duration: float) -> _Sleep:
+        """Advance simulated time without using the CPU."""
+        return _Sleep(float(duration))
+
+    def send(
+        self,
+        dst: int,
+        nbytes: int,
+        payload: Any = None,
+        tag: Any = 0,
+        *,
+        coalesce: bool = False,
+    ) -> _Send:
+        """Non-blocking buffered send (delivery via the network model).
+
+        With ``coalesce=True`` the sender keeps a one-deep per
+        ``(dst, tag)`` buffer: while a previous message to the same
+        destination and tag is still in flight, a newer send *replaces*
+        its payload instead of queueing another flow.  This models the
+        "send the latest iterate" discipline of asynchronous iterative
+        solvers (and TCP backpressure in general): the receiver only ever
+        sees the freshest value, and a saturated link carries one message
+        per round trip instead of an unbounded queue.
+        """
+        return _Send(int(dst), int(nbytes), payload, tag, bool(coalesce))
+
+    def recv(self, source: Any = ANY, tag: Any = ANY) -> _Recv:
+        """Block until a matching message is available; yields a Message."""
+        return _Recv(source, tag)
+
+    def try_recv(self, source: Any = ANY, tag: Any = ANY) -> _TryRecv:
+        """Poll for a matching message; yields a Message or ``None``."""
+        return _TryRecv(source, tag)
+
+    def malloc(self, nbytes: int) -> _Alloc:
+        """Reserve simulated memory; raises ``OutOfSimMemory`` in-coroutine."""
+        return _Alloc(int(nbytes))
+
+    def mfree(self, nbytes: int) -> _Free:
+        """Release simulated memory."""
+        return _Free(int(nbytes))
+
+
+@dataclass
+class _Proc:
+    pid: int
+    name: str
+    gen: Generator
+    host: Host
+    mailbox: list[Message] = field(default_factory=list)
+    waiting: _Recv | None = None
+    finished: bool = False
+    result: Any = None
+    failed: BaseException | None = None
+
+
+ProcessFn = Callable[[SimContext], Generator]
+
+
+class Engine:
+    """The event loop.
+
+    Parameters
+    ----------
+    network:
+        The :class:`Network` used for message transport.
+    route_fn:
+        ``route_fn(src_host, dst_host) -> Route`` mapping a host pair to the
+        sequence of links a message crosses (provided by the topology).
+    trace:
+        Optional callable ``trace(kind, time, **fields)`` receiving event
+        records (see :mod:`repro.grid.trace`).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        route_fn: Callable[[Host, Host], Route],
+        *,
+        trace: Callable[..., None] | None = None,
+    ):
+        self.network = network
+        self._route_fn = route_fn
+        self._trace = trace
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._procs: list[_Proc] = []
+        self._flow_events_scheduled: dict[int, int] = {}
+        # one-deep coalescing send buffers: (src, dst, tag) -> [payload, sent_at]
+        self._coalesce_slots: dict[tuple, list] = {}
+
+    # -- public API ----------------------------------------------------
+    def spawn(self, fn: ProcessFn, host: Host, *, name: str | None = None) -> int:
+        """Create a process on ``host``; returns its pid/rank.
+
+        Processes must all be spawned before :meth:`run` (ranks are dense).
+        """
+        pid = len(self._procs)
+        ctx = SimContext(self, pid)
+        gen = fn(ctx)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process function {fn!r} must be a generator function")
+        proc = _Proc(pid=pid, name=name or f"proc{pid}", gen=gen, host=host)
+        self._procs.append(proc)
+        # First step happens at t=0 (or current time) via the heap.
+        self._schedule(self.now, lambda p=proc: self._step(p, None))
+        return pid
+
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> None:
+        """Drive the simulation until completion (or a limit).
+
+        Raises
+        ------
+        DeadlockError
+            If no events remain while some process still waits on a recv.
+        SimProcessError
+            If any simulated process raised an unhandled exception.
+        """
+        events = 0
+        while self._heap:
+            t, _, action = heapq.heappop(self._heap)
+            if until is not None and t > until:
+                self.now = until
+                return
+            self.now = t
+            action()
+            self._raise_if_failed()
+            events += 1
+            if max_events is not None and events >= max_events:
+                return
+        blocked = [p for p in self._procs if not p.finished and p.waiting is not None]
+        unfinished = [p for p in self._procs if not p.finished]
+        if blocked and len(blocked) == len(unfinished):
+            names = ", ".join(p.name for p in blocked)
+            raise DeadlockError(f"all live processes blocked on recv: {names}")
+
+    def results(self) -> list[Any]:
+        """Return the coroutine return values, indexed by pid."""
+        return [p.result for p in self._procs]
+
+    @property
+    def processes(self) -> list[_Proc]:
+        """Internal process records (read-only use: stats, tests)."""
+        return self._procs
+
+    # -- internals -----------------------------------------------------
+    def _raise_if_failed(self) -> None:
+        for p in self._procs:
+            if p.failed is not None:
+                raise SimProcessError(p.pid, p.name, p.failed) from p.failed
+
+    def _schedule(self, t: float, action: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (t, self._seq, action))
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self._trace is not None:
+            self._trace(kind, self.now, **fields)
+
+    def _step(self, proc: _Proc, value: Any, *, throw: BaseException | None = None) -> None:
+        """Advance one coroutine, looping over instantaneous commands."""
+        if proc.finished:
+            return
+        while True:
+            try:
+                if throw is not None:
+                    cmd = proc.gen.throw(throw)
+                    throw = None
+                else:
+                    cmd = proc.gen.send(value)
+            except StopIteration as stop:
+                proc.finished = True
+                proc.result = stop.value
+                self._emit("proc_end", pid=proc.pid, name=proc.name)
+                return
+            except Exception as exc:  # simulated process crashed
+                proc.finished = True
+                proc.failed = exc
+                return
+
+            if isinstance(cmd, _Compute):
+                finish = proc.host.compute_finish(self.now, cmd.flops)
+                dt = finish - self.now
+                proc.host.busy_time += dt
+                self._emit("compute", pid=proc.pid, duration=dt, flops=cmd.flops)
+                self._schedule(finish, lambda p=proc: self._step(p, None))
+                return
+            if isinstance(cmd, _Sleep):
+                if cmd.duration < 0:
+                    throw = ValueError("sleep duration must be non-negative")
+                    value = None
+                    continue
+                self._schedule(self.now + cmd.duration, lambda p=proc: self._step(p, None))
+                return
+            if isinstance(cmd, _Send):
+                self._do_send(proc, cmd)
+                value = None
+                continue
+            if isinstance(cmd, _Recv):
+                msg = self._match(proc, cmd.source, cmd.tag)
+                if msg is not None:
+                    value = msg
+                    continue
+                proc.waiting = cmd
+                return
+            if isinstance(cmd, _TryRecv):
+                value = self._match(proc, cmd.source, cmd.tag)
+                continue
+            if isinstance(cmd, _Alloc):
+                try:
+                    proc.host.allocate(cmd.nbytes)
+                    self._emit("malloc", pid=proc.pid, nbytes=cmd.nbytes)
+                    value = None
+                except MemoryError as exc:
+                    throw = exc
+                    value = None
+                continue
+            if isinstance(cmd, _Free):
+                proc.host.free(cmd.nbytes)
+                value = None
+                continue
+            throw = TypeError(f"process yielded unknown command {cmd!r}")
+            value = None
+
+    def _do_send(self, proc: _Proc, cmd: _Send) -> None:
+        if not (0 <= cmd.dst < len(self._procs)):
+            raise ValueError(f"send to unknown pid {cmd.dst}")
+        dst_proc = self._procs[cmd.dst]
+        src_host, dst_host = proc.host, dst_proc.host
+
+        slot_key = (proc.pid, cmd.dst, cmd.tag) if cmd.coalesce else None
+        if slot_key is not None:
+            slot = self._coalesce_slots.get(slot_key)
+            if slot is not None:
+                # Previous message still in flight: supersede its payload.
+                slot[0] = cmd.payload
+                slot[1] = self.now
+                self._emit(
+                    "send_coalesced", src=proc.pid, dst=cmd.dst, nbytes=cmd.nbytes
+                )
+                return
+
+        proc.host.bytes_sent += cmd.nbytes
+        proc.host.messages_sent += 1
+        sent_at = self.now
+        self._emit(
+            "send", src=proc.pid, dst=cmd.dst, nbytes=cmd.nbytes, tag=repr(cmd.tag)
+        )
+        slot = [cmd.payload, sent_at]
+        if slot_key is not None:
+            self._coalesce_slots[slot_key] = slot
+
+        def deliver() -> None:
+            if slot_key is not None:
+                self._coalesce_slots.pop(slot_key, None)
+            msg = Message(
+                source=proc.pid,
+                dest=cmd.dst,
+                tag=cmd.tag,
+                payload=slot[0],
+                nbytes=cmd.nbytes,
+                sent_at=slot[1],
+                delivered_at=self.now,
+            )
+            dst_proc.mailbox.append(msg)
+            self._emit("deliver", src=proc.pid, dst=cmd.dst, nbytes=cmd.nbytes)
+            if dst_proc.waiting is not None:
+                m = self._match(dst_proc, dst_proc.waiting.source, dst_proc.waiting.tag)
+                if m is not None:
+                    dst_proc.waiting = None
+                    self._step(dst_proc, m)
+
+        if src_host is dst_host:
+            # Same host: memory copy, modelled as instantaneous delivery.
+            self._schedule(self.now, deliver)
+            return
+        route = self._route_fn(src_host, dst_host)
+        latency = self.network.route_latency(route)
+
+        def activate() -> None:
+            flow = self.network.start_flow(route, max(cmd.nbytes, 1), self.now, None)
+
+            def flow_done(f: Flow = flow) -> None:
+                self.network.remove_flow(f, self.now)
+                deliver()
+
+            flow.on_complete = flow_done
+            self._reschedule_flow_events()
+
+        self._schedule(self.now + latency, activate)
+
+    def _reschedule_flow_events(self) -> None:
+        """(Re)arm the timer for the earliest finishing network flow."""
+        nxt = self.network.next_completion()
+        if nxt is None:
+            return
+        finish, flow = nxt
+        version = flow.version
+        key = flow.flow_id
+
+        def fire(f: Flow = flow, v: int = version) -> None:
+            if not f.active or f.version != v:
+                # Rates changed since this event was armed; a fresher event
+                # exists (armed by whichever change bumped the version).
+                return
+            if f.on_complete is not None:
+                f.on_complete()
+            self._reschedule_flow_events()
+
+        self._flow_events_scheduled[key] = version
+        self._schedule(max(finish, self.now), fire)
+
+    def _match(self, proc: _Proc, source: Any, tag: Any) -> Message | None:
+        for i, msg in enumerate(proc.mailbox):
+            if source is not ANY and msg.source != source:
+                continue
+            if tag is not ANY and msg.tag != tag:
+                continue
+            return proc.mailbox.pop(i)
+        return None

@@ -1,0 +1,141 @@
+"""Simulated machines.
+
+A :class:`Host` models one grid node with two resources the paper's
+experiments depend on:
+
+* a **compute rate** in flop/s -- heterogeneity (cluster2/cluster3 mix
+  Pentium IV 1.7 GHz and 2.6 GHz machines) is expressed as different
+  rates;
+* a **memory capacity** in bytes -- the paper's Table 3 reports "nem"
+  (not enough memory) for distributed SuperLU on cage12 and a sequential
+  SuperLU failure on cage11 with 1 GB; the simulator reproduces those
+  outcomes through explicit allocation tracking.
+
+Hosts also accumulate busy-time statistics used by the trace reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Host", "OutOfSimMemory"]
+
+
+class OutOfSimMemory(MemoryError):
+    """Simulated allocation failure (the paper's "nem" outcome)."""
+
+    def __init__(self, host: "Host", requested: int):
+        self.host = host
+        self.requested = requested
+        super().__init__(
+            f"host {host.name!r}: requested {requested} B, "
+            f"free {host.memory_free} B of {host.memory_bytes} B"
+        )
+
+
+@dataclass
+class Host:
+    """One simulated machine.
+
+    Attributes
+    ----------
+    name:
+        Unique host name, e.g. ``"c1-n04"``.
+    site:
+        Site (cluster) identifier; messages between different sites cross
+        the WAN link.
+    speed:
+        Effective compute rate in flop/s.  This is an *effective* sparse-
+        kernel rate, not a peak rate (a 2.6 GHz Pentium IV sustains far
+        below peak on irregular sparse kernels).
+    memory_bytes:
+        RAM capacity for simulated allocations.
+    """
+
+    name: str
+    site: str
+    speed: float
+    memory_bytes: int
+    memory_used: int = field(default=0, repr=False)
+    busy_time: float = field(default=0.0, repr=False)
+    bytes_sent: int = field(default=0, repr=False)
+    messages_sent: int = field(default=0, repr=False)
+    #: background-load windows: (start, stop, capacity factor in (0, 1]).
+    load_windows: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+
+    def add_load(self, start: float, stop: float, factor: float) -> None:
+        """Declare a background-load window.
+
+        During ``[start, stop)`` only ``factor`` of the host's compute
+        rate is available to the solver -- the machine-level analog of the
+        paper's network perturbations ("it is strongly probable that other
+        tasks were also running simultaneously (ftp, machine update,
+        mail, ...)").  Windows may overlap; factors multiply.
+        """
+        if stop <= start:
+            raise ValueError("stop must exceed start")
+        if not (0.0 < factor <= 1.0):
+            raise ValueError("factor must lie in (0, 1]")
+        self.load_windows.append((float(start), float(stop), float(factor)))
+
+    def _rate_at(self, t: float) -> float:
+        rate = self.speed
+        for start, stop, factor in self.load_windows:
+            if start <= t < stop:
+                rate *= factor
+        return rate
+
+    def compute_finish(self, now: float, flops: float) -> float:
+        """Return the completion time of ``flops`` started at ``now``.
+
+        Integrates the piecewise-constant available rate across load
+        windows; without windows this is ``now + flops / speed``.
+        """
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        if not self.load_windows:
+            return now + flops / self.speed
+        remaining = float(flops)
+        t = now
+        boundaries = sorted(
+            {edge for (s, e, _) in self.load_windows for edge in (s, e) if edge > now}
+        )
+        for edge in boundaries:
+            rate = self._rate_at(t)
+            span = edge - t
+            if remaining <= rate * span:
+                return t + remaining / rate
+            remaining -= rate * span
+            t = edge
+        return t + remaining / self._rate_at(t)
+
+    @property
+    def memory_free(self) -> int:
+        """Remaining allocatable bytes."""
+        return self.memory_bytes - self.memory_used
+
+    def allocate(self, nbytes: int) -> None:
+        """Reserve ``nbytes``; raises :class:`OutOfSimMemory` on exhaustion."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.memory_used + nbytes > self.memory_bytes:
+            raise OutOfSimMemory(self, nbytes)
+        self.memory_used += nbytes
+
+    def free(self, nbytes: int) -> None:
+        """Release ``nbytes`` (clamped at zero to be forgiving in teardown)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.memory_used = max(0, self.memory_used - nbytes)
+
+    def compute_time(self, flops: float) -> float:
+        """Return the wall time this host needs for ``flops`` operations."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / self.speed

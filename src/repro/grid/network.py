@@ -1,0 +1,207 @@
+"""Flow-level network model with latency and fair bandwidth sharing.
+
+Each message is a *flow* with a byte count and a route (a sequence of
+:class:`Link` resources).  The instantaneous rate of a flow is
+
+``rate(f) = min over links l on f's route of  capacity(l) / n_active(l)``
+
+-- the classical equal-share bottleneck model (the basic TCP model of
+flow-level grid simulators such as SimGrid).  Whenever the set of active
+flows changes, remaining byte counts are advanced and all rates are
+recomputed; completion events carry a version stamp so stale ones are
+ignored.
+
+Latency is charged once per message before the flow becomes active.
+
+The model is what lets the repository reproduce the paper's third
+experiment: *perturbing flows* (:meth:`Network.add_perturbation`) occupy
+shares of the inter-site link exactly like the artificial background
+transfers the authors injected between their two sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+__all__ = ["Link", "Flow", "Network", "Route"]
+
+
+@dataclass
+class Link:
+    """A shared network resource.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier (e.g. ``"lan:site1"`` or ``"wan:site1-site2"``).
+    bandwidth:
+        Capacity in bytes/second.
+    latency:
+        One-way latency contribution in seconds.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+    active_flows: int = field(default=0, repr=False)
+    bytes_carried: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+
+Route = tuple[Link, ...]
+
+
+@dataclass
+class Flow:
+    """One in-flight transfer."""
+
+    flow_id: int
+    route: Route
+    remaining: float  # bytes; may be inf for perturbation flows
+    on_complete: Callable[[], None] | None
+    rate: float = 0.0
+    last_update: float = 0.0
+    version: int = 0
+    active: bool = False
+
+
+class Network:
+    """The set of links plus the active-flow bookkeeping.
+
+    The network does not own an event loop; the engine drives it through
+    :meth:`start_flow`, :meth:`advance_to` and :meth:`next_completion`.
+    """
+
+    def __init__(self, links: Iterable[Link] = ()):  # links registered lazily too
+        self._links: dict[str, Link] = {}
+        for link in links:
+            self.add_link(link)
+        self._flows: dict[int, Flow] = {}
+        self._next_id = 0
+
+    # -- topology ----------------------------------------------------
+    def add_link(self, link: Link) -> Link:
+        """Register a link; rejects duplicate names."""
+        if link.name in self._links:
+            raise ValueError(f"duplicate link name {link.name!r}")
+        self._links[link.name] = link
+        return link
+
+    def link(self, name: str) -> Link:
+        """Look up a link by name."""
+        return self._links[name]
+
+    @property
+    def links(self) -> list[Link]:
+        """All registered links."""
+        return list(self._links.values())
+
+    # -- flows ---------------------------------------------------------
+    def route_latency(self, route: Route) -> float:
+        """Total one-way latency along a route."""
+        return sum(l.latency for l in route)
+
+    def start_flow(
+        self,
+        route: Route,
+        nbytes: float,
+        now: float,
+        on_complete: Callable[[], None] | None,
+    ) -> Flow:
+        """Activate a flow of ``nbytes`` at simulated time ``now``.
+
+        The caller is responsible for having already charged the route
+        latency.  Rates of all flows are rebalanced.
+        """
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        if not route:
+            raise ValueError("route must contain at least one link")
+        self._advance_all(now)
+        flow = Flow(
+            flow_id=self._next_id,
+            route=tuple(route),
+            remaining=float(nbytes),
+            on_complete=on_complete,
+            last_update=now,
+            active=True,
+        )
+        self._next_id += 1
+        self._flows[flow.flow_id] = flow
+        for link in flow.route:
+            link.active_flows += 1
+        self._rebalance()
+        return flow
+
+    def add_perturbation(self, route: Route, now: float = 0.0) -> Flow:
+        """Start a never-ending background flow (a paper 'perturbing task')."""
+        self._advance_all(now)
+        flow = Flow(
+            flow_id=self._next_id,
+            route=tuple(route),
+            remaining=float("inf"),
+            on_complete=None,
+            last_update=now,
+            active=True,
+        )
+        self._next_id += 1
+        self._flows[flow.flow_id] = flow
+        for link in flow.route:
+            link.active_flows += 1
+        self._rebalance()
+        return flow
+
+    def remove_flow(self, flow: Flow, now: float) -> None:
+        """Deactivate a flow (completion or cancellation)."""
+        if not flow.active:
+            return
+        self._advance_all(now)
+        flow.active = False
+        del self._flows[flow.flow_id]
+        for link in flow.route:
+            link.active_flows -= 1
+        self._rebalance()
+
+    def next_completion(self) -> tuple[float, Flow] | None:
+        """Return ``(finish_time, flow)`` for the earliest finishing flow.
+
+        ``None`` when no finite flow is active.  Finish times are computed
+        from current rates; the engine must re-query after any change.
+        """
+        best: tuple[float, Flow] | None = None
+        for flow in self._flows.values():
+            if flow.remaining == float("inf"):
+                continue
+            if flow.rate <= 0:
+                continue
+            t = flow.last_update + flow.remaining / flow.rate
+            if best is None or t < best[0]:
+                best = (t, flow)
+        return best
+
+    # -- internals -----------------------------------------------------
+    def _advance_all(self, now: float) -> None:
+        for flow in self._flows.values():
+            dt = now - flow.last_update
+            if dt > 0 and flow.rate > 0 and flow.remaining != float("inf"):
+                moved = min(flow.remaining, flow.rate * dt)
+                flow.remaining -= moved
+                for link in flow.route:
+                    link.bytes_carried += moved
+            elif dt > 0 and flow.remaining == float("inf") and flow.rate > 0:
+                for link in flow.route:
+                    link.bytes_carried += flow.rate * dt
+            flow.last_update = now
+
+    def _rebalance(self) -> None:
+        for flow in self._flows.values():
+            flow.rate = min(
+                link.bandwidth / link.active_flows for link in flow.route
+            )
+            flow.version += 1

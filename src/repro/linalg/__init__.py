@@ -1,0 +1,59 @@
+"""Shared small linear-algebra utilities.
+
+This package collects numerical helpers used across the repository:
+
+* :mod:`repro.linalg.norms` -- vector/residual norms and error measures.
+* :mod:`repro.linalg.spectral` -- spectral-radius estimation (dense
+  eigenvalues for small systems, power iteration for large ones) including
+  the radius of ``|C|`` needed by the asynchronous convergence condition.
+* :mod:`repro.linalg.sparse` -- structural helpers on ``scipy.sparse``
+  matrices: band extraction, block slicing, format normalisation.
+
+Everything here is deliberately dependency-light: only :mod:`numpy` and
+:mod:`scipy.sparse` are used, so the core solver packages can import these
+helpers without cycles.
+"""
+
+from repro.linalg.norms import (
+    max_norm,
+    relative_residual,
+    residual,
+    residual_norm,
+    weighted_max_norm,
+)
+from repro.linalg.sparse import (
+    as_csc,
+    as_csr,
+    column_block,
+    extract_block,
+    is_square,
+    lower_bandwidth,
+    row_block,
+    sparse_equal,
+    upper_bandwidth,
+)
+from repro.linalg.spectral import (
+    absolute_spectral_radius,
+    power_iteration_radius,
+    spectral_radius,
+)
+
+__all__ = [
+    "absolute_spectral_radius",
+    "as_csc",
+    "as_csr",
+    "column_block",
+    "extract_block",
+    "is_square",
+    "lower_bandwidth",
+    "max_norm",
+    "power_iteration_radius",
+    "relative_residual",
+    "residual",
+    "residual_norm",
+    "row_block",
+    "sparse_equal",
+    "spectral_radius",
+    "upper_bandwidth",
+    "weighted_max_norm",
+]

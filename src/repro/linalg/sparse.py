@@ -1,0 +1,123 @@
+"""Structural helpers on sparse matrices.
+
+The band decomposition of Figure 1 in the paper needs fast extraction of
+``ASub`` (the diagonal block of a band), ``DepLeft`` and ``DepRight`` (the
+couplings to components owned by other processors).  These helpers keep all
+of that slicing in one audited place and normalise between CSR/CSC formats
+so each kernel receives its preferred layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "as_csr",
+    "as_csc",
+    "is_square",
+    "row_block",
+    "column_block",
+    "extract_block",
+    "lower_bandwidth",
+    "upper_bandwidth",
+    "sparse_equal",
+]
+
+
+def as_csr(A) -> sp.csr_matrix:
+    """Return ``A`` as CSR without copying when already CSR.
+
+    Accepts dense arrays, any scipy sparse format, or CSR itself.
+    """
+    if sp.issparse(A):
+        return A.tocsr()
+    return sp.csr_matrix(np.asarray(A, dtype=float))
+
+
+def as_csc(A) -> sp.csc_matrix:
+    """Return ``A`` as CSC without copying when already CSC."""
+    if sp.issparse(A):
+        return A.tocsc()
+    return sp.csc_matrix(np.asarray(A, dtype=float))
+
+
+def is_square(A) -> bool:
+    """Return ``True`` when ``A`` is two-dimensional and square."""
+    return A.ndim == 2 and A.shape[0] == A.shape[1]
+
+
+def row_block(A, start: int, stop: int) -> sp.csr_matrix:
+    """Return rows ``start:stop`` of ``A`` as CSR (the paper's band matrix).
+
+    This is the horizontal band a processor is responsible for:
+    ``DepLeft + ASub + DepRight`` in Algorithm 1.
+    """
+    return as_csr(A)[start:stop, :]
+
+
+def column_block(A, start: int, stop: int) -> sp.csc_matrix:
+    """Return columns ``start:stop`` of ``A`` as CSC."""
+    return as_csc(A)[:, start:stop]
+
+
+def extract_block(A, rows, cols) -> sp.csr_matrix:
+    """Return the submatrix ``A[rows, cols]`` for index arrays/slices.
+
+    Used to build ``ASub`` for non-contiguous index sets ``J_l``
+    (Remark 2: a processor may own several non-adjacent bands; permutation
+    matrices reduce that case to Figure 1, and this helper is the
+    computational equivalent of applying the permutation).
+    """
+    csr = as_csr(A)
+    rows = _as_index(rows, csr.shape[0])
+    cols = _as_index(cols, csr.shape[1])
+    return csr[rows, :][:, cols].tocsr()
+
+
+def _as_index(idx, n: int) -> np.ndarray:
+    if isinstance(idx, slice):
+        return np.arange(*idx.indices(n))
+    out = np.asarray(idx, dtype=np.int64)
+    if out.ndim != 1:
+        raise ValueError("index sets must be one-dimensional")
+    if out.size and (out.min() < 0 or out.max() >= n):
+        raise IndexError(f"index out of range for dimension {n}")
+    return out
+
+
+def lower_bandwidth(A) -> int:
+    """Return ``max(i - j)`` over stored non-zeros (0 for diagonal/upper)."""
+    coo = as_csr(A).tocoo()
+    if coo.nnz == 0:
+        return 0
+    mask = coo.data != 0
+    if not mask.any():
+        return 0
+    return int(max(0, np.max(coo.row[mask] - coo.col[mask])))
+
+
+def upper_bandwidth(A) -> int:
+    """Return ``max(j - i)`` over stored non-zeros (0 for diagonal/lower)."""
+    coo = as_csr(A).tocoo()
+    if coo.nnz == 0:
+        return 0
+    mask = coo.data != 0
+    if not mask.any():
+        return 0
+    return int(max(0, np.max(coo.col[mask] - coo.row[mask])))
+
+
+def sparse_equal(A, B, *, atol: float = 0.0) -> bool:
+    """Return ``True`` when two (sparse or dense) matrices agree entrywise.
+
+    With the default ``atol=0`` the comparison is exact, which is what
+    structural tests want; a tolerance can be passed for numerical
+    comparisons.
+    """
+    if A.shape != B.shape:
+        return False
+    diff = as_csr(A) - as_csr(B)
+    if diff.nnz == 0:
+        return True
+    return bool(np.max(np.abs(diff.data)) <= atol)

@@ -1,0 +1,80 @@
+"""Workload matrices: generators, analogs of the paper's inputs, IO, checks.
+
+Public surface:
+
+* :mod:`repro.matrices.generators` -- diagonally dominant generator (the
+  paper's own tool), PDE discretisations, structural generators.
+* :mod:`repro.matrices.cage` -- cage10/11/12 analogs (DNA electrophoresis).
+* :mod:`repro.matrices.hb` -- Harwell-Boeing ``.rua`` reader/writer.
+* :mod:`repro.matrices.properties` -- Section 5 class predicates
+  (diagonal dominance, Z/M-matrix, irreducibility).
+* :mod:`repro.matrices.collection` -- the named five-workload registry used
+  by the experiment harness.
+"""
+
+from repro.matrices.cage import CAGE_SPECS, CageSpec, cage_analog, cage_like
+from repro.matrices.collection import (
+    WORKLOADS,
+    WorkloadEntry,
+    load_workload,
+    workload_names,
+)
+from repro.matrices.generators import (
+    advection_diffusion_2d,
+    banded_random,
+    diagonally_dominant,
+    poisson_1d,
+    poisson_2d,
+    poisson_3d,
+    random_sparse,
+    rhs_for_solution,
+    tridiagonal,
+)
+from repro.matrices.hb import HBFormatError, read_rua, write_rua
+from repro.matrices.mm import MMFormatError, read_mm, write_mm
+from repro.matrices.properties import (
+    diagonal_dominance_margin,
+    is_irreducible,
+    is_irreducibly_diagonally_dominant,
+    is_m_matrix,
+    is_strictly_diagonally_dominant,
+    is_weakly_diagonally_dominant,
+    is_z_matrix,
+    jacobi_matrix,
+    jacobi_spectral_radius,
+)
+
+__all__ = [
+    "CAGE_SPECS",
+    "CageSpec",
+    "HBFormatError",
+    "MMFormatError",
+    "WORKLOADS",
+    "WorkloadEntry",
+    "advection_diffusion_2d",
+    "banded_random",
+    "cage_analog",
+    "cage_like",
+    "diagonal_dominance_margin",
+    "diagonally_dominant",
+    "is_irreducible",
+    "is_irreducibly_diagonally_dominant",
+    "is_m_matrix",
+    "is_strictly_diagonally_dominant",
+    "is_weakly_diagonally_dominant",
+    "is_z_matrix",
+    "jacobi_matrix",
+    "jacobi_spectral_radius",
+    "load_workload",
+    "poisson_1d",
+    "poisson_2d",
+    "poisson_3d",
+    "random_sparse",
+    "read_mm",
+    "read_rua",
+    "rhs_for_solution",
+    "tridiagonal",
+    "workload_names",
+    "write_mm",
+    "write_rua",
+]

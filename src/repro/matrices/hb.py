@@ -1,0 +1,171 @@
+"""Harwell-Boeing ``.rua`` reader/writer.
+
+The paper's cage matrices ship as Harwell-Boeing files (``cage10.rua`` --
+"rua" = Real Unsymmetric Assembled).  This module implements the format
+from scratch so genuine UF-collection files can be dropped into the
+benchmark harness in place of the generated analogs, and so generated
+workloads can be exported for use with other solvers.
+
+Only the assembled real formats (``RUA``, ``RSA`` pattern-expanded on read)
+are supported, which covers the files the paper uses.  The implementation
+follows the format definition of Duff, Grimes & Lewis, "Sparse matrix test
+problems" (ACM TOMS 15, 1989): a 4-5 line header with card counts and
+Fortran formats, followed by column pointers, row indices and values in
+fixed-width fields (1-based indices, column-major / CSC layout).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["read_rua", "write_rua", "HBFormatError"]
+
+
+class HBFormatError(ValueError):
+    """Raised when a file does not parse as assembled Harwell-Boeing."""
+
+
+_FMT_RE = re.compile(
+    r"\(?\s*(?P<repeat>\d+)?\s*(?P<kind>[IFED])\s*(?P<width>\d+)(?:\.(?P<frac>\d+))?\s*\)?",
+    re.IGNORECASE,
+)
+
+
+def _parse_fortran_format(fmt: str) -> tuple[int, int]:
+    """Return ``(per_line, width)`` from a Fortran format like ``(13I6)``."""
+    m = _FMT_RE.search(fmt)
+    if not m:
+        raise HBFormatError(f"unsupported Fortran format: {fmt!r}")
+    repeat = int(m.group("repeat") or 1)
+    width = int(m.group("width"))
+    return repeat, width
+
+
+def _read_fixed(stream: TextIO, count: int, per_line: int, width: int, conv):
+    """Read ``count`` fixed-width fields spread over full lines."""
+    out = np.empty(count, dtype=object)
+    filled = 0
+    while filled < count:
+        line = stream.readline()
+        if line == "":
+            raise HBFormatError("unexpected end of file in data section")
+        line = line.rstrip("\n")
+        take = min(per_line, count - filled)
+        for k in range(take):
+            field = line[k * width : (k + 1) * width]
+            if field.strip() == "":
+                raise HBFormatError("short data line in fixed-width section")
+            out[filled] = conv(field)
+            filled += 1
+    return out
+
+
+def read_rua(path: str | Path) -> sp.csc_matrix:
+    """Read an assembled real Harwell-Boeing file into CSC.
+
+    Symmetric files (``RSA``) are expanded to full storage so downstream
+    code never needs to special-case them.
+
+    Raises
+    ------
+    HBFormatError
+        On malformed headers, unsupported types (complex/pattern/elemental)
+        or truncated data sections.
+    """
+    path = Path(path)
+    with path.open("r") as f:
+        _title_line = f.readline()
+        counts_line = f.readline()
+        if counts_line == "":
+            raise HBFormatError("missing header card 2")
+        try:
+            totcrd = int(counts_line[0:14])
+            ptrcrd = int(counts_line[14:28])
+            indcrd = int(counts_line[28:42])
+            valcrd = int(counts_line[42:56])
+            rhscrd_s = counts_line[56:70].strip()
+            rhscrd = int(rhscrd_s) if rhscrd_s else 0
+        except ValueError as exc:
+            raise HBFormatError(f"bad card counts: {counts_line!r}") from exc
+        del totcrd, ptrcrd, indcrd
+        type_line = f.readline()
+        if type_line == "":
+            raise HBFormatError("missing header card 3")
+        mxtype = type_line[0:3].upper()
+        if mxtype[0] not in "RP" or mxtype[2] != "A":
+            raise HBFormatError(f"unsupported matrix type {mxtype!r}")
+        nrow = int(type_line[14:28])
+        ncol = int(type_line[28:42])
+        nnz = int(type_line[42:56])
+        fmt_line = f.readline()
+        if fmt_line == "":
+            raise HBFormatError("missing header card 4")
+        ptrfmt = fmt_line[0:16]
+        indfmt = fmt_line[16:32]
+        valfmt = fmt_line[32:52]
+        if rhscrd > 0:
+            f.readline()  # card 5 (RHS descriptor) -- RHS data is skipped.
+
+        p_per, p_w = _parse_fortran_format(ptrfmt)
+        i_per, i_w = _parse_fortran_format(indfmt)
+        ptr = _read_fixed(f, ncol + 1, p_per, p_w, lambda s: int(s)).astype(np.int64)
+        ind = _read_fixed(f, nnz, i_per, i_w, lambda s: int(s)).astype(np.int64)
+        if mxtype[0] == "P":
+            data = np.ones(nnz)
+        else:
+            v_per, v_w = _parse_fortran_format(valfmt)
+            data = _read_fixed(
+                f, nnz, v_per, v_w, lambda s: float(s.replace("D", "E").replace("d", "e"))
+            ).astype(float)
+
+    indptr = ptr - 1
+    indices = ind - 1
+    if indptr[0] != 0 or indptr[-1] != nnz:
+        raise HBFormatError("inconsistent column pointers")
+    A = sp.csc_matrix((data, indices, indptr), shape=(nrow, ncol))
+    if mxtype[1] == "S":
+        # Expand symmetric storage (lower triangle stored) to full.
+        full = A + A.T - sp.diags(A.diagonal())
+        return full.tocsc()
+    return A
+
+
+def write_rua(path: str | Path, A, *, title: str = "repro export", key: str = "REPRO") -> None:
+    """Write a real unsymmetric assembled ``.rua`` file.
+
+    The output uses ``(10I8)`` pointer/index formats and ``(4E20.12)``
+    values, which round-trips float64 safely and is accepted by standard
+    Harwell-Boeing readers.
+    """
+    csc = A.tocsc() if sp.issparse(A) else sp.csc_matrix(np.asarray(A, dtype=float))
+    nrow, ncol = csc.shape
+    nnz = csc.nnz
+    ptr = csc.indptr + 1
+    ind = csc.indices + 1
+    val = csc.data
+
+    def lines(values, per, fmt_one) -> list[str]:
+        out = []
+        for start in range(0, len(values), per):
+            out.append("".join(fmt_one(v) for v in values[start : start + per]))
+        return out or [""]
+
+    ptr_lines = lines(ptr, 10, lambda v: f"{int(v):8d}")
+    ind_lines = lines(ind, 10, lambda v: f"{int(v):8d}")
+    val_lines = lines(val, 4, lambda v: f"{float(v):20.12E}")
+    ptrcrd, indcrd, valcrd = len(ptr_lines), len(ind_lines), len(val_lines)
+    totcrd = ptrcrd + indcrd + valcrd
+
+    with Path(path).open("w") as f:
+        f.write(f"{title[:72]:<72}{key[:8]:<8}\n")
+        f.write(f"{totcrd:14d}{ptrcrd:14d}{indcrd:14d}{valcrd:14d}{0:14d}\n")
+        f.write(f"{'RUA':<3}{'':11}{nrow:14d}{ncol:14d}{nnz:14d}{0:14d}\n")
+        f.write(f"{'(10I8)':<16}{'(10I8)':<16}{'(4E20.12)':<20}{'':<20}\n")
+        for block in (ptr_lines, ind_lines, val_lines):
+            for line in block:
+                f.write(line + "\n")

@@ -1,0 +1,181 @@
+"""Tests for band and general partitions (repro.core.partition)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BandPartition, GeneralPartition, proportional_bands, uniform_bands
+from repro.matrices import poisson_1d, diagonally_dominant
+
+
+class TestUniformBands:
+    def test_exact_cover(self):
+        p = uniform_bands(10, 3)
+        assert p.bounds == ((0, 3), (3, 7), (7, 10))
+
+    def test_single_processor(self):
+        p = uniform_bands(5, 1)
+        assert p.bounds == ((0, 5),)
+
+    def test_more_procs_than_rows_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_bands(3, 5)
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_bands(5, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 200), st.integers(1, 16))
+    def test_property_cover_and_sizes(self, n, L):
+        if L > n:
+            with pytest.raises(ValueError):
+                uniform_bands(n, L)
+            return
+        p = uniform_bands(n, L)
+        covered = np.concatenate([p.core_indices(l) for l in range(L)])
+        np.testing.assert_array_equal(np.sort(covered), np.arange(n))
+        sizes = [p.core_range(l)[1] - p.core_range(l)[0] for l in range(L)]
+        assert max(sizes) - min(sizes) <= 1  # near-equal
+
+
+class TestOverlap:
+    def test_extended_ranges_clip_at_borders(self):
+        p = uniform_bands(10, 2, overlap=3)
+        assert p.extended_range(0) == (0, 8)
+        assert p.extended_range(1) == (2, 10)
+
+    def test_zero_overlap_extended_equals_core(self):
+        p = uniform_bands(12, 3, overlap=0)
+        for l in range(3):
+            assert p.extended_range(l) == p.core_range(l)
+
+    def test_with_overlap_copy(self):
+        p = uniform_bands(10, 2)
+        q = p.with_overlap(2)
+        assert q.overlap == 2 and p.overlap == 0
+        assert q.bounds == p.bounds
+
+    def test_negative_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_bands(10, 2, overlap=-1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 80), st.integers(2, 6), st.integers(0, 10))
+    def test_property_core_within_extended(self, n, L, overlap):
+        if L > n:
+            return
+        p = uniform_bands(n, L, overlap=overlap)
+        g = p.to_general()
+        for l in range(L):
+            assert np.isin(g.core[l], g.sets[l]).all()
+
+
+class TestProportionalBands:
+    def test_faster_hosts_get_larger_bands(self):
+        p = proportional_bands(100, [1e6, 3e6])
+        sizes = [b[1] - b[0] for b in p.bounds]
+        assert sizes[1] > sizes[0]
+        assert sum(sizes) == 100
+
+    def test_equal_speeds_equal_bands(self):
+        p = proportional_bands(90, [2e6, 2e6, 2e6])
+        sizes = {b[1] - b[0] for b in p.bounds}
+        assert sizes == {30}
+
+    def test_every_band_nonempty_with_extreme_ratio(self):
+        p = proportional_bands(10, [1.0, 1000.0, 1.0])
+        assert all(b[1] - b[0] >= 1 for b in p.bounds)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            proportional_bands(10, [])
+        with pytest.raises(ValueError):
+            proportional_bands(10, [1.0, -1.0])
+        with pytest.raises(ValueError):
+            proportional_bands(2, [1.0, 1.0, 1.0])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(5, 100), st.integers(1, 5), st.integers(0, 100))
+    def test_property_exact_cover(self, n, L, seed):
+        if L > n:
+            return
+        rng = np.random.default_rng(seed)
+        speeds = rng.uniform(0.5, 3.0, size=L).tolist()
+        p = proportional_bands(n, speeds)
+        assert p.bounds[0][0] == 0
+        assert p.bounds[-1][1] == n
+
+
+class TestGeneralPartition:
+    def test_band_lowering_valid(self):
+        g = uniform_bands(20, 4, overlap=2).to_general()
+        assert g.nprocs == 4
+        assert g.multiplicity().max() == 2  # pairwise overlaps only
+
+    def test_owner_map(self):
+        g = uniform_bands(9, 3).to_general()
+        owner = g.owner_of()
+        np.testing.assert_array_equal(owner, [0, 0, 0, 1, 1, 1, 2, 2, 2])
+
+    def test_non_contiguous_sets_allowed(self):
+        # Remark 2: a processor may own non-adjacent parts.
+        sets = (np.array([0, 2, 4]), np.array([1, 3, 5]))
+        g = GeneralPartition(n=6, sets=sets, core=sets)
+        assert g.nprocs == 2
+
+    def test_core_must_partition(self):
+        with pytest.raises(ValueError):
+            GeneralPartition(
+                n=4,
+                sets=(np.array([0, 1]), np.array([2, 3])),
+                core=(np.array([0, 1]), np.array([1, 2])),  # not disjoint cover
+            )
+
+    def test_core_subset_of_set(self):
+        with pytest.raises(ValueError):
+            GeneralPartition(
+                n=4,
+                sets=(np.array([0, 1]), np.array([2, 3])),
+                core=(np.array([0, 2]), np.array([1, 3])),
+            )
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralPartition(
+                n=2, sets=(np.array([], dtype=int), np.array([0, 1])),
+                core=(np.array([], dtype=int), np.array([0, 1])),
+            )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralPartition(
+                n=2, sets=(np.array([0, 5]),), core=(np.array([0, 1]),)
+            )
+
+
+class TestDependencies:
+    def test_tridiagonal_chain(self):
+        A = poisson_1d(12)
+        g = uniform_bands(12, 3).to_general()
+        deps = g.dependencies(A)
+        assert deps == [[1], [0, 2], [1]]
+        dependents = g.dependents(A)
+        assert dependents == [[1], [0, 2], [1]]
+
+    def test_wide_band_reaches_farther(self):
+        A = diagonally_dominant(30, bandwidth=12, density_per_row=8, seed=1)
+        g = uniform_bands(30, 5).to_general()
+        deps = g.dependencies(A)
+        # middle processor sees at least both adjacent bands
+        assert set(deps[2]) >= {1, 3}
+
+    def test_dependents_transpose_of_dependencies(self):
+        A = diagonally_dominant(40, bandwidth=6, seed=2)
+        g = uniform_bands(40, 4).to_general()
+        deps = g.dependencies(A)
+        dependents = g.dependents(A)
+        for l, ds in enumerate(deps):
+            for k in ds:
+                assert l in dependents[k]

@@ -1,0 +1,142 @@
+"""Tests for stopping criteria, preconditioning hooks and Newton extension."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    MultisplittingSolver,
+    StoppingCriterion,
+    jacobi_preconditioner,
+    newton_multisplitting,
+    row_equilibrate,
+)
+from repro.matrices import (
+    diagonally_dominant,
+    is_strictly_diagonally_dominant,
+    poisson_1d,
+    rhs_for_solution,
+)
+
+
+class TestStoppingCriterion:
+    def test_streak_semantics(self):
+        c = StoppingCriterion(tolerance=1e-3, consecutive=2)
+        s = c.new_state()
+        assert not s.observe(1e-4)
+        assert s.observe(1e-4)
+        assert s.converged
+
+    def test_streak_reset_on_bad_value(self):
+        c = StoppingCriterion(tolerance=1e-3, consecutive=2)
+        s = c.new_state()
+        s.observe(1e-4)
+        assert not s.observe(1.0)
+        assert s.streak == 0
+
+    def test_observe_diff(self):
+        s = StoppingCriterion(tolerance=0.5).new_state()
+        assert s.observe_diff(np.array([1.0, 2.0]), np.array([1.2, 2.1]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StoppingCriterion(tolerance=0.0)
+        with pytest.raises(ValueError):
+            StoppingCriterion(metric="energy")
+        with pytest.raises(ValueError):
+            StoppingCriterion(consecutive=0)
+        with pytest.raises(ValueError):
+            StoppingCriterion(max_iterations=0)
+
+
+class TestPreconditioning:
+    def test_jacobi_scaling_preserves_solution(self):
+        A = diagonally_dominant(60, seed=3)
+        b, x_true = rhs_for_solution(A, seed=4)
+        A2, b2, recover = jacobi_preconditioner(A, b)
+        s = MultisplittingSolver(3, mode="sequential")
+        r = s.solve(A2, b2)
+        np.testing.assert_allclose(recover(r.x), x_true, atol=1e-6)
+
+    def test_jacobi_unit_diagonal(self):
+        A = diagonally_dominant(30, seed=5)
+        A2, _, _ = jacobi_preconditioner(A, np.ones(30))
+        np.testing.assert_allclose(A2.diagonal(), 1.0)
+
+    def test_jacobi_rejects_zero_diagonal(self):
+        A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(ZeroDivisionError):
+            jacobi_preconditioner(A, np.ones(2))
+
+    def test_row_equilibrate_preserves_solution_and_dominance(self):
+        A = diagonally_dominant(50, seed=6)
+        b, x_true = rhs_for_solution(A, seed=7)
+        A2, b2, recover = row_equilibrate(A, b)
+        assert is_strictly_diagonally_dominant(A2)
+        s = MultisplittingSolver(2, mode="sequential")
+        np.testing.assert_allclose(recover(s.solve(A2, b2).x), x_true, atol=1e-6)
+
+    def test_equilibrate_rejects_empty_row(self):
+        A = sp.csr_matrix((2, 2))
+        with pytest.raises(ZeroDivisionError):
+            row_equilibrate(A, np.zeros(2))
+
+    def test_scaling_helps_badly_scaled_system(self):
+        """Rows of wildly different magnitude: equilibration evens them out."""
+        base = poisson_1d(40).toarray()
+        scale = np.logspace(0, 8, 40)
+        A = sp.csr_matrix(scale[:, None] * base)
+        b = A @ np.ones(40)
+        A2, b2, _ = row_equilibrate(A, b)
+        rownorms = np.asarray(np.abs(A2).sum(axis=1)).ravel()
+        assert rownorms.max() / rownorms.min() < 1.0 + 1e-9
+
+
+class TestNewtonMultisplitting:
+    def _nonlinear_problem(self, n=40):
+        """Discretised u'' = u^3 + f with manufactured solution."""
+        L = poisson_1d(n)
+        u_star = np.sin(np.linspace(0, np.pi, n))
+        f = L @ u_star + u_star**3
+
+        def F(u):
+            return L @ u + u**3 - f
+
+        def J(u):
+            return L + sp.diags(3.0 * u**2)
+
+        return F, J, u_star
+
+    def test_converges_to_manufactured_solution(self):
+        F, J, u_star = self._nonlinear_problem()
+        res = newton_multisplitting(F, J, np.zeros(40), processors=4)
+        assert res.converged
+        np.testing.assert_allclose(res.x, u_star, atol=1e-6)
+
+    def test_quadratic_tail(self):
+        F, J, _ = self._nonlinear_problem()
+        res = newton_multisplitting(F, J, np.zeros(40), processors=2)
+        h = res.residual_history
+        assert h[-1] < 1e-8
+        assert len(h) < 12  # Newton converges in a handful of steps
+
+    def test_inner_iterations_accumulated(self):
+        F, J, _ = self._nonlinear_problem()
+        res = newton_multisplitting(F, J, np.zeros(40), processors=4)
+        assert res.inner_iterations > res.newton_iterations
+
+    def test_overlap_supported(self):
+        F, J, u_star = self._nonlinear_problem()
+        res = newton_multisplitting(F, J, np.zeros(40), processors=4, overlap=4)
+        assert res.converged
+        np.testing.assert_allclose(res.x, u_star, atol=1e-6)
+
+    def test_nonconvergence_reported(self):
+        def F(x):
+            return x**2 + 1.0  # no real root
+
+        def J(x):
+            return np.diag(2.0 * x + 1e-3)
+
+        res = newton_multisplitting(F, J, np.ones(4), processors=2, max_newton=5)
+        assert not res.converged

@@ -1,0 +1,243 @@
+"""Tests for the in-process iteration, the chaotic variant, and the theory module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    StoppingCriterion,
+    chaotic_iterate,
+    check_theorem1,
+    extended_operator,
+    iteration_matrix,
+    make_weighting,
+    multisplitting_iterate,
+    proposition1_applies,
+    proposition2_applies,
+    proposition3_applies,
+    splitting_matrices,
+    uniform_bands,
+)
+from repro.direct import get_solver
+from repro.linalg import spectral_radius
+from repro.matrices import (
+    advection_diffusion_2d,
+    diagonally_dominant,
+    poisson_1d,
+    poisson_2d,
+    rhs_for_solution,
+)
+
+DENSE = get_solver("dense")
+SCIPY = get_solver("scipy")
+
+
+def setup(n=60, L=3, dominance=1.5, overlap=0, weighting="ownership", seed=1):
+    A = diagonally_dominant(n, dominance=dominance, bandwidth=max(4, n // 10), seed=seed)
+    b, x_true = rhs_for_solution(A, seed=seed + 1)
+    part = uniform_bands(n, L, overlap=overlap).to_general()
+    scheme = make_weighting(weighting, part)
+    return A, b, x_true, part, scheme
+
+
+class TestSequentialIteration:
+    def test_converges_to_true_solution(self):
+        A, b, x_true, part, scheme = setup()
+        res = multisplitting_iterate(A, b, part, scheme, SCIPY)
+        assert res.converged
+        assert res.residual < 1e-7
+        np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+    def test_monotone_history_tail(self):
+        A, b, _, part, scheme = setup()
+        res = multisplitting_iterate(A, b, part, scheme, SCIPY)
+        h = res.history
+        assert h[-1] < h[0]
+
+    def test_single_processor_is_direct_solve(self):
+        A, b, x_true, _, _ = setup()
+        part = uniform_bands(A.shape[0], 1).to_general()
+        scheme = make_weighting("ownership", part)
+        res = multisplitting_iterate(A, b, part, scheme, SCIPY)
+        assert res.iterations <= 2
+        np.testing.assert_allclose(res.x, x_true, atol=1e-8)
+
+    def test_max_iterations_respected(self):
+        A, b, _, part, scheme = setup(dominance=1.05)
+        res = multisplitting_iterate(
+            A, b, part, scheme, SCIPY, stopping=StoppingCriterion(max_iterations=3)
+        )
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_callback_invoked(self):
+        A, b, _, part, scheme = setup()
+        seen = []
+        multisplitting_iterate(
+            A, b, part, scheme, SCIPY, callback=lambda it, x: seen.append(it)
+        )
+        assert seen == list(range(1, len(seen) + 1))
+
+    def test_warm_start_reduces_iterations(self):
+        A, b, x_true, part, scheme = setup()
+        cold = multisplitting_iterate(A, b, part, scheme, SCIPY)
+        warm = multisplitting_iterate(A, b, part, scheme, SCIPY, x0=x_true)
+        assert warm.iterations < cold.iterations
+
+    def test_residual_metric(self):
+        A, b, _, part, scheme = setup()
+        res = multisplitting_iterate(
+            A, b, part, scheme, SCIPY,
+            stopping=StoppingCriterion(metric="residual", tolerance=1e-6),
+        )
+        assert res.converged
+        assert res.residual <= 1e-6
+
+    @pytest.mark.parametrize("weighting", ["ownership", "averaging", "schwarz"])
+    @pytest.mark.parametrize("overlap", [0, 2])
+    def test_all_weightings_converge(self, weighting, overlap):
+        A, b, x_true, part, scheme = setup(overlap=overlap, weighting=weighting)
+        res = multisplitting_iterate(A, b, part, scheme, SCIPY)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+    def test_overlap_reduces_iterations_for_slow_problem(self):
+        """Figure 3's premise: overlap cuts the iteration count."""
+        A = diagonally_dominant(200, dominance=1.05, bandwidth=12, seed=3)
+        b, _ = rhs_for_solution(A, seed=4)
+        base = multisplitting_iterate(
+            A, b, uniform_bands(200, 4).to_general(),
+            make_weighting("ownership", uniform_bands(200, 4).to_general()), SCIPY,
+        )
+        part_ov = uniform_bands(200, 4, overlap=24).to_general()
+        over = multisplitting_iterate(
+            A, b, part_ov, make_weighting("ownership", part_ov), SCIPY
+        )
+        assert over.iterations < base.iterations
+
+    def test_x0_shape_check(self):
+        A, b, _, part, scheme = setup()
+        with pytest.raises(ValueError):
+            multisplitting_iterate(A, b, part, scheme, SCIPY, x0=np.ones(3))
+
+
+class TestChaoticIteration:
+    def test_converges_under_async_condition(self):
+        A, b, x_true, part, scheme = setup(dominance=2.0)
+        res = chaotic_iterate(A, b, part, scheme, SCIPY, seed=0)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_property_any_schedule_converges(self, seed):
+        """Theorem 1 (async): every bounded-delay schedule converges."""
+        A, b, x_true, part, scheme = setup(n=40, L=4, dominance=1.8)
+        res = chaotic_iterate(
+            A, b, part, scheme, DENSE, seed=seed, max_delay=4, update_probability=0.5
+        )
+        assert res.converged
+        assert res.residual < 1e-5
+
+    def test_more_iterations_than_synchronous(self):
+        A, b, _, part, scheme = setup(dominance=1.3)
+        sync = multisplitting_iterate(A, b, part, scheme, SCIPY)
+        chaotic = chaotic_iterate(
+            A, b, part, scheme, SCIPY, seed=1, update_probability=0.5
+        )
+        assert chaotic.iterations >= sync.iterations
+
+    def test_invalid_parameters(self):
+        A, b, _, part, scheme = setup()
+        with pytest.raises(ValueError):
+            chaotic_iterate(A, b, part, scheme, SCIPY, update_probability=0.0)
+        with pytest.raises(ValueError):
+            chaotic_iterate(A, b, part, scheme, SCIPY, max_delay=-1)
+
+
+class TestSplittingsAndTheorem1:
+    def test_splitting_reconstructs_A(self):
+        A = poisson_1d(12)
+        part = uniform_bands(12, 3).to_general()
+        M, N = splitting_matrices(A, part, 1)
+        np.testing.assert_allclose(M - N, A.toarray())
+
+    def test_Ml_structure(self):
+        A = poisson_1d(9)
+        part = uniform_bands(9, 3).to_general()
+        M, _ = splitting_matrices(A, part, 0)
+        np.testing.assert_allclose(M[:3, :3], A.toarray()[:3, :3])
+        # complement carries the Jacobi (diagonal) splitting of A
+        np.testing.assert_allclose(M[3:, 3:], 2.0 * np.eye(6))
+        assert np.all(M[:3, 3:] == 0.0) and np.all(M[3:, :3] == 0.0)
+
+    def test_theorem1_dominant_matrix(self):
+        A = diagonally_dominant(40, dominance=1.5, seed=2)
+        rep = check_theorem1(A, uniform_bands(40, 4).to_general())
+        assert rep.synchronous_ok
+        assert rep.asynchronous_ok
+        assert all(r <= a + 1e-12 for r, a in zip(rep.sync_radii, rep.async_radii))
+
+    def test_theorem1_detects_divergent_splitting(self):
+        # A matrix that is NOT dominant: off-diagonal mass exceeds diagonal.
+        n = 12
+        A = np.eye(n) * 0.1 + np.ones((n, n))
+        rep = check_theorem1(A, uniform_bands(n, 3).to_general())
+        assert not rep.synchronous_ok
+
+    def test_extended_operator_radius_matches_observation(self):
+        """rho(T) predicts the observed per-iteration contraction."""
+        A = diagonally_dominant(30, dominance=1.3, bandwidth=6, seed=5)
+        part = uniform_bands(30, 3).to_general()
+        scheme = make_weighting("ownership", part)
+        T = extended_operator(A, part, scheme)
+        rho = spectral_radius(T)
+        assert rho < 1.0
+        b, _ = rhs_for_solution(A, seed=6)
+        res = multisplitting_iterate(
+            A, b, part, scheme, DENSE, stopping=StoppingCriterion(tolerance=1e-12)
+        )
+        h = res.history
+        # asymptotic observed contraction over the last few iterations
+        tail = [h[i + 1] / h[i] for i in range(len(h) - 5, len(h) - 1) if h[i] > 0]
+        observed = float(np.mean(tail))
+        assert observed == pytest.approx(rho, abs=0.12)
+
+    def test_iteration_matrix_spectral_bound(self):
+        A = diagonally_dominant(24, dominance=2.0, seed=7)
+        part = uniform_bands(24, 2).to_general()
+        H = iteration_matrix(A, part, 0)
+        assert spectral_radius(H) <= 0.5 + 0.1
+
+
+class TestPropositions:
+    def test_prop1_on_dominant(self):
+        assert proposition1_applies(diagonally_dominant(30, seed=1))
+
+    def test_prop1_on_poisson_irreducible(self):
+        assert proposition1_applies(poisson_1d(15))
+
+    def test_prop1_rejects_non_dominant(self):
+        assert not proposition1_applies(np.array([[1.0, 5.0], [5.0, 1.0]]))
+
+    def test_prop2_on_poisson(self):
+        assert proposition2_applies(poisson_2d(4))
+
+    def test_prop2_rejects_non_z(self):
+        assert not proposition2_applies(np.array([[2.0, 1.0], [1.0, 2.0]]))
+
+    def test_prop3_on_advection_diffusion(self):
+        assert proposition3_applies(advection_diffusion_2d(4, peclet=1.0))
+
+    def test_prop3_rejects_negative_eigenvalue(self):
+        A = np.array([[-1.0, 0.0], [0.0, 2.0]])  # Z-matrix, negative eigenvalue
+        assert not proposition3_applies(A)
+
+    def test_propositions_imply_theorem1(self):
+        """Matrices in the Section 5 classes satisfy Theorem 1's conditions."""
+        for A in (poisson_1d(20), diagonally_dominant(20, seed=3),
+                  advection_diffusion_2d(4, peclet=0.5)):
+            part = uniform_bands(A.shape[0], 4).to_general()
+            rep = check_theorem1(A, part)
+            assert rep.asynchronous_ok

@@ -1,0 +1,174 @@
+"""Tests for the convergence detection protocols."""
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    AsyncCentralizedDetector,
+    AsyncDecentralizedDetector,
+    make_async_detector,
+    sync_converged,
+)
+from repro.grid import cluster1, cluster3
+
+
+def run_procs(nprocs, body, cluster=None):
+    cluster = cluster or cluster1(min(nprocs, 20))
+    eng = cluster.make_engine()
+    for i in range(nprocs):
+        eng.spawn(body, cluster.hosts[i % len(cluster.hosts)])
+    eng.run()
+    return eng.results()
+
+
+class TestSyncDetection:
+    @pytest.mark.parametrize("method", ["centralized", "decentralized"])
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 7, 8])
+    def test_all_true(self, method, nprocs):
+        def body(ctx):
+            out = yield from sync_converged(ctx, True, method=method)
+            return out
+
+        assert all(run_procs(nprocs, body))
+
+    @pytest.mark.parametrize("method", ["centralized", "decentralized"])
+    @pytest.mark.parametrize("nprocs", [2, 5, 8])
+    def test_one_false(self, method, nprocs):
+        def body(ctx):
+            flag = ctx.rank != nprocs - 1
+            out = yield from sync_converged(ctx, flag, method=method)
+            return out
+
+        assert not any(run_procs(nprocs, body))
+
+    @pytest.mark.parametrize("method", ["centralized", "decentralized"])
+    def test_repeated_votes_stay_consistent(self, method):
+        """Simulates the per-iteration votes of the synchronous solver."""
+
+        def body(ctx):
+            verdicts = []
+            for it in range(4):
+                flag = it >= 2  # everyone converges at iteration 2
+                v = yield from sync_converged(ctx, flag, method=method)
+                verdicts.append(v)
+            return verdicts
+
+        results = run_procs(5, body)
+        assert all(r == [False, False, True, True] for r in results)
+
+    def test_unknown_method(self):
+        def body(ctx):
+            out = yield from sync_converged(ctx, True, method="gossip")
+            return out
+
+        from repro.grid import SimProcessError
+
+        with pytest.raises(SimProcessError):
+            run_procs(2, body)
+
+
+def _async_body_factory(kind, converge_at, max_iters=300):
+    """Each rank r flips to locally-converged at iteration converge_at[r]."""
+
+    def body(ctx):
+        det = make_async_detector(kind, ctx)
+        it = 0
+        while it < max_iters:
+            yield ctx.compute(ctx.host.speed * 1e-3)  # 1 ms of local work
+            flag = it >= converge_at[ctx.rank]
+            stop = yield from det.update(flag)
+            if stop:
+                return ("stopped", it, det.messages_sent)
+            it += 1
+        return ("timeout", it, det.messages_sent)
+
+    return body
+
+
+class TestAsyncDetectors:
+    @pytest.mark.parametrize("kind", ["centralized", "decentralized"])
+    @pytest.mark.parametrize("nprocs", [2, 3, 5, 8])
+    def test_detects_after_everyone_converges(self, kind, nprocs):
+        converge_at = [3 + 2 * r for r in range(nprocs)]
+        results = run_procs(nprocs, _async_body_factory(kind, converge_at))
+        assert all(r[0] == "stopped" for r in results)
+        # no rank may stop before it even converged locally
+        for rank, (_, it, _) in enumerate(results):
+            assert it >= converge_at[rank]
+
+    @pytest.mark.parametrize("kind", ["centralized", "decentralized"])
+    def test_never_stops_if_one_never_converges(self, kind):
+        nprocs = 4
+        converge_at = [0, 0, 0, 10**9]
+        results = run_procs(nprocs, _async_body_factory(kind, converge_at, max_iters=60))
+        assert all(r[0] == "timeout" for r in results)
+
+    @pytest.mark.parametrize("kind", ["centralized", "decentralized"])
+    def test_oscillating_process_delays_stop(self, kind):
+        """A rank that un-converges after reporting must cancel detection."""
+        nprocs = 3
+
+        def body(ctx):
+            det = make_async_detector(kind, ctx)
+            it = 0
+            while it < 200:
+                yield ctx.compute(ctx.host.speed * 1e-3)
+                if ctx.rank == 1:
+                    # oscillate until iteration 40, then stay converged
+                    flag = (it % 3 != 0) if it < 40 else True
+                else:
+                    flag = True
+                stop = yield from det.update(flag)
+                if stop:
+                    return it
+                it += 1
+            return -1
+
+        results = run_procs(nprocs, body)
+        assert all(r >= 40 or r == -1 for r in results)
+        assert any(r > 0 for r in results)
+
+    @pytest.mark.parametrize("kind", ["centralized", "decentralized"])
+    def test_single_process(self, kind):
+        results = run_procs(1, _async_body_factory(kind, [5]))
+        assert results[0][0] == "stopped"
+
+    @pytest.mark.parametrize("kind", ["centralized", "decentralized"])
+    def test_works_on_wan_cluster(self, kind):
+        cluster = cluster3(6)
+        converge_at = [2, 4, 6, 8, 10, 12]
+        results = run_procs(6, _async_body_factory(kind, converge_at), cluster=cluster)
+        assert all(r[0] == "stopped" for r in results)
+
+    def test_centralized_state_change_economy(self):
+        """Steady states generate no detection traffic."""
+        nprocs = 4
+        converge_at = [1, 1, 1, 30]
+        results = run_procs(
+            nprocs, _async_body_factory("centralized", converge_at, max_iters=200)
+        )
+        # workers report twice at most before verification (False once, True once)
+        worker_msgs = [r[2] for i, r in enumerate(results) if i != 0]
+        assert all(m <= 10 for m in worker_msgs)
+
+    def test_coordinator_rank_validation(self):
+        def body(ctx):
+            AsyncCentralizedDetector(ctx, coordinator=99)
+            yield ctx.sleep(0)
+
+        from repro.grid import SimProcessError
+
+        with pytest.raises(SimProcessError):
+            run_procs(2, body)
+
+    def test_decentralized_tree_shape(self):
+        def body(ctx):
+            det = AsyncDecentralizedDetector(ctx)
+            return det.parent, det.children
+            yield  # pragma: no cover
+
+        results = run_procs(7, body)
+        assert results[0] == (None, [1, 2])
+        assert results[1] == (0, [3, 4])
+        assert results[2] == (0, [5, 6])
+        assert results[6] == (2, [])

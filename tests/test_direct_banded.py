@@ -1,0 +1,85 @@
+"""Tests for the banded LU kernel (repro.direct.banded)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.direct import BandedLU, DenseLU, SingularMatrixError, to_band_storage
+from repro.matrices import banded_random, poisson_1d, tridiagonal
+
+
+class TestBandStorage:
+    def test_pack_tridiagonal(self):
+        A = tridiagonal(4, lower=-2.0, diag=5.0, upper=-1.0)
+        ab = to_band_storage(A, 1, 1)
+        np.testing.assert_allclose(ab[1], [5.0, 5.0, 5.0, 5.0])  # diagonal
+        np.testing.assert_allclose(ab[0][1:], [-1.0, -1.0, -1.0])  # upper
+        np.testing.assert_allclose(ab[2][:-1], [-2.0, -2.0, -2.0])  # lower
+
+    def test_entries_outside_band_dropped(self):
+        A = sp.csr_matrix(np.array([[2.0, 0.0, 7.0], [0.0, 2.0, 0.0], [0.0, 0.0, 2.0]]))
+        ab = to_band_storage(A, 0, 1)
+        assert ab.shape == (2, 3)
+        assert 7.0 not in ab
+
+
+class TestFactorSolve:
+    def test_matches_dense_on_poisson(self):
+        A = poisson_1d(40)
+        b = np.sin(np.arange(40.0))
+        x_band = BandedLU().solve(A, b)
+        x_dense = DenseLU().solve(A.toarray(), b)
+        np.testing.assert_allclose(x_band, x_dense, atol=1e-9)
+
+    def test_matches_dense_on_asymmetric_band(self):
+        A = banded_random(35, lower_bw=3, upper_bw=2, seed=1)
+        b = np.ones(35)
+        np.testing.assert_allclose(
+            BandedLU().solve(A, b), DenseLU().solve(A.toarray(), b), atol=1e-8
+        )
+
+    def test_diagonal_matrix(self):
+        A = sp.diags([2.0, 4.0, 8.0]).tocsr()
+        x = BandedLU().solve(A, np.array([2.0, 4.0, 8.0]))
+        np.testing.assert_allclose(x, np.ones(3))
+
+    def test_zero_pivot_raises(self):
+        A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(SingularMatrixError):
+            BandedLU().factor(A)
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(SingularMatrixError):
+            BandedLU().factor(sp.csr_matrix((3, 3)))
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            BandedLU().factor(sp.csr_matrix((0, 0)))
+
+    def test_rhs_shape_check(self):
+        f = BandedLU().factor(poisson_1d(5))
+        with pytest.raises(ValueError):
+            f.solve(np.ones(6))
+
+    def test_stats_reflect_band(self):
+        A = banded_random(50, lower_bw=2, upper_bw=3, seed=2)
+        stats = BandedLU().factor(A).stats
+        assert stats.n == 50
+        assert stats.nnz_factors == (2 + 3 + 1) * 50
+        assert stats.memory_bytes == 8 * (2 + 3 + 1) * 50
+        assert stats.factor_flops > 0
+
+    def test_bandwidths_property(self):
+        f = BandedLU().factor(banded_random(20, lower_bw=2, upper_bw=1, seed=3))
+        assert f.bandwidths == (2, 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 40), st.integers(0, 4), st.integers(0, 4), st.integers(0, 99))
+    def test_property_matches_dense(self, n, kl, ku, seed):
+        A = banded_random(n, lower_bw=kl, upper_bw=ku, dominance=2.0, seed=seed)
+        b = np.random.default_rng(seed).random(n)
+        np.testing.assert_allclose(
+            BandedLU().solve(A, b), DenseLU().solve(A.toarray(), b), atol=1e-7
+        )

@@ -1,0 +1,100 @@
+"""Tests for the dense LU kernel (repro.direct.dense)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.direct import DenseLU, SingularMatrixError, get_solver, lu_decompose
+from repro.matrices import diagonally_dominant
+
+
+def random_nonsingular(n, seed):
+    rng = np.random.default_rng(seed)
+    A = rng.uniform(-1, 1, size=(n, n))
+    A += n * np.eye(n)  # safely nonsingular
+    return A
+
+
+class TestLuDecompose:
+    def test_reconstruction_pa_lu(self):
+        A = random_nonsingular(8, 0)
+        solver = DenseLU()
+        f = solver.factor(A)
+        PA = A[f.permutation]
+        np.testing.assert_allclose(f.L @ f.U, PA, atol=1e-10)
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        A = np.array([[0.0, 1.0], [1.0, 0.0]])
+        x = DenseLU().solve(A, np.array([2.0, 3.0]))
+        np.testing.assert_allclose(x, [3.0, 2.0])
+
+    def test_singular_matrix_raises(self):
+        A = np.array([[1.0, 2.0], [2.0, 4.0]])
+        with pytest.raises(SingularMatrixError):
+            DenseLU().factor(A)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            lu_decompose(np.ones((2, 3)))
+
+    def test_flops_counted_match_order_n_cubed(self):
+        f1 = DenseLU().factor(random_nonsingular(20, 1))
+        f2 = DenseLU().factor(random_nonsingular(40, 1))
+        ratio = f2.stats.factor_flops / f1.stats.factor_flops
+        assert 6.0 < ratio < 10.0  # ~2^3 = 8
+
+    def test_stats_fields(self):
+        A = random_nonsingular(10, 2)
+        st_ = DenseLU().factor(A).stats
+        assert st_.n == 10
+        assert st_.nnz_factors == 100
+        assert st_.memory_bytes >= 800
+        assert st_.solve_flops == 200.0
+
+
+class TestSolve:
+    def test_solve_matches_numpy(self):
+        A = random_nonsingular(15, 3)
+        b = np.arange(15.0)
+        x = DenseLU().solve(A, b)
+        np.testing.assert_allclose(x, np.linalg.solve(A, b), atol=1e-9)
+
+    def test_solve_sparse_input(self):
+        import scipy.sparse as sp
+
+        A = diagonally_dominant(25, seed=4)
+        b = np.ones(25)
+        x = DenseLU().solve(sp.csr_matrix(A), b)
+        np.testing.assert_allclose(A @ x, b, atol=1e-9)
+
+    def test_rhs_shape_check(self):
+        f = DenseLU().factor(np.eye(3))
+        with pytest.raises(ValueError):
+            f.solve(np.ones(4))
+
+    def test_reuse_factorization_many_rhs(self):
+        A = random_nonsingular(10, 5)
+        f = DenseLU().factor(A)
+        for seed in range(4):
+            b = np.random.default_rng(seed).random(10)
+            np.testing.assert_allclose(f.solve(b), np.linalg.solve(A, b), atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 25), st.integers(0, 1000))
+    def test_property_residual_small(self, n, seed):
+        A = random_nonsingular(n, seed)
+        b = np.random.default_rng(seed + 1).random(n)
+        x = DenseLU().solve(A, b)
+        assert np.max(np.abs(A @ x - b)) < 1e-8 * max(1.0, np.max(np.abs(b)))
+
+
+class TestRegistry:
+    def test_get_solver_by_name(self):
+        s = get_solver("dense", pivot_tol=1e-14)
+        assert isinstance(s, DenseLU)
+        assert s.pivot_tol == 1e-14
+
+    def test_negative_pivot_tol_rejected(self):
+        with pytest.raises(ValueError):
+            DenseLU(pivot_tol=-1.0)

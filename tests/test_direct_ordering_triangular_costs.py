@@ -1,0 +1,160 @@
+"""Tests for orderings, triangular solves and cost models."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.direct import (
+    BYTES_PER_NNZ,
+    SingularMatrixError,
+    backward_substitution,
+    banded_factor_cost,
+    compute_ordering,
+    dense_factor_cost,
+    forward_substitution,
+    minimum_degree_ordering,
+    rcm_ordering,
+    sparse_factor_cost,
+    sparse_lower_solve,
+    sparse_upper_solve,
+    triangular_solve_flops,
+)
+from repro.linalg import lower_bandwidth, upper_bandwidth
+from repro.matrices import poisson_1d, poisson_2d, random_sparse
+
+
+class TestOrderings:
+    def test_natural_is_identity(self):
+        A = poisson_2d(4)
+        np.testing.assert_array_equal(compute_ordering(A, "natural"), np.arange(16))
+
+    def test_rcm_is_permutation(self):
+        perm = rcm_ordering(poisson_2d(5))
+        assert sorted(perm.tolist()) == list(range(25))
+
+    def test_mindeg_is_permutation(self):
+        perm = minimum_degree_ordering(poisson_2d(5))
+        assert sorted(perm.tolist()) == list(range(25))
+
+    def test_rcm_reduces_bandwidth(self):
+        # A 'bad' ordering of a path graph: even nodes then odd nodes.
+        n = 30
+        path = poisson_1d(n)
+        shuffle = np.concatenate([np.arange(0, n, 2), np.arange(1, n, 2)])
+        A = path[shuffle][:, shuffle].tocsr()
+        perm = rcm_ordering(A)
+        B = A[perm][:, perm]
+        assert max(lower_bandwidth(B), upper_bandwidth(B)) <= 2
+
+    def test_rcm_handles_disconnected_components(self):
+        A = sp.block_diag([poisson_1d(4), poisson_1d(3)]).tocsr()
+        perm = rcm_ordering(A)
+        assert sorted(perm.tolist()) == list(range(7))
+
+    def test_unknown_ordering_raises(self):
+        with pytest.raises(KeyError):
+            compute_ordering(poisson_1d(3), "colamd")
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 30), st.integers(0, 100))
+    def test_property_orderings_are_permutations(self, n, seed):
+        A = random_sparse(n, density=0.2, seed=seed)
+        for name in ("rcm", "mindeg"):
+            perm = compute_ordering(A, name)
+            assert sorted(perm.tolist()) == list(range(n))
+
+
+class TestDenseTriangular:
+    def test_forward_unit(self):
+        L = np.array([[1.0, 0.0], [0.5, 1.0]])
+        x = forward_substitution(L, np.array([2.0, 2.0]), unit_diagonal=True)
+        np.testing.assert_allclose(x, [2.0, 1.0])
+
+    def test_forward_non_unit(self):
+        L = np.array([[2.0, 0.0], [1.0, 4.0]])
+        x = forward_substitution(L, np.array([2.0, 9.0]))
+        np.testing.assert_allclose(x, [1.0, 2.0])
+
+    def test_backward(self):
+        U = np.array([[2.0, 1.0], [0.0, 4.0]])
+        x = backward_substitution(U, np.array([4.0, 8.0]))
+        np.testing.assert_allclose(x, [1.0, 2.0])
+
+    def test_zero_diagonal_raises(self):
+        with pytest.raises(SingularMatrixError):
+            forward_substitution(np.zeros((2, 2)), np.ones(2))
+        with pytest.raises(SingularMatrixError):
+            backward_substitution(np.zeros((2, 2)), np.ones(2))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 20), st.integers(0, 100))
+    def test_property_roundtrip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        L = np.tril(rng.uniform(0.1, 1.0, (n, n))) + n * np.eye(n)
+        x_true = rng.uniform(-1, 1, n)
+        x = forward_substitution(L, L @ x_true)
+        np.testing.assert_allclose(x, x_true, atol=1e-9)
+        U = L.T
+        x = backward_substitution(U, U @ x_true)
+        np.testing.assert_allclose(x, x_true, atol=1e-9)
+
+
+class TestSparseTriangular:
+    def test_lower_unit(self):
+        L = sp.csc_matrix(np.array([[1.0, 0.0], [0.5, 1.0]]))
+        x = sparse_lower_solve(L, np.array([2.0, 2.0]), unit_diagonal=True)
+        np.testing.assert_allclose(x, [2.0, 1.0])
+
+    def test_lower_non_unit(self):
+        L = sp.csc_matrix(np.array([[2.0, 0.0], [1.0, 4.0]]))
+        x = sparse_lower_solve(L, np.array([2.0, 9.0]), unit_diagonal=False)
+        np.testing.assert_allclose(x, [1.0, 2.0])
+
+    def test_upper(self):
+        U = sp.csc_matrix(np.array([[2.0, 1.0], [0.0, 4.0]]))
+        x = sparse_upper_solve(U, np.array([4.0, 8.0]))
+        np.testing.assert_allclose(x, [1.0, 2.0])
+
+    def test_upper_zero_diag_raises(self):
+        U = sp.csc_matrix(np.array([[2.0, 1.0], [0.0, 0.0]]))
+        with pytest.raises(SingularMatrixError):
+            sparse_upper_solve(U, np.ones(2))
+
+    def test_lower_missing_diag_raises(self):
+        L = sp.csc_matrix(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        with pytest.raises(SingularMatrixError):
+            sparse_lower_solve(L, np.ones(2), unit_diagonal=False)
+
+
+class TestCosts:
+    def test_dense_cubic(self):
+        assert dense_factor_cost(30).factor_flops == pytest.approx((2 / 3) * 30**3)
+        assert dense_factor_cost(30).solve_flops == 2 * 900
+
+    def test_banded_linear_in_n(self):
+        c1 = banded_factor_cost(100, 2, 2)
+        c2 = banded_factor_cost(200, 2, 2)
+        assert c2.factor_flops == pytest.approx(2 * c1.factor_flops)
+
+    def test_sparse_cost_scales_with_fill(self):
+        lo = sparse_factor_cost(1000, 5000, fill_ratio=2.0)
+        hi = sparse_factor_cost(1000, 5000, fill_ratio=8.0)
+        assert hi.factor_flops > lo.factor_flops
+        assert hi.memory_bytes == int(BYTES_PER_NNZ * 8.0 * 5000)
+
+    def test_triangular_flops(self):
+        assert triangular_solve_flops(100) == 200.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            dense_factor_cost(-1)
+        with pytest.raises(ValueError):
+            banded_factor_cost(-1, 0, 0)
+        with pytest.raises(ValueError):
+            sparse_factor_cost(0, 10)
+        with pytest.raises(ValueError):
+            sparse_factor_cost(10, 10, fill_ratio=0.5)
+        with pytest.raises(ValueError):
+            triangular_solve_flops(-5)

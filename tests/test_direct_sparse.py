@@ -1,0 +1,170 @@
+"""Tests for the sparse Gilbert-Peierls LU kernel (repro.direct.sparse)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.direct import DenseLU, ScipySuperLU, SingularMatrixError, SparseLU
+from repro.matrices import (
+    advection_diffusion_2d,
+    cage_like,
+    diagonally_dominant,
+    poisson_2d,
+    random_sparse,
+)
+
+
+def check_solution(A, solver=None, seed=0, atol=1e-8):
+    solver = solver or SparseLU()
+    rng = np.random.default_rng(seed)
+    b = rng.uniform(-1, 1, size=A.shape[0])
+    x = solver.solve(A, b)
+    assert np.max(np.abs(A @ x - b)) < atol * max(1.0, np.max(np.abs(b)))
+    return x
+
+
+class TestFactorSolve:
+    def test_identity(self):
+        A = sp.identity(6, format="csc")
+        x = SparseLU().solve(A, np.arange(6.0))
+        np.testing.assert_allclose(x, np.arange(6.0))
+
+    def test_poisson2d_matches_dense(self):
+        A = poisson_2d(6)
+        b = np.arange(36.0)
+        x_sparse = SparseLU().solve(A, b)
+        x_dense = DenseLU().solve(A.toarray(), b)
+        np.testing.assert_allclose(x_sparse, x_dense, atol=1e-8)
+
+    def test_nonsymmetric_advection(self):
+        check_solution(advection_diffusion_2d(7, peclet=1.5))
+
+    def test_cage_analog(self):
+        check_solution(cage_like(250, seed=3))
+
+    def test_requires_pivoting(self):
+        # zero leading diagonal forces a row exchange
+        A = sp.csc_matrix(np.array([[0.0, 2.0, 1.0], [1.0, 0.0, 0.5], [3.0, 1.0, 0.0]]))
+        x = SparseLU(ordering="natural").solve(A, np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(A @ x, [1.0, 2.0, 3.0], atol=1e-10)
+
+    def test_pa_pc_equals_lu(self):
+        A = random_sparse(30, density=0.1, seed=7)
+        f = SparseLU().factor(A)
+        lhs = A.toarray()[np.ix_(f.col_perm[f.row_perm.astype(int)], f.col_perm)]
+        L = (f.L + sp.identity(30)).toarray()
+        np.testing.assert_allclose(L @ f.U.toarray(), lhs, atol=1e-9)
+
+    def test_singular_raises(self):
+        A = sp.csc_matrix(np.array([[1.0, 2.0], [2.0, 4.0]]))
+        with pytest.raises(SingularMatrixError):
+            SparseLU().factor(A)
+
+    def test_structurally_singular_raises(self):
+        A = sp.csc_matrix(np.array([[1.0, 0.0], [2.0, 0.0]]))
+        with pytest.raises(SingularMatrixError):
+            SparseLU().factor(A)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SparseLU().factor(sp.csc_matrix((0, 0)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            SparseLU().factor(sp.csc_matrix((2, 3)))
+
+    def test_rhs_shape_check(self):
+        f = SparseLU().factor(poisson_2d(3))
+        with pytest.raises(ValueError):
+            f.solve(np.ones(10))
+
+
+class TestOrderingsAndOptions:
+    @pytest.mark.parametrize("ordering", ["natural", "rcm", "mindeg"])
+    def test_all_orderings_correct(self, ordering):
+        A = poisson_2d(5)
+        check_solution(A, SparseLU(ordering=ordering))
+
+    def test_rcm_reduces_fill_vs_natural_on_arrow(self):
+        # Arrow matrix pointing the wrong way: natural ordering fills fully.
+        n = 40
+        A = sp.lil_matrix((n, n))
+        A[0, :] = 1.0
+        A[:, 0] = 1.0
+        A.setdiag(n * 1.0)
+        A = A.tocsc()
+        fill_nat = SparseLU(ordering="natural").factor(A).stats.nnz_factors
+        fill_rcm = SparseLU(ordering="rcm").factor(A).stats.nnz_factors
+        assert fill_rcm < fill_nat
+
+    def test_threshold_pivoting_keeps_diagonal(self):
+        A = diagonally_dominant(40, seed=9)
+        f = SparseLU(diag_preference=0.1).factor(A)
+        # with dominance, relaxed pivoting should keep the natural rows:
+        np.testing.assert_array_equal(np.sort(f.row_perm), np.arange(40))
+        b = np.ones(40)
+        x = f.solve(b)
+        assert np.max(np.abs(A @ x - b)) < 1e-9
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(ValueError):
+            SparseLU(diag_preference=2.0)
+        with pytest.raises(ValueError):
+            SparseLU(pivot_tol=-0.1)
+        with pytest.raises(KeyError):
+            SparseLU(ordering="amd").factor(poisson_2d(3))
+
+
+class TestStatsAndCrossValidation:
+    def test_stats_fill_ratio_at_least_one_for_dominant(self):
+        A = diagonally_dominant(60, seed=1)
+        stats = SparseLU().factor(A).stats
+        assert stats.fill_ratio >= 1.0
+        assert stats.factor_flops > 0
+        assert stats.memory_bytes > 0
+
+    def test_matches_scipy_superlu(self):
+        A = cage_like(150, seed=5)
+        b = np.linspace(-1, 1, 150)
+        x_ours = SparseLU().solve(A, b)
+        x_scipy = ScipySuperLU().solve(A, b)
+        np.testing.assert_allclose(x_ours, x_scipy, atol=1e-8)
+
+    def test_sparse_beats_dense_memory_on_poisson(self):
+        A = poisson_2d(12)
+        mem_sparse = SparseLU().factor(A).stats.memory_bytes
+        mem_dense = DenseLU().factor(A.toarray()).stats.memory_bytes
+        assert mem_sparse < mem_dense
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(5, 60), st.integers(0, 500))
+    def test_property_residual(self, n, seed):
+        A = random_sparse(n, density=0.2, seed=seed)
+        check_solution(A, seed=seed)
+
+
+class TestScipyBackend:
+    def test_scipy_solver_registry(self):
+        from repro.direct import get_solver
+
+        s = get_solver("scipy", permc_spec="NATURAL")
+        assert isinstance(s, ScipySuperLU)
+
+    def test_scipy_stats_populated(self):
+        A = poisson_2d(8)
+        stats = ScipySuperLU().factor(A).stats
+        assert stats.n == 64
+        assert stats.nnz_factors > A.nnz
+        assert stats.factor_flops > 0
+
+    def test_scipy_singular(self):
+        A = sp.csc_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(SingularMatrixError):
+            ScipySuperLU().factor(A)
+
+    def test_scipy_rhs_shape(self):
+        f = ScipySuperLU().factor(poisson_2d(3))
+        with pytest.raises(ValueError):
+            f.solve(np.ones(2))

@@ -1,0 +1,194 @@
+"""Tests for the distributed-LU baseline (repro.distbaseline)."""
+
+import numpy as np
+import pytest
+
+from repro.distbaseline import (
+    BlockCyclic,
+    exact_fill_profile,
+    extrapolated_fill_profile,
+    panel_bounds,
+    run_dense_distributed_lu,
+    run_distributed_lu,
+)
+from repro.grid import cluster1, cluster3
+from repro.matrices import cage_like, diagonally_dominant, poisson_2d, rhs_for_solution
+
+
+class TestBlockCyclic:
+    def test_panel_bounds(self):
+        assert panel_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        with pytest.raises(ValueError):
+            panel_bounds(0, 4)
+        with pytest.raises(ValueError):
+            panel_bounds(4, 0)
+
+    def test_cyclic_ownership(self):
+        d = BlockCyclic(n=100, block=10, nprocs=3)
+        assert d.npanels == 10
+        assert [d.owner_of_panel(p) for p in range(4)] == [0, 1, 2, 0]
+        assert d.owner_of_column(25) == 2
+        assert d.panels_of(1) == [1, 4, 7]
+
+    def test_columns_cover(self):
+        d = BlockCyclic(n=37, block=5, nprocs=4)
+        all_cols = np.concatenate([d.columns_of(r) for r in range(4)])
+        np.testing.assert_array_equal(np.sort(all_cols), np.arange(37))
+
+    def test_range_checks(self):
+        d = BlockCyclic(n=10, block=3, nprocs=2)
+        with pytest.raises(IndexError):
+            d.owner_of_panel(99)
+        with pytest.raises(IndexError):
+            d.owner_of_column(-1)
+        with pytest.raises(IndexError):
+            d.panels_of(5)
+        with pytest.raises(ValueError):
+            BlockCyclic(n=0, block=1, nprocs=1)
+
+
+class TestFillModel:
+    def test_exact_profile_matches_factor_nnz(self):
+        A = poisson_2d(8)
+        prof = exact_fill_profile(A)
+        assert prof.exact
+        assert prof.n == 64
+        assert prof.nnz_factors > A.nnz  # fill happened
+        assert prof.total_flops > 0
+
+    def test_panel_accessors_consistent(self):
+        A = poisson_2d(6)
+        prof = exact_fill_profile(A)
+        total = sum(
+            prof.panel_flops(s, e, e - s) + prof.panel_update_flops(s, e, e - s)
+            for s, e in [(0, 12), (12, 24), (24, 36)]
+        )
+        assert total == pytest.approx(prof.total_flops, rel=1e-9)
+
+    def test_extrapolated_profile_reasonable(self):
+        A = cage_like(3000, seed=1)
+        prof = extrapolated_fill_profile(A)
+        assert not prof.exact
+        exact = exact_fill_profile(A)
+        ratio = prof.nnz_factors / exact.nnz_factors
+        assert 0.2 < ratio < 5.0  # same order of magnitude
+
+    def test_small_matrix_falls_back_to_exact(self):
+        A = poisson_2d(5)
+        prof = extrapolated_fill_profile(A)
+        assert prof.exact
+
+
+class TestScheduleMode:
+    def test_runs_and_reports(self):
+        A = cage_like(600, seed=2)
+        res = run_distributed_lu(A, None, cluster1(8))
+        assert res.status == "ok"
+        assert res.simulated_time > 0
+        assert res.factor_time > 0
+        assert res.solve_time > 0
+        assert res.stats.messages > 0
+
+    def test_many_messages_per_panel(self):
+        """The defining pathology: broadcasts scale with panel count."""
+        A = cage_like(600, seed=2)
+        res = run_distributed_lu(A, None, cluster1(8), block=16)
+        npanels = res.extra["npanels"]
+        assert res.stats.messages >= npanels  # at least one send per panel
+
+    def test_wan_much_slower_than_lan(self):
+        A = cage_like(600, seed=2)
+        lan = run_distributed_lu(A, None, cluster1(8), fill_mode="exact")
+        wan = run_distributed_lu(A, None, cluster3(8), fill_mode="exact")
+        assert wan.simulated_time > 3 * lan.simulated_time
+
+    def test_nem_on_small_memory(self):
+        A = cage_like(800, seed=3)
+        tiny = cluster1(4, memory_scale=1e-7)
+        res = run_distributed_lu(A, None, tiny)
+        assert res.status == "nem"
+        assert res.memory_per_host_bytes > tiny.hosts[0].memory_bytes
+
+    def test_smaller_blocks_more_sync(self):
+        A = cage_like(500, seed=4)
+        fine = run_distributed_lu(A, None, cluster3(6), block=8, fill_mode="exact")
+        coarse = run_distributed_lu(A, None, cluster3(6), block=64, fill_mode="exact")
+        assert fine.stats.messages > coarse.stats.messages
+        assert fine.simulated_time > coarse.simulated_time
+
+    def test_fill_profile_cache_supported(self):
+        A = cage_like(500, seed=5)
+        prof = exact_fill_profile(A)
+        r1 = run_distributed_lu(A, None, cluster1(4), fill=prof)
+        r2 = run_distributed_lu(A, None, cluster1(4), fill=prof)
+        assert r1.simulated_time == pytest.approx(r2.simulated_time)
+
+    def test_bad_options(self):
+        A = cage_like(300, seed=6)
+        with pytest.raises(ValueError):
+            run_distributed_lu(A, None, cluster1(4), nprocs=10)
+        with pytest.raises(KeyError):
+            run_distributed_lu(A, None, cluster1(4), fill_mode="guess")
+
+
+class TestRealDenseMode:
+    def test_matches_numpy_solve(self):
+        rng = np.random.default_rng(0)
+        n = 48
+        A = rng.uniform(-1, 1, (n, n)) + n * np.eye(n)
+        b = rng.uniform(-1, 1, n)
+        res = run_dense_distributed_lu(A, b, cluster1(4), block=8)
+        assert res.status == "ok"
+        np.testing.assert_allclose(res.x, np.linalg.solve(A, b), atol=1e-8)
+        assert res.residual < 1e-8
+
+    def test_requires_pivoting(self):
+        A = np.array(
+            [[0.0, 2.0, 1.0, 1.0],
+             [1.0, 0.0, 0.5, 0.25],
+             [3.0, 1.0, 0.0, 2.0],
+             [1.0, 2.0, 1.0, 0.0]]
+        )
+        b = np.arange(4.0)
+        res = run_dense_distributed_lu(A, b, cluster1(2), block=2)
+        np.testing.assert_allclose(res.x, np.linalg.solve(A, b), atol=1e-10)
+
+    def test_uneven_panels(self):
+        rng = np.random.default_rng(1)
+        n = 23  # not a multiple of the block size
+        A = rng.uniform(-1, 1, (n, n)) + n * np.eye(n)
+        b = rng.uniform(-1, 1, n)
+        res = run_dense_distributed_lu(A, b, cluster1(3), block=4)
+        np.testing.assert_allclose(res.x, np.linalg.solve(A, b), atol=1e-8)
+
+    def test_single_process(self):
+        rng = np.random.default_rng(2)
+        A = rng.uniform(-1, 1, (12, 12)) + 12 * np.eye(12)
+        b = rng.uniform(-1, 1, 12)
+        res = run_dense_distributed_lu(A, b, cluster1(1), block=4)
+        np.testing.assert_allclose(res.x, np.linalg.solve(A, b), atol=1e-9)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run_dense_distributed_lu(np.ones((2, 3)), np.ones(2), cluster1(2))
+        with pytest.raises(ValueError):
+            run_dense_distributed_lu(np.eye(3), np.ones(4), cluster1(2))
+
+
+class TestBaselineVsMultisplitting:
+    def test_multisplitting_beats_baseline_on_wan(self):
+        """The paper's headline: coarse-grained multisplitting wins on grids.
+
+        One WAN broadcast per panel (~n/block latency-bound syncs) against
+        a few dozen coarse iterations.
+        """
+        from repro.core import MultisplittingSolver
+
+        A = diagonally_dominant(1500, dominance=2.0, bandwidth=25, seed=7)
+        b, _ = rhs_for_solution(A, seed=8)
+        baseline = run_distributed_lu(
+            A, None, cluster3(8), block=16, fill_mode="exact"
+        )
+        ms = MultisplittingSolver(mode="synchronous").solve(A, b, cluster=cluster3(8))
+        assert ms.status == "ok"
+        assert baseline.simulated_time > 2 * ms.simulated_time

@@ -1,0 +1,160 @@
+"""Tests for MPI-like collectives and the trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    TraceRecorder,
+    allgather,
+    allreduce_logical_and,
+    allreduce_sum,
+    barrier,
+    bcast,
+    cluster1,
+    gather,
+    max_norm_distributed,
+    reduce_sum,
+    vector_bytes,
+)
+
+
+def run_collective(nprocs, body):
+    """Spawn `body` on every host of a cluster1(nprocs) and return results."""
+    cluster = cluster1(nprocs)
+    eng = cluster.make_engine()
+    for h in cluster.hosts:
+        eng.spawn(body, h)
+    eng.run()
+    return eng.results()
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 5, 8])
+    def test_bcast_all_ranks_receive(self, nprocs):
+        def body(ctx):
+            value = "payload" if ctx.rank == 0 else None
+            out = yield from bcast(ctx, value, root=0, nbytes=128)
+            return out
+
+        assert run_collective(nprocs, body) == ["payload"] * nprocs
+
+    def test_bcast_nonzero_root(self):
+        def body(ctx):
+            value = ctx.rank if ctx.rank == 2 else None
+            out = yield from bcast(ctx, value, root=2)
+            return out
+
+        assert run_collective(5, body) == [2] * 5
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 7])
+    def test_gather(self, nprocs):
+        def body(ctx):
+            out = yield from gather(ctx, ctx.rank * 10, root=0)
+            return out
+
+        results = run_collective(nprocs, body)
+        assert results[0] == [r * 10 for r in range(nprocs)]
+        assert all(r is None for r in results[1:])
+
+    def test_allgather(self):
+        def body(ctx):
+            out = yield from allgather(ctx, ctx.rank**2)
+            return out
+
+        results = run_collective(4, body)
+        assert all(r == [0, 1, 4, 9] for r in results)
+
+    def test_reduce_and_allreduce_sum(self):
+        def body(ctx):
+            partial = yield from reduce_sum(ctx, ctx.rank + 1, root=0)
+            total = yield from allreduce_sum(ctx, ctx.rank + 1)
+            return (partial, total)
+
+        results = run_collective(5, body)
+        assert results[0][0] == 15
+        assert all(r[1] == 15 for r in results)
+
+    def test_allreduce_logical_and(self):
+        def body(ctx):
+            all_true = yield from allreduce_logical_and(ctx, True)
+            mixed = yield from allreduce_logical_and(ctx, ctx.rank != 1)
+            return (all_true, mixed)
+
+        results = run_collective(4, body)
+        assert all(r == (True, False) for r in results)
+
+    def test_barrier_synchronizes(self):
+        def body(ctx):
+            yield ctx.sleep(float(ctx.rank))  # stagger arrivals
+            yield from barrier(ctx)
+            return ctx.now
+
+        times = run_collective(4, body)
+        # everyone leaves the barrier at (or after) the last arrival
+        assert min(times) >= 3.0
+
+    def test_back_to_back_collectives_do_not_cross(self):
+        def body(ctx):
+            a = yield from allreduce_sum(ctx, 1)
+            b = yield from allreduce_sum(ctx, 100)
+            return (a, b)
+
+        results = run_collective(6, body)
+        assert all(r == (6, 600) for r in results)
+
+    def test_max_norm_distributed(self):
+        def body(ctx):
+            piece = np.array([float(ctx.rank), -2.0 * ctx.rank])
+            out = yield from max_norm_distributed(ctx, piece)
+            return out
+
+        results = run_collective(4, body)
+        assert all(r == 6.0 for r in results)
+
+    def test_vector_bytes(self):
+        assert vector_bytes(0) == 64
+        assert vector_bytes(100) == 864
+
+
+class TestTrace:
+    def test_trace_counts_events(self):
+        cluster = cluster1(2)
+        rec = TraceRecorder()
+        eng = cluster.make_engine(trace=rec)
+
+        def a(ctx):
+            yield ctx.compute(cluster.hosts[0].speed)  # 1 second
+            yield ctx.send(1, nbytes=1000, tag=0)
+
+        def b(ctx):
+            yield ctx.recv()
+
+        eng.spawn(a, cluster.hosts[0])
+        eng.spawn(b, cluster.hosts[1])
+        eng.run()
+        stats = rec.stats()
+        assert stats.messages == 1
+        assert stats.bytes_sent == 1000
+        assert stats.total_compute_time == pytest.approx(1.0)
+        assert stats.compute_time_by_pid[0] == pytest.approx(1.0)
+        assert stats.bytes_by_pair[(0, 1)] == 1000
+        assert stats.makespan > 1.0
+
+    def test_event_retention_cap(self):
+        rec = TraceRecorder(keep_events=3)
+        for i in range(10):
+            rec("send", float(i), src=0, dst=1, nbytes=1)
+        assert len(rec.events) == 3
+        assert rec.stats().messages == 10
+
+    def test_events_of_kind(self):
+        rec = TraceRecorder()
+        rec("compute", 0.0, pid=0, duration=1.0)
+        rec("send", 1.0, src=0, dst=1, nbytes=5)
+        assert len(rec.events_of_kind("compute")) == 1
+        assert rec.events_of_kind("send")[0].get("nbytes") == 5
+        assert rec.events_of_kind("send")[0].get("missing", -1) == -1
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(keep_events=-1)

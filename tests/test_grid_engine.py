@@ -1,0 +1,256 @@
+"""Tests for the discrete-event engine (repro.grid.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    ANY,
+    DeadlockError,
+    OutOfSimMemory,
+    SimProcessError,
+    cluster1,
+    custom_cluster,
+)
+
+
+def make(nprocs=2, **kw):
+    cluster = cluster1(nprocs, **kw)
+    return cluster, cluster.make_engine()
+
+
+class TestCompute:
+    def test_compute_advances_time(self):
+        cluster, eng = make(1)
+        host = cluster.hosts[0]
+
+        def proc(ctx):
+            yield ctx.compute(host.speed * 2.0)  # exactly 2 seconds
+            return ctx.now
+
+        eng.spawn(proc, host)
+        eng.run()
+        assert eng.results()[0] == pytest.approx(2.0)
+
+    def test_heterogeneous_speeds(self):
+        cluster = custom_cluster("het", {"s": [1e6, 2e6]})
+        eng = cluster.make_engine()
+
+        def proc(ctx):
+            yield ctx.compute(2e6)
+            return ctx.now
+
+        for h in cluster.hosts:
+            eng.spawn(proc, h)
+        eng.run()
+        t_slow, t_fast = eng.results()
+        assert t_slow == pytest.approx(2.0)
+        assert t_fast == pytest.approx(1.0)
+
+    def test_busy_time_accounted(self):
+        cluster, eng = make(1)
+        host = cluster.hosts[0]
+
+        def proc(ctx):
+            yield ctx.compute(host.speed)
+            yield ctx.sleep(5.0)
+
+        eng.spawn(proc, host)
+        eng.run()
+        assert host.busy_time == pytest.approx(1.0)
+
+    def test_sleep_negative_raises_inside_process(self):
+        cluster, eng = make(1)
+
+        def proc(ctx):
+            yield ctx.sleep(-1.0)
+
+        eng.spawn(proc, cluster.hosts[0])
+        with pytest.raises(SimProcessError):
+            eng.run()
+
+
+class TestMessaging:
+    def test_send_recv_roundtrip(self):
+        cluster, eng = make(2)
+
+        def sender(ctx):
+            yield ctx.send(1, nbytes=1000, payload="hello", tag=7)
+
+        def receiver(ctx):
+            msg = yield ctx.recv(source=0, tag=7)
+            return (msg.payload, msg.delivered_at > 0.0)
+
+        eng.spawn(sender, cluster.hosts[0])
+        eng.spawn(receiver, cluster.hosts[1])
+        eng.run()
+        payload, delayed = eng.results()[1]
+        assert payload == "hello"
+        assert delayed
+
+    def test_transfer_time_matches_bandwidth(self):
+        cluster, eng = make(2)
+        nbytes = 12_500_000  # exactly 1 second at 12.5 MB/s
+
+        def sender(ctx):
+            yield ctx.send(1, nbytes=nbytes, tag=0)
+
+        def receiver(ctx):
+            msg = yield ctx.recv()
+            return msg.delivered_at
+
+        eng.spawn(sender, cluster.hosts[0])
+        eng.spawn(receiver, cluster.hosts[1])
+        eng.run()
+        t = eng.results()[1]
+        assert t == pytest.approx(1.0 + 1e-4, rel=1e-3)
+
+    def test_same_host_delivery_instant(self):
+        cluster = cluster1(1)
+        eng = cluster.make_engine()
+        host = cluster.hosts[0]
+
+        def a(ctx):
+            yield ctx.send(1, nbytes=10**9, tag=0)
+
+        def b(ctx):
+            msg = yield ctx.recv()
+            return msg.delivered_at
+
+        eng.spawn(a, host)
+        eng.spawn(b, host)
+        eng.run()
+        assert eng.results()[1] == pytest.approx(0.0)
+
+    def test_tag_and_source_filtering(self):
+        cluster, eng = make(3)
+
+        def s1(ctx):
+            yield ctx.send(2, nbytes=10, payload="from0", tag="x")
+
+        def s2(ctx):
+            yield ctx.send(2, nbytes=10, payload="from1", tag="y")
+
+        def r(ctx):
+            m_y = yield ctx.recv(tag="y")
+            m_x = yield ctx.recv(source=0, tag=ANY)
+            return (m_y.payload, m_x.payload)
+
+        eng.spawn(s1, cluster.hosts[0])
+        eng.spawn(s2, cluster.hosts[1])
+        eng.spawn(r, cluster.hosts[2])
+        eng.run()
+        assert eng.results()[2] == ("from1", "from0")
+
+    def test_try_recv_polls(self):
+        cluster, eng = make(2)
+
+        def sender(ctx):
+            yield ctx.sleep(1.0)
+            yield ctx.send(1, nbytes=10, payload=42, tag=0)
+
+        def poller(ctx):
+            first = yield ctx.try_recv()
+            yield ctx.sleep(5.0)
+            second = yield ctx.try_recv()
+            return (first, second.payload)
+
+        eng.spawn(sender, cluster.hosts[0])
+        eng.spawn(poller, cluster.hosts[1])
+        eng.run()
+        first, second = eng.results()[1]
+        assert first is None
+        assert second == 42
+
+    def test_deadlock_detected(self):
+        cluster, eng = make(2)
+
+        def waiter(ctx):
+            yield ctx.recv(tag="never")
+
+        eng.spawn(waiter, cluster.hosts[0])
+        eng.spawn(waiter, cluster.hosts[1])
+        with pytest.raises(DeadlockError):
+            eng.run()
+
+    def test_send_to_unknown_pid(self):
+        cluster, eng = make(1)
+
+        def proc(ctx):
+            yield ctx.send(5, nbytes=1)
+
+        eng.spawn(proc, cluster.hosts[0])
+        with pytest.raises((SimProcessError, ValueError)):
+            eng.run()
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def run_once():
+            cluster = cluster1(4)
+            eng = cluster.make_engine()
+
+            def proc(ctx):
+                log = []
+                if ctx.rank == 0:
+                    for dst in range(1, 4):
+                        yield ctx.send(dst, nbytes=1000 * dst, payload=dst, tag=0)
+                    for _ in range(3):
+                        m = yield ctx.recv()
+                        log.append((m.source, round(m.delivered_at, 9)))
+                else:
+                    m = yield ctx.recv()
+                    yield ctx.compute(1e6 * ctx.rank)
+                    yield ctx.send(0, nbytes=500, payload=m.payload, tag=1)
+                    log.append(round(ctx.now, 9))
+                return log
+
+            for h in cluster.hosts:
+                eng.spawn(proc, h)
+            eng.run()
+            return eng.results()
+
+        assert run_once() == run_once()
+
+
+class TestMemory:
+    def test_malloc_within_capacity(self):
+        cluster, eng = make(1)
+        host = cluster.hosts[0]
+
+        def proc(ctx):
+            yield ctx.malloc(host.memory_bytes // 2)
+            used = host.memory_used
+            yield ctx.mfree(host.memory_bytes // 2)
+            return (used, host.memory_used)
+
+        eng.spawn(proc, host)
+        eng.run()
+        used, after = eng.results()[0]
+        assert used == host.memory_bytes // 2
+        assert after == 0
+
+    def test_oom_thrown_into_process(self):
+        cluster, eng = make(1)
+        host = cluster.hosts[0]
+
+        def proc(ctx):
+            try:
+                yield ctx.malloc(host.memory_bytes + 1)
+            except OutOfSimMemory:
+                return "nem"
+            return "fit"
+
+        eng.spawn(proc, host)
+        eng.run()
+        assert eng.results()[0] == "nem"
+
+    def test_unhandled_oom_escalates(self):
+        cluster, eng = make(1)
+        host = cluster.hosts[0]
+
+        def proc(ctx):
+            yield ctx.malloc(host.memory_bytes * 2)
+
+        eng.spawn(proc, host)
+        with pytest.raises(SimProcessError):
+            eng.run()

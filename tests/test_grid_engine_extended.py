@@ -1,0 +1,191 @@
+"""Extended engine tests: coalescing sends, run limits, dynamic host load."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Host, cluster1, custom_cluster
+
+
+class TestCoalescingSends:
+    def _two_hosts(self):
+        c = custom_cluster("two", {"a": [1e8], "b": [1e8]})
+        return c, c.make_engine()
+
+    def test_in_flight_payload_superseded(self):
+        """A newer coalesced send replaces the payload of one in flight."""
+        c, eng = self._two_hosts()
+
+        def sender(ctx):
+            for i in range(5):
+                yield ctx.send(1, nbytes=100_000, payload=i, tag="t", coalesce=True)
+            yield ctx.sleep(10.0)
+            yield ctx.send(1, nbytes=100_000, payload="final", tag="t", coalesce=True)
+
+        def receiver(ctx):
+            got = []
+            while len(got) < 2:
+                msg = yield ctx.try_recv(tag="t")
+                if msg is not None:
+                    got.append(msg.payload)
+                else:
+                    yield ctx.sleep(0.01)
+            return got
+
+        eng.spawn(sender, c.hosts[0])
+        eng.spawn(receiver, c.hosts[1])
+        eng.run()
+        got = eng.results()[1]
+        # the five rapid sends collapse into ONE delivery carrying the
+        # newest payload; the late send arrives separately
+        assert got == [4, "final"]
+
+    def test_coalescing_bounds_traffic(self):
+        c, eng = self._two_hosts()
+
+        def sender(ctx):
+            for i in range(50):
+                yield ctx.send(1, nbytes=50_000, payload=i, tag="t", coalesce=True)
+
+        def receiver(ctx):
+            count = 0
+            for _ in range(200):
+                msg = yield ctx.try_recv(tag="t")
+                if msg is not None:
+                    count += 1
+                yield ctx.sleep(0.01)
+            return count
+
+        eng.spawn(sender, c.hosts[0])
+        eng.spawn(receiver, c.hosts[1])
+        eng.run()
+        assert eng.results()[1] == 1  # one in-flight slot -> one delivery
+        assert c.hosts[0].messages_sent == 1
+
+    def test_distinct_tags_not_coalesced(self):
+        c, eng = self._two_hosts()
+
+        def sender(ctx):
+            yield ctx.send(1, nbytes=10_000, payload="a", tag="t1", coalesce=True)
+            yield ctx.send(1, nbytes=10_000, payload="b", tag="t2", coalesce=True)
+
+        def receiver(ctx):
+            m1 = yield ctx.recv(tag="t1")
+            m2 = yield ctx.recv(tag="t2")
+            return (m1.payload, m2.payload)
+
+        eng.spawn(sender, c.hosts[0])
+        eng.spawn(receiver, c.hosts[1])
+        eng.run()
+        assert eng.results()[1] == ("a", "b")
+
+    def test_non_coalesced_sends_all_arrive(self):
+        c, eng = self._two_hosts()
+
+        def sender(ctx):
+            for i in range(4):
+                yield ctx.send(1, nbytes=10_000, payload=i, tag="t")
+
+        def receiver(ctx):
+            got = []
+            for _ in range(4):
+                msg = yield ctx.recv(tag="t")
+                got.append(msg.payload)
+            return sorted(got)
+
+        eng.spawn(sender, c.hosts[0])
+        eng.spawn(receiver, c.hosts[1])
+        eng.run()
+        assert eng.results()[1] == [0, 1, 2, 3]
+
+
+class TestRunLimits:
+    def test_until_stops_clock(self):
+        c = cluster1(1)
+        eng = c.make_engine()
+
+        def proc(ctx):
+            yield ctx.sleep(100.0)
+            return "done"
+
+        eng.spawn(proc, c.hosts[0])
+        eng.run(until=1.0)
+        assert eng.now == 1.0
+        assert eng.results()[0] is None  # never finished
+
+    def test_max_events(self):
+        c = cluster1(1)
+        eng = c.make_engine()
+
+        def proc(ctx):
+            for _ in range(100):
+                yield ctx.sleep(0.1)
+
+        eng.spawn(proc, c.hosts[0])
+        eng.run(max_events=5)
+        assert eng.now < 1.0
+
+
+class TestDynamicLoad:
+    def test_rate_integration(self):
+        h = Host(name="h", site="s", speed=100.0, memory_bytes=1)
+        h.add_load(1.0, 3.0, 0.5)
+        # 100 flops at t=0: 1s at full rate (100 done)
+        assert h.compute_finish(0.0, 100.0) == pytest.approx(1.0)
+        # 150 flops at t=0: 100 by t=1, then 50 at rate 50 -> t=2
+        assert h.compute_finish(0.0, 150.0) == pytest.approx(2.0)
+        # starting inside the window
+        assert h.compute_finish(1.0, 100.0) == pytest.approx(3.0)
+        # after the window everything is full rate again
+        assert h.compute_finish(3.0, 100.0) == pytest.approx(4.0)
+
+    def test_overlapping_windows_multiply(self):
+        h = Host(name="h", site="s", speed=100.0, memory_bytes=1)
+        h.add_load(0.0, 10.0, 0.5)
+        h.add_load(0.0, 10.0, 0.5)
+        assert h._rate_at(0.0) == pytest.approx(25.0)
+
+    def test_validation(self):
+        h = Host(name="h", site="s", speed=1.0, memory_bytes=1)
+        with pytest.raises(ValueError):
+            h.add_load(1.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            h.add_load(0.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            h.add_load(0.0, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            h.compute_finish(0.0, -1.0)
+
+    def test_loaded_host_slows_simulated_compute(self):
+        c = cluster1(1)
+        host = c.hosts[0]
+        host.add_load(0.0, 100.0, 0.25)
+        eng = c.make_engine()
+
+        def proc(ctx):
+            yield ctx.compute(host.speed * 1.0)  # 1s of work at full rate
+            return ctx.now
+
+        eng.spawn(proc, host)
+        eng.run()
+        assert eng.results()[0] == pytest.approx(4.0)
+
+    def test_solver_survives_dynamic_load(self):
+        """A machine that slows down mid-run delays but does not break the solve."""
+        from repro.core import MultisplittingSolver
+        from repro.matrices import diagonally_dominant, rhs_for_solution
+
+        A = diagonally_dominant(150, dominance=1.5, bandwidth=10, seed=1)
+        b, x_true = rhs_for_solution(A, seed=2)
+
+        def run(loaded):
+            cluster = cluster1(4)
+            if loaded:
+                cluster.hosts[2].add_load(0.0, 1e9, 0.1)
+            s = MultisplittingSolver(mode="synchronous")
+            return s.solve(A, b, cluster=cluster)
+
+        fast = run(False)
+        slow = run(True)
+        assert slow.status == "ok"
+        assert slow.simulated_time > fast.simulated_time
+        assert np.max(np.abs(slow.x - x_true)) < 1e-6

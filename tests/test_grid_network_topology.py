@@ -1,0 +1,181 @@
+"""Tests for the network model, fair sharing, and the cluster presets."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    Link,
+    Network,
+    WAN_BANDWIDTH,
+    cluster1,
+    cluster2,
+    cluster3,
+    custom_cluster,
+)
+
+
+class TestNetworkModel:
+    def test_single_flow_full_bandwidth(self):
+        link = Link("l", bandwidth=100.0, latency=0.0)
+        net = Network([link])
+        done = []
+        net.start_flow((link,), 200.0, 0.0, lambda: done.append(True))
+        nxt = net.next_completion()
+        assert nxt is not None
+        t, flow = nxt
+        assert t == pytest.approx(2.0)
+
+    def test_two_flows_share_equally(self):
+        link = Link("l", bandwidth=100.0, latency=0.0)
+        net = Network([link])
+        f1 = net.start_flow((link,), 100.0, 0.0, None)
+        f2 = net.start_flow((link,), 100.0, 0.0, None)
+        assert f1.rate == pytest.approx(50.0)
+        assert f2.rate == pytest.approx(50.0)
+
+    def test_rate_rebalances_after_completion(self):
+        link = Link("l", bandwidth=100.0, latency=0.0)
+        net = Network([link])
+        f1 = net.start_flow((link,), 100.0, 0.0, None)
+        f2 = net.start_flow((link,), 500.0, 0.0, None)
+        # advance to f1's completion at t=2 (rate 50)
+        net.remove_flow(f1, 2.0)
+        assert f2.rate == pytest.approx(100.0)
+        assert f2.remaining == pytest.approx(400.0)
+
+    def test_bottleneck_is_min_over_route(self):
+        fast = Link("fast", bandwidth=1000.0, latency=0.0)
+        slow = Link("slow", bandwidth=10.0, latency=0.0)
+        net = Network([fast, slow])
+        f = net.start_flow((fast, slow), 100.0, 0.0, None)
+        assert f.rate == pytest.approx(10.0)
+
+    def test_perturbation_takes_share_forever(self):
+        link = Link("wan", bandwidth=100.0, latency=0.0)
+        net = Network([link])
+        net.add_perturbation((link,))
+        f = net.start_flow((link,), 100.0, 0.0, None)
+        assert f.rate == pytest.approx(50.0)
+        # perturbation never completes
+        assert net.next_completion()[1] is f
+
+    def test_ten_perturbations_cut_rate_eleven_fold(self):
+        link = Link("wan", bandwidth=110.0, latency=0.0)
+        net = Network([link])
+        for _ in range(10):
+            net.add_perturbation((link,))
+        f = net.start_flow((link,), 100.0, 0.0, None)
+        assert f.rate == pytest.approx(10.0)
+
+    def test_bandwidth_conservation(self):
+        """Sum of flow rates on a saturated link equals its capacity."""
+        link = Link("l", bandwidth=100.0, latency=0.0)
+        net = Network([link])
+        flows = [net.start_flow((link,), 1000.0, 0.0, None) for _ in range(7)]
+        assert sum(f.rate for f in flows) == pytest.approx(100.0)
+
+    def test_invalid_inputs(self):
+        link = Link("l", bandwidth=100.0, latency=0.0)
+        net = Network([link])
+        with pytest.raises(ValueError):
+            net.start_flow((link,), 0.0, 0.0, None)
+        with pytest.raises(ValueError):
+            net.start_flow((), 10.0, 0.0, None)
+        with pytest.raises(ValueError):
+            Link("bad", bandwidth=0.0, latency=0.0)
+        with pytest.raises(ValueError):
+            Link("bad", bandwidth=1.0, latency=-1.0)
+        with pytest.raises(ValueError):
+            net.add_link(Link("l", bandwidth=1.0, latency=0.0))
+
+
+class TestPresets:
+    def test_cluster1_homogeneous(self):
+        c = cluster1(20)
+        assert len(c.hosts) == 20
+        speeds = {h.speed for h in c.hosts}
+        assert len(speeds) == 1
+        assert c.sites == ["site1"]
+
+    def test_cluster1_bounds(self):
+        with pytest.raises(ValueError):
+            cluster1(0)
+        with pytest.raises(ValueError):
+            cluster1(21)
+
+    def test_cluster2_heterogeneous(self):
+        c = cluster2(8)
+        speeds = [h.speed for h in c.hosts]
+        assert max(speeds) / min(speeds) == pytest.approx(2.6 / 1.7, rel=1e-6)
+
+    def test_cluster3_two_sites_seven_three(self):
+        c = cluster3(10)
+        sites = [h.site for h in c.hosts]
+        assert sites.count("siteA") == 7
+        assert sites.count("siteB") == 3
+        wan = c.wan_link("siteA", "siteB")
+        assert wan.bandwidth == WAN_BANDWIDTH
+
+    def test_cluster3_route_crosses_wan(self):
+        c = cluster3(10)
+        a = c.hosts[0]  # siteA
+        b = c.hosts[-1]  # siteB
+        route = c.route(a, b)
+        assert any(l.name.startswith("wan:") for l in route)
+        local = c.route(c.hosts[0], c.hosts[1])
+        assert not any(l.name.startswith("wan:") for l in local)
+
+    def test_route_same_host_empty(self):
+        c = cluster1(2)
+        assert c.route(c.hosts[0], c.hosts[0]) == ()
+
+    def test_memory_scaling(self):
+        big = cluster1(2, memory_scale=1.0)
+        small = cluster1(2, memory_scale=0.01)
+        assert big.hosts[0].memory_bytes > small.hosts[0].memory_bytes
+
+    def test_perturbations_require_wan(self):
+        c = cluster1(2)
+        with pytest.raises(ValueError):
+            c.add_perturbations(1)
+        c3 = cluster3(4)
+        c3.add_perturbations(3)
+        wan = c3.wan_link("siteA", "siteB")
+        assert wan.active_flows == 3
+
+    def test_custom_cluster_multi_site(self):
+        c = custom_cluster("grid", {"a": [1e6, 1e6], "b": [2e6], "c": [3e6]})
+        assert len(c.hosts) == 4
+        assert c.wan_link("a", "b") is not c.wan_link("a", "c")
+        with pytest.raises(ValueError):
+            custom_cluster("empty", {})
+
+
+class TestEndToEndSharing:
+    def test_wan_contention_slows_transfer(self):
+        """A transfer across the WAN takes ~(k+1)x longer with k perturbing flows."""
+
+        def timed_transfer(perturbations):
+            c = cluster3(10)
+            c.add_perturbations(perturbations)
+            eng = c.make_engine()
+            src, dst = c.hosts[0], c.hosts[-1]
+            nbytes = int(WAN_BANDWIDTH)  # 1 second unperturbed
+
+            def sender(ctx):
+                yield ctx.send(1, nbytes=nbytes, tag=0)
+
+            def receiver(ctx):
+                msg = yield ctx.recv()
+                return msg.delivered_at
+
+            eng.spawn(sender, src)
+            eng.spawn(receiver, dst)
+            eng.run()
+            return eng.results()[1]
+
+        t0 = timed_transfer(0)
+        t1 = timed_transfer(1)
+        t5 = timed_transfer(5)
+        assert t1 / t0 == pytest.approx(2.0, rel=0.05)
+        assert t5 / t0 == pytest.approx(6.0, rel=0.05)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.linalg.norms."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.linalg import (
+    max_norm,
+    relative_residual,
+    residual,
+    residual_norm,
+    weighted_max_norm,
+)
+
+finite_vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 40),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+def test_max_norm_simple():
+    assert max_norm(np.array([1.0, -3.0, 2.0])) == 3.0
+
+
+def test_max_norm_empty():
+    assert max_norm(np.array([])) == 0.0
+
+
+@given(finite_vectors)
+def test_max_norm_matches_numpy(v):
+    assert max_norm(v) == pytest.approx(np.linalg.norm(v, ord=np.inf))
+
+
+@given(finite_vectors)
+def test_max_norm_nonnegative_and_scale(v):
+    assert max_norm(v) >= 0.0
+    assert max_norm(2.0 * v) == pytest.approx(2.0 * max_norm(v))
+
+
+def test_weighted_max_norm_unit_weights_is_max_norm():
+    v = np.array([1.0, -5.0, 3.0])
+    assert weighted_max_norm(v, np.ones(3)) == max_norm(v)
+
+
+def test_weighted_max_norm_weights_rescale():
+    v = np.array([2.0, 2.0])
+    w = np.array([1.0, 4.0])
+    assert weighted_max_norm(v, w) == pytest.approx(2.0)
+
+
+def test_weighted_max_norm_rejects_nonpositive_weights():
+    with pytest.raises(ValueError):
+        weighted_max_norm(np.ones(2), np.array([1.0, 0.0]))
+
+
+def test_weighted_max_norm_rejects_shape_mismatch():
+    with pytest.raises(ValueError):
+        weighted_max_norm(np.ones(2), np.ones(3))
+
+
+def test_residual_dense_and_sparse_agree():
+    rng = np.random.default_rng(0)
+    A = rng.random((5, 5))
+    x = rng.random(5)
+    b = rng.random(5)
+    r_dense = residual(A, x, b)
+    r_sparse = residual(sp.csr_matrix(A), x, b)
+    np.testing.assert_allclose(r_dense, r_sparse)
+
+
+def test_residual_norm_zero_for_exact_solution():
+    A = np.diag([2.0, 3.0])
+    x = np.array([1.0, 1.0])
+    b = A @ x
+    assert residual_norm(A, x, b) == 0.0
+
+
+def test_relative_residual_scale_free():
+    A = np.diag([2.0, 3.0])
+    x = np.array([1.0, 2.0])
+    b = A @ x
+    x_wrong = x + 0.1
+    r1 = relative_residual(A, x_wrong, b)
+    r2 = relative_residual(1000 * A, x_wrong, 1000 * b)
+    assert r1 == pytest.approx(r2)

@@ -1,0 +1,100 @@
+"""Unit tests for repro.linalg.sparse structural helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import (
+    as_csc,
+    as_csr,
+    column_block,
+    extract_block,
+    is_square,
+    lower_bandwidth,
+    row_block,
+    sparse_equal,
+    upper_bandwidth,
+)
+
+
+@pytest.fixture
+def A():
+    return sp.csr_matrix(
+        np.array(
+            [
+                [4.0, -1.0, 0.0, 0.0],
+                [-1.0, 4.0, -1.0, 0.0],
+                [0.0, -1.0, 4.0, -1.0],
+                [0.0, 0.0, -1.0, 4.0],
+            ]
+        )
+    )
+
+
+def test_as_csr_accepts_dense():
+    M = as_csr(np.eye(3))
+    assert sp.issparse(M) and M.format == "csr"
+
+
+def test_as_csc_accepts_csr(A):
+    assert as_csc(A).format == "csc"
+
+
+def test_is_square(A):
+    assert is_square(A)
+    assert not is_square(sp.csr_matrix(np.ones((2, 3))))
+
+
+def test_row_block_matches_dense(A):
+    np.testing.assert_allclose(row_block(A, 1, 3).toarray(), A.toarray()[1:3, :])
+
+
+def test_column_block_matches_dense(A):
+    np.testing.assert_allclose(column_block(A, 0, 2).toarray(), A.toarray()[:, 0:2])
+
+
+def test_extract_block_with_arrays(A):
+    rows = np.array([0, 2])
+    cols = np.array([1, 3])
+    np.testing.assert_allclose(
+        extract_block(A, rows, cols).toarray(), A.toarray()[np.ix_(rows, cols)]
+    )
+
+
+def test_extract_block_with_slices(A):
+    np.testing.assert_allclose(
+        extract_block(A, slice(1, 4), slice(0, 2)).toarray(), A.toarray()[1:4, 0:2]
+    )
+
+
+def test_extract_block_out_of_range(A):
+    with pytest.raises(IndexError):
+        extract_block(A, np.array([5]), np.array([0]))
+
+
+def test_bandwidths_tridiagonal(A):
+    assert lower_bandwidth(A) == 1
+    assert upper_bandwidth(A) == 1
+
+
+def test_bandwidths_asymmetric():
+    M = sp.csr_matrix(np.triu(np.ones((5, 5))))
+    assert lower_bandwidth(M) == 0
+    assert upper_bandwidth(M) == 4
+
+
+def test_bandwidth_ignores_explicit_zeros():
+    M = sp.csr_matrix((np.array([0.0]), (np.array([4]), np.array([0]))), shape=(5, 5))
+    assert lower_bandwidth(M) == 0
+
+
+def test_sparse_equal_exact(A):
+    assert sparse_equal(A, A.copy())
+    B = A.copy()
+    B[0, 0] = 5.0
+    assert not sparse_equal(A, B)
+    assert sparse_equal(A, B, atol=2.0)
+
+
+def test_sparse_equal_shape_mismatch(A):
+    assert not sparse_equal(A, sp.identity(3))

@@ -1,0 +1,100 @@
+"""Tests for the cage analogs and the named workload collection."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    CAGE_SPECS,
+    cage_analog,
+    cage_like,
+    is_strictly_diagonally_dominant,
+    jacobi_spectral_radius,
+    load_workload,
+    WORKLOADS,
+    workload_names,
+)
+
+
+class TestCage:
+    def test_specs_cover_paper_instances(self):
+        assert set(CAGE_SPECS) == {"cage10", "cage11", "cage12"}
+        assert CAGE_SPECS["cage10"].paper_n == 11397
+        assert CAGE_SPECS["cage12"].paper_n == 130228
+
+    def test_size_ordering_matches_paper(self):
+        ns = [CAGE_SPECS[k].n for k in ("cage10", "cage11", "cage12")]
+        assert ns[0] < ns[1] < ns[2]
+
+    def test_cage_like_is_nonsymmetric(self):
+        A = cage_like(200, seed=0)
+        assert (A != A.T).nnz > 0
+
+    def test_cage_like_dominant_and_convergent(self):
+        A = cage_like(300, seed=1)
+        assert is_strictly_diagonally_dominant(A)
+        assert jacobi_spectral_radius(A) < 1.0
+
+    def test_cage_like_deterministic(self):
+        assert (cage_like(100, seed=5) != cage_like(100, seed=5)).nnz == 0
+
+    def test_cage_like_sparse(self):
+        A = cage_like(1000, seed=2)
+        # multi-diagonal structure: a few tens of nnz per row at most
+        assert A.nnz / A.shape[0] < 40
+
+    def test_cage_analog_scaling(self):
+        small = cage_analog("cage10", scale=0.5)
+        default = cage_analog("cage10")
+        assert small.shape[0] < default.shape[0]
+
+    def test_cage_analog_unknown_name(self):
+        with pytest.raises(KeyError):
+            cage_analog("cage99")
+
+    def test_cage_like_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            cage_like(1)
+        with pytest.raises(ValueError):
+            cage_like(100, dominance=0.9)
+        with pytest.raises(ValueError):
+            cage_like(10, strides=(0,))
+
+
+class TestCollection:
+    def test_registry_has_all_five_paper_matrices(self):
+        assert set(workload_names()) == {
+            "cage10",
+            "cage11",
+            "cage12",
+            "gen-large",
+            "gen-overlap",
+        }
+
+    def test_paper_orders_recorded(self):
+        assert WORKLOADS["gen-large"].paper_n == 500_000
+        assert WORKLOADS["gen-overlap"].paper_n == 100_000
+
+    def test_load_returns_consistent_triple(self):
+        A, b, x = load_workload("cage10", n=200)
+        assert A.shape == (200, 200)
+        np.testing.assert_allclose(A @ x, b, rtol=1e-12, atol=1e-9)
+
+    def test_scale_changes_order(self):
+        A1, _, _ = load_workload("gen-large", scale=0.05)
+        A2, _, _ = load_workload("gen-large", scale=0.1)
+        assert A1.shape[0] < A2.shape[0]
+
+    def test_overlap_workload_has_radius_near_one(self):
+        A, _, _ = load_workload("gen-overlap", n=1500)
+        rho = jacobi_spectral_radius(A)
+        assert 0.93 < rho < 1.0
+
+    def test_all_workloads_loadable_small(self):
+        for name in workload_names():
+            A, b, x = load_workload(name, n=64)
+            assert A.shape == (64, 64)
+            assert b.shape == (64,)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            load_workload("cage13")

@@ -1,0 +1,85 @@
+"""Round-trip and error tests for the Harwell-Boeing .rua reader/writer."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices import HBFormatError, cage_like, poisson_2d, read_rua, write_rua
+
+
+def test_roundtrip_poisson(tmp_path):
+    A = poisson_2d(6)
+    path = tmp_path / "poisson.rua"
+    write_rua(path, A, title="poisson 6x6 grid", key="POI6")
+    B = read_rua(path)
+    assert B.shape == A.shape
+    assert abs(A - B).max() < 1e-10
+
+
+def test_roundtrip_cage_analog(tmp_path):
+    A = cage_like(150, seed=4)
+    path = tmp_path / "cage.rua"
+    write_rua(path, A)
+    B = read_rua(path)
+    assert abs(A - B).max() < 1e-9
+
+
+def test_roundtrip_dense_input(tmp_path):
+    A = np.array([[2.0, -1.0], [0.5, 3.0]])
+    path = tmp_path / "dense.rua"
+    write_rua(path, A)
+    np.testing.assert_allclose(read_rua(path).toarray(), A, atol=1e-10)
+
+
+def test_roundtrip_preserves_negative_and_tiny_values(tmp_path):
+    A = sp.csr_matrix(np.array([[1e-11, -5.0], [0.0, 2e10]]))
+    path = tmp_path / "vals.rua"
+    write_rua(path, A)
+    B = read_rua(path)
+    np.testing.assert_allclose(B.toarray(), A.toarray(), rtol=1e-10)
+
+
+def test_header_fields(tmp_path):
+    A = poisson_2d(3)
+    path = tmp_path / "hdr.rua"
+    write_rua(path, A, title="my title", key="KEY1")
+    lines = path.read_text().splitlines()
+    assert lines[0].startswith("my title")
+    assert "RUA" in lines[2]
+
+
+def test_fortran_d_exponent(tmp_path):
+    """Legacy files use D exponents (1.5D+00); the reader must accept them."""
+    A = sp.csr_matrix(np.array([[1.5]]))
+    path = tmp_path / "dexp.rua"
+    write_rua(path, A)
+    text = path.read_text().replace("E+00", "D+00")
+    path.write_text(text)
+    assert read_rua(path)[0, 0] == pytest.approx(1.5)
+
+
+def test_reader_rejects_complex_type(tmp_path):
+    A = poisson_2d(3)
+    path = tmp_path / "bad.rua"
+    write_rua(path, A)
+    text = path.read_text().replace("RUA", "CUA")
+    path.write_text(text)
+    with pytest.raises(HBFormatError):
+        read_rua(path)
+
+
+def test_reader_rejects_truncated_file(tmp_path):
+    A = poisson_2d(4)
+    path = tmp_path / "trunc.rua"
+    write_rua(path, A)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+    with pytest.raises(HBFormatError):
+        read_rua(path)
+
+
+def test_reader_rejects_garbage_header(tmp_path):
+    path = tmp_path / "garbage.rua"
+    path.write_text("hello\nworld\n")
+    with pytest.raises(HBFormatError):
+        read_rua(path)

@@ -1,0 +1,104 @@
+"""Tests for Section-5 matrix class predicates (repro.matrices.properties)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrices import (
+    diagonal_dominance_margin,
+    diagonally_dominant,
+    is_irreducible,
+    is_irreducibly_diagonally_dominant,
+    is_m_matrix,
+    is_strictly_diagonally_dominant,
+    is_weakly_diagonally_dominant,
+    is_z_matrix,
+    jacobi_matrix,
+    jacobi_spectral_radius,
+    poisson_1d,
+    poisson_2d,
+)
+
+
+class TestDominance:
+    def test_margin_strict(self):
+        A = np.array([[3.0, -1.0], [1.0, 2.0]])
+        assert diagonal_dominance_margin(A) == pytest.approx(1.0)
+
+    def test_strict_and_weak(self):
+        strict = np.array([[3.0, -1.0], [0.5, 2.0]])
+        weak = np.array([[1.0, -1.0], [0.5, 2.0]])
+        bad = np.array([[0.5, -1.0], [0.5, 2.0]])
+        assert is_strictly_diagonally_dominant(strict)
+        assert not is_strictly_diagonally_dominant(weak)
+        assert is_weakly_diagonally_dominant(weak)
+        assert not is_weakly_diagonally_dominant(bad)
+
+    def test_poisson_is_irreducibly_dominant_not_strict(self):
+        A = poisson_1d(10)
+        assert not is_strictly_diagonally_dominant(A)
+        assert is_irreducibly_diagonally_dominant(A)
+
+    def test_reducible_matrix_detected(self):
+        A = sp.block_diag([poisson_1d(3), poisson_1d(3)]).tocsr()
+        assert not is_irreducible(A)
+        assert not is_irreducibly_diagonally_dominant(A)
+
+    def test_irreducible_chain(self):
+        assert is_irreducible(poisson_1d(6))
+
+
+class TestZAndM:
+    def test_poisson_is_m_matrix(self):
+        assert is_z_matrix(poisson_2d(4))
+        assert is_m_matrix(poisson_2d(4))
+
+    def test_positive_offdiag_not_z(self):
+        A = np.array([[2.0, 0.5], [-0.5, 2.0]])
+        assert not is_z_matrix(A)
+
+    def test_singular_m_candidate_rejected(self):
+        # Weakly dominant Z-matrix with zero row sums everywhere: singular.
+        A = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        assert is_z_matrix(A)
+        assert not is_m_matrix(A)
+
+    def test_negative_diagonal_not_m(self):
+        A = np.array([[-2.0, -1.0], [-1.0, -2.0]])
+        assert is_z_matrix(A)
+        assert not is_m_matrix(A)
+
+    def test_generated_m_matrix(self):
+        A = diagonally_dominant(60, negative_off_diagonals=True, seed=11)
+        assert is_m_matrix(A)
+
+
+class TestJacobi:
+    def test_jacobi_matrix_explicit(self):
+        A = np.array([[2.0, -1.0], [-1.0, 2.0]])
+        J = jacobi_matrix(A).toarray()
+        np.testing.assert_allclose(J, [[0.0, 0.5], [0.5, 0.0]])
+
+    def test_jacobi_zero_diagonal_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            jacobi_matrix(np.array([[0.0, 1.0], [1.0, 1.0]]))
+
+    def test_proposition1_dominant_implies_radius_below_one(self):
+        """Proposition 1: strict dominance => rho(|J|) < 1."""
+        A = diagonally_dominant(80, dominance=1.5, seed=2)
+        assert jacobi_spectral_radius(A, absolute=True) < 1.0
+
+    def test_plain_vs_absolute_radius(self):
+        A = poisson_1d(8)
+        rho_abs = jacobi_spectral_radius(A, absolute=True)
+        rho = jacobi_spectral_radius(A, absolute=False)
+        assert rho <= rho_abs + 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 40), st.floats(1.1, 3.0))
+    def test_property_dominance_jacobi_bound(self, n, dom):
+        """rho(|J|) <= 1/dominance for the generated family."""
+        A = diagonally_dominant(n, dominance=dom, seed=1)
+        assert jacobi_spectral_radius(A) <= 1.0 / dom + 1e-8
