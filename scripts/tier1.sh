@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 gate: runs the ROADMAP verify command from any working directory.
+#
+#   scripts/tier1.sh            # the full tier-1 suite
+#   scripts/tier1.sh tests/test_direct_cache.py   # extra args forwarded
+#
+# Benchmarks are run separately (they are aggregate table replays):
+#   PYTHONPATH=src python -m pytest benchmarks/bench_factor_cache.py -q
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest -x -q "$@"

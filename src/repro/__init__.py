@@ -36,6 +36,7 @@ __version__ = "1.0.0"
 from repro.matrices.collection import load_workload, workload_names
 
 __all__ = [
+    "FactorizationCache",
     "MultisplittingSolver",
     "SolveResult",
     "load_workload",
@@ -51,4 +52,8 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         from repro.core.solver import MultisplittingSolver, SolveResult
 
         return {"MultisplittingSolver": MultisplittingSolver, "SolveResult": SolveResult}[name]
+    if name == "FactorizationCache":
+        from repro.direct.cache import FactorizationCache
+
+        return FactorizationCache
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -47,6 +47,7 @@ from repro.core.stopping import StoppingCriterion
 from repro.core.weighting import WeightingScheme
 from repro.detection import make_async_detector
 from repro.direct.base import DirectSolver
+from repro.direct.cache import FactorizationCache
 from repro.grid.comm import vector_bytes
 from repro.grid.engine import ANY
 from repro.grid.topology import Cluster
@@ -67,17 +68,25 @@ def run_asynchronous(
     stopping: StoppingCriterion | None = None,
     detection: str = "centralized",
     x0: np.ndarray | None = None,
+    cache: FactorizationCache | None = None,
 ) -> DistributedRunResult:
     """Run the asynchronous algorithm; returns a :class:`DistributedRunResult`.
 
     ``stopping.consecutive`` defaults to 3 here (a single small local diff
-    against stale data is not evidence of convergence).
+    against stale data is not evidence of convergence).  ``cache`` enables
+    factorization reuse across runs (counters land in ``stats``).
     """
     if stopping is None:
         stopping = StoppingCriterion(consecutive=3)
+    if np.asarray(b).ndim != 1:
+        raise ValueError(
+            "the distributed drivers solve one right-hand side; "
+            "use multisplitting_iterate for batched (n, k) blocks"
+        )
     L = partition.nprocs
     hosts = placement_for(cluster, L)
-    systems = build_local_systems(A, b, partition.sets, solver)
+    cache_before = cache.stats.snapshot() if cache is not None else None
+    systems = build_local_systems(A, b, partition.sets, solver, cache=cache)
     pattern = communication_pattern(partition, weighting, systems)
     n = partition.n
     z_init = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
@@ -226,6 +235,8 @@ def run_asynchronous(
         engine.spawn(make_proc(l), hosts[l], name=f"ms-async-{l}")
     engine.run()
     outcomes: list[ProcOutcome] = engine.results()
+    if cache is not None:
+        recorder.record_cache(cache.stats.since(cache_before))
 
     x = assemble_solution(partition, outcomes)
     converged = all(o.locally_converged for o in outcomes)

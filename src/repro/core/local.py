@@ -13,6 +13,15 @@ multiplied by stored zeros and cost nothing: the matrix is pruned).
 ``ASub`` is factorized **once** (Remark 4); every call to
 :meth:`LocalSystem.solve_with` reuses the factors, and the handle exposes
 the factor/solve flop counts so the simulator can charge realistic times.
+
+When a :class:`repro.direct.cache.FactorizationCache` is supplied, the
+factorization is obtained (and every re-solve resolved) *through the
+cache*: the initial factor is the entry's single miss, and each outer
+iteration's solve performs one keyed lookup -- a hit -- so the
+factor-once/solve-many invariant of the paper becomes an observable
+counter rather than an implicit property.  Re-running against the same
+sub-blocks (another execution mode, a repeated right-hand side, a frozen
+Newton Jacobian) then skips the factorization entirely.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.direct.base import DirectSolver, Factorization
+from repro.direct.cache import CacheKey, FactorizationCache
 from repro.linalg.sparse import as_csr
 
 __all__ = ["LocalSystem", "build_local_systems"]
@@ -43,11 +53,17 @@ class LocalSystem:
     dep:
         ``A[J_l, :]`` with ``J_l`` columns zeroed and pruned (CSR).
     b_sub:
-        ``b[J_l]``.
+        ``b[J_l]`` -- shape ``(|J_l|,)`` or ``(|J_l|, k)`` for batched
+        right-hand sides.
     rhs_flops:
         Flops of one right-hand-side update (``2 nnz(dep)``).
     factor_flops / solve_flops / factor_memory_bytes:
         Forwarded from the kernel's :class:`~repro.direct.base.FactorStats`.
+    solver / cache / cache_key:
+        When built through a :class:`~repro.direct.cache.FactorizationCache`,
+        the kernel and precomputed key used to resolve the factors on every
+        solve (each resolve is a counted cache hit; after an eviction the
+        retained handle is used, never a re-factorization).
     """
 
     index: int
@@ -60,19 +76,49 @@ class LocalSystem:
     solve_flops: float
     factor_memory_bytes: int
     a_sub: sp.csr_matrix | None = None
+    solver: DirectSolver | None = None
+    cache: FactorizationCache | None = None
+    cache_key: CacheKey | None = None
 
     @property
     def size(self) -> int:
         """Number of unknowns this processor solves (``|J_l|``)."""
         return int(self.rows.size)
 
+    def _factors(self) -> Factorization:
+        """Resolve the factorization, through the cache when one is attached."""
+        if self.cache is not None:
+            # One keyed lookup per solve (a counted hit).  If the entry was
+            # evicted or invalidated behind our back, fall back to the
+            # retained handle: re-registering would thrash a cache whose
+            # capacity is below the number of live sub-blocks, paying a
+            # full factorization per solve.
+            fact = self.cache.get(self.cache_key, count_miss=False)
+            if fact is not None:
+                self.factorization = fact
+        return self.factorization
+
     def local_rhs(self, z_full: np.ndarray) -> np.ndarray:
-        """Return ``BLoc = BSub - Dep @ z`` for the current local copy."""
+        """Return ``BLoc = BSub - Dep @ z`` for the current local copy.
+
+        ``z_full`` may be a vector ``(n,)`` or a batch ``(n, k)``; the
+        coupling product handles all columns at once.
+        """
+        if z_full.ndim == 2 and self.b_sub.ndim == 1:
+            return self.b_sub[:, None] - self.dep @ z_full
         return self.b_sub - self.dep @ z_full
 
     def solve_with(self, z_full: np.ndarray) -> np.ndarray:
-        """One inner direct solve: returns ``XSub`` over ``J_l``."""
-        return self.factorization.solve(self.local_rhs(z_full))
+        """One inner direct solve: returns ``XSub`` over ``J_l``.
+
+        A 2-D local copy triggers the batched multi-RHS path: all columns
+        are forwarded to :meth:`Factorization.solve_many` in one call.
+        """
+        rhs = self.local_rhs(z_full)
+        fact = self._factors()
+        if rhs.ndim == 2:
+            return fact.solve_many(rhs)
+        return fact.solve(rhs)
 
     @property
     def iteration_flops(self) -> float:
@@ -89,6 +135,8 @@ class LocalSystem:
         """
         if self.a_sub is None:
             raise ValueError("LocalSystem built without a_sub retention")
+        if z_full.ndim == 2 and self.b_sub.ndim == 1:
+            return self.b_sub[:, None] - self.a_sub @ piece - self.dep @ z_full
         return self.b_sub - self.a_sub @ piece - self.dep @ z_full
 
     @property
@@ -103,6 +151,8 @@ def build_local_systems(
     b: np.ndarray,
     sets: tuple[np.ndarray, ...] | list[np.ndarray],
     solver: "DirectSolver | list[DirectSolver] | tuple[DirectSolver, ...]",
+    *,
+    cache: FactorizationCache | None = None,
 ) -> list[LocalSystem]:
     """Slice, prune, and factor every processor's band (the init step).
 
@@ -114,6 +164,16 @@ def build_local_systems(
     outer iteration is oblivious to the mix: each kernel only has to
     honour the ``factor``/``solve`` contract.
 
+    ``cache`` routes the factorization through a
+    :class:`~repro.direct.cache.FactorizationCache`: a sub-block already
+    factored (by an earlier run, another execution mode, or a previous
+    Newton step with the same Jacobian block) is reused instead of
+    re-factored, and every subsequent solve resolves the factors through
+    a keyed lookup so reuse is counted.
+
+    ``b`` may be a single right-hand side ``(n,)`` or a batch ``(n, k)``;
+    the batched case flows through the multi-RHS triangular kernels.
+
     Raises whatever the direct kernel raises on singular sub-blocks; for
     the matrix classes of Section 5 every principal sub-matrix is
     non-singular, so a failure here signals an input outside the theory.
@@ -121,8 +181,8 @@ def build_local_systems(
     csr = as_csr(A)
     b = np.asarray(b, dtype=float)
     n = csr.shape[0]
-    if b.shape != (n,):
-        raise ValueError(f"b must have shape ({n},)")
+    if b.ndim not in (1, 2) or b.shape[0] != n:
+        raise ValueError(f"b must have shape ({n},) or ({n}, k)")
     if isinstance(solver, (list, tuple)):
         if len(solver) != len(sets):
             raise ValueError(
@@ -141,7 +201,12 @@ def build_local_systems(
         dep[:, rows] = 0.0
         dep = dep.tocsr()
         dep.eliminate_zeros()
-        fact = per_band[l].factor(a_sub)
+        if cache is not None:
+            key = cache.key_for(per_band[l], a_sub)
+            fact = cache.factor(per_band[l], a_sub, key=key)
+        else:
+            key = None
+            fact = per_band[l].factor(a_sub)
         systems.append(
             LocalSystem(
                 index=l,
@@ -154,6 +219,9 @@ def build_local_systems(
                 solve_flops=fact.stats.solve_flops,
                 factor_memory_bytes=fact.stats.memory_bytes,
                 a_sub=a_sub.tocsr(),
+                solver=per_band[l],
+                cache=cache,
+                cache_key=key,
             )
         )
     return systems

@@ -9,6 +9,14 @@ It serves three purposes:
 * the *chaotic* variant (:func:`chaotic_iterate`) emulates asynchronous
   executions with bounded delays and partial updates, letting property
   tests exercise Theorem 1's asynchronous branch deterministically.
+
+Both drivers accept a :class:`repro.direct.cache.FactorizationCache` so
+each sub-block is factored exactly once per (matrix, splitting) and the
+factors are reused across every outer iteration -- and, when the cache is
+shared, across repeated runs and Newton steps.  ``b`` may also be a batch
+``(n, k)`` of right-hand sides: every processor then solves all its local
+RHS columns in one vectorized multi-RHS call instead of the driver being
+re-run column by column.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from repro.core.partition import GeneralPartition
 from repro.core.stopping import StoppingCriterion
 from repro.core.weighting import WeightingScheme
 from repro.direct.base import DirectSolver
+from repro.direct.cache import CacheStats, FactorizationCache
 from repro.linalg.norms import max_norm, residual_norm
 
 __all__ = ["SequentialResult", "multisplitting_iterate", "chaotic_iterate"]
@@ -35,7 +44,8 @@ class SequentialResult:
     Attributes
     ----------
     x:
-        Final combined iterate (core-owned components of each processor).
+        Final combined iterate (core-owned components of each processor);
+        shape ``(n,)`` or ``(n, k)`` for batched right-hand sides.
     iterations:
         Outer iterations executed.
     converged:
@@ -43,7 +53,11 @@ class SequentialResult:
     history:
         Per-iteration monitor values (diff max-norms).
     residual:
-        Final true residual ``||b - A x||_inf``.
+        Final true residual ``||b - A x||_inf`` (max over columns when
+        batched).
+    cache_stats:
+        Factorization-cache counters attributable to this run (``None``
+        when no cache was supplied).
     """
 
     x: np.ndarray
@@ -51,11 +65,13 @@ class SequentialResult:
     converged: bool
     history: list[float] = field(default_factory=list)
     residual: float = np.nan
+    cache_stats: CacheStats | None = None
 
 
 def _combine_core(partition: GeneralPartition, pieces: list[np.ndarray]) -> np.ndarray:
     """Assemble the global estimate from the owned (core) components."""
-    x = np.empty(partition.n)
+    shape = (partition.n,) if pieces[0].ndim == 1 else (partition.n, pieces[0].shape[1])
+    x = np.empty(shape)
     for l, C in enumerate(partition.core):
         rows = partition.sets[l]
         sel = np.isin(rows, C)
@@ -73,6 +89,7 @@ def multisplitting_iterate(
     stopping: StoppingCriterion | None = None,
     x0: np.ndarray | None = None,
     callback: Callable[[int, np.ndarray], None] | None = None,
+    cache: FactorizationCache | None = None,
 ) -> SequentialResult:
     """Run the synchronous multisplitting-direct iteration in-process.
 
@@ -83,16 +100,25 @@ def multisplitting_iterate(
 
     Parameters
     ----------
+    b:
+        One right-hand side ``(n,)`` or a batch ``(n, k)`` solved
+        simultaneously (all columns share the factored sub-blocks and
+        the stopping rule monitors the worst column).
     callback:
         Optional observer ``callback(iteration, x_estimate)``.
+    cache:
+        Optional factorization cache; sub-blocks already present are not
+        re-factored, and reuse is counted in the returned ``cache_stats``.
     """
     stopping = stopping or StoppingCriterion()
     n = partition.n
     L = partition.nprocs
-    systems = build_local_systems(A, b, partition.sets, solver)
-    z0 = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
-    if z0.shape != (n,):
-        raise ValueError(f"x0 must have shape ({n},)")
+    b = np.asarray(b, dtype=float)
+    cache_before = cache.stats.snapshot() if cache is not None else None
+    systems = build_local_systems(A, b, partition.sets, solver, cache=cache)
+    z0 = np.zeros(b.shape) if x0 is None else np.asarray(x0, dtype=float).copy()
+    if z0.shape != b.shape:
+        raise ValueError(f"x0 must have shape {b.shape}")
     Z = [z0.copy() for _ in range(L)]
     weights = [weighting.update_weights(l) for l in range(L)]
     state = stopping.new_state()
@@ -100,13 +126,15 @@ def multisplitting_iterate(
     history: list[float] = []
     converged = False
     iterations = 0
+    batched = b.ndim == 2
     for it in range(1, stopping.max_iterations + 1):
         iterations = it
         pieces = [systems[l].solve_with(Z[l]) for l in range(L)]
         for l in range(L):
-            z_new = np.zeros(n)
+            z_new = np.zeros(b.shape)
             for k, w in weights[l].items():
-                z_new[partition.sets[k]] += w * pieces[k]
+                wk = w[:, None] if batched else w
+                z_new[partition.sets[k]] += wk * pieces[k]
             Z[l] = z_new
         x_est = _combine_core(partition, pieces)
         if stopping.metric == "residual":
@@ -126,6 +154,7 @@ def multisplitting_iterate(
         converged=converged,
         history=history,
         residual=residual_norm(A, x_prev, b),
+        cache_stats=cache.stats.since(cache_before) if cache is not None else None,
     )
 
 
@@ -141,6 +170,7 @@ def chaotic_iterate(
     update_probability: float = 0.7,
     seed: int = 0,
     x0: np.ndarray | None = None,
+    cache: FactorizationCache | None = None,
 ) -> SequentialResult:
     """Emulate an asynchronous execution with bounded delays.
 
@@ -154,6 +184,19 @@ def chaotic_iterate(
     The schedule keeps the totality assumption of asynchronous iteration
     theory: every processor updates infinitely often (at least once every
     ``ceil(1/update_probability) * 4`` steps, enforced explicitly).
+
+    The diff monitor alone is unsound under stale reads: a processor that
+    re-solves against *unchanged* stale data reproduces its piece
+    bit-for-bit, so a streak of tiny (even exactly zero) diffs can occur
+    while the true error is orders of magnitude above the tolerance.
+    Because this in-process emulation has ``A`` and ``b`` at hand, every
+    candidate stop is therefore *verified* against the true residual,
+    ``||b - A x||_inf <= tolerance * max(1, ||A||_inf)``, before
+    ``converged`` is reported -- scale-invariant (near the fixed point
+    ``||r|| <= ||A|| ||x - x*||``), so the flag means what the tolerance
+    says regardless of how ``A`` is scaled.  (The distributed solvers
+    achieve the same soundness through their detection protocols'
+    verification rounds.)
     """
     if not (0.0 < update_probability <= 1.0):
         raise ValueError("update_probability must lie in (0, 1]")
@@ -162,9 +205,14 @@ def chaotic_iterate(
     stopping = stopping or StoppingCriterion(consecutive=3)
     rng = np.random.default_rng(seed)
     n, L = partition.n, partition.nprocs
-    systems = build_local_systems(A, b, partition.sets, solver)
-    z0 = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
+    b = np.asarray(b, dtype=float)
+    cache_before = cache.stats.snapshot() if cache is not None else None
+    systems = build_local_systems(A, b, partition.sets, solver, cache=cache)
+    z0 = np.zeros(b.shape) if x0 is None else np.asarray(x0, dtype=float).copy()
+    if z0.shape != b.shape:
+        raise ValueError(f"x0 must have shape {b.shape}")
     weights = [weighting.update_weights(l) for l in range(L)]
+    batched = b.ndim == 2
     # ring buffer of historical pieces for stale reads
     pieces = [z0[partition.sets[l]].copy() for l in range(L)]
     piece_history: list[list[np.ndarray]] = [[p.copy() for p in pieces]]
@@ -179,6 +227,10 @@ def chaotic_iterate(
     # updated says little.  Convergence additionally requires that *every*
     # processor has updated since the last above-tolerance diff.
     updated_since_bad: set[int] = set()
+    # Residual threshold for verifying candidate stops (see docstring).
+    row_sums = np.abs(A).sum(axis=1)
+    norm_A = float(np.max(np.asarray(row_sums))) if partition.n else 0.0
+    residual_tolerance = stopping.tolerance * max(1.0, norm_A)
     for it in range(1, stopping.max_iterations + 1):
         iterations = it
         new_pieces = [p.copy() for p in pieces]
@@ -190,12 +242,13 @@ def chaotic_iterate(
             since_update[l] = 0
             updated_now.append(l)
             # build z^l from (possibly stale) neighbour pieces
-            z = np.zeros(n)
+            z = np.zeros(b.shape)
             for k, w in weights[l].items():
                 lag = int(rng.integers(0, max_delay + 1)) if k != l else 0
                 lag = min(lag, len(piece_history) - 1)
                 stale = piece_history[-1 - lag][k]
-                z[partition.sets[k]] += w * stale
+                wk = w[:, None] if batched else w
+                z[partition.sets[k]] += wk * stale
             new_pieces[l] = systems[l].solve_with(z)
         pieces = new_pieces
         piece_history.append([p.copy() for p in pieces])
@@ -211,12 +264,18 @@ def chaotic_iterate(
         else:
             updated_since_bad.update(updated_now)
         if quiet and len(updated_since_bad) == L:
-            converged = True
-            break
+            # Candidate stop: verify against the true residual so stale
+            # no-op re-solves can never fake convergence.
+            if residual_norm(A, x_est, b) <= residual_tolerance:
+                converged = True
+                break
+            state.reset()
+            updated_since_bad.clear()
     return SequentialResult(
         x=x_prev,
         iterations=iterations,
         converged=converged,
         history=history,
         residual=residual_norm(A, x_prev, b),
+        cache_stats=cache.stats.since(cache_before) if cache is not None else None,
     )

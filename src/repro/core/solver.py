@@ -33,6 +33,7 @@ from repro.core.stopping import StoppingCriterion
 from repro.core.sync import run_synchronous
 from repro.core.weighting import WeightingScheme, make_weighting
 from repro.direct.base import DirectSolver, get_solver
+from repro.direct.cache import CacheStats, FactorizationCache
 from repro.grid.topology import Cluster, cluster1
 from repro.grid.trace import RunStats
 
@@ -80,6 +81,7 @@ class SolveResult:
     factorization_time: float | None = None
     detection_messages: int = 0
     stats: RunStats | None = None
+    cache_stats: CacheStats | None = None
 
     def error_vs(self, x_true: np.ndarray) -> float:
         """Max-norm error against a known solution."""
@@ -120,6 +122,18 @@ class MultisplittingSolver:
     proportional:
         When True (default) bands are sized proportionally to host speeds
         on heterogeneous clusters.
+    cache:
+        Factorization reuse across :meth:`solve` calls.  ``True``
+        (default) gives the solver its own
+        :class:`~repro.direct.cache.FactorizationCache` (LRU-bounded to
+        256 sub-blocks so a long-lived solver cannot grow without
+        bound), so re-solving the same system (new right-hand side,
+        another execution mode, a perturbed cluster) skips every
+        sub-block factorization; ``False`` disables reuse; an explicit
+        cache instance shares entries with other solvers and controls
+        its own capacity.  Per-run counters are reported on
+        :attr:`SolveResult.cache_stats` (and, for the distributed modes,
+        in ``SolveResult.stats``).
     """
 
     def __init__(
@@ -135,6 +149,7 @@ class MultisplittingSolver:
         max_iterations: int | None = None,
         detection: str = "centralized",
         proportional: bool = True,
+        cache: "FactorizationCache | bool" = True,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -157,6 +172,12 @@ class MultisplittingSolver:
         self.weighting = weighting
         self.detection = detection
         self.proportional = proportional
+        if cache is True:
+            self.cache: FactorizationCache | None = FactorizationCache(capacity=256)
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
         default_consecutive = 1 if mode != "asynchronous" else 3
         if max_iterations is None:
             # Asynchronous runs legitimately take many more (cheap, local)
@@ -208,7 +229,8 @@ class MultisplittingSolver:
             part = self._normalize_partition(partition, n, None, nprocs)
             scheme = self._resolve_weighting(part)
             seq = multisplitting_iterate(
-                A, b, part, scheme, self.direct_solver, stopping=self.stopping, x0=x0
+                A, b, part, scheme, self.direct_solver, stopping=self.stopping,
+                x0=x0, cache=self.cache,
             )
             return SolveResult(
                 x=seq.x,
@@ -218,6 +240,7 @@ class MultisplittingSolver:
                 residual=seq.residual,
                 mode="sequential",
                 nprocs=part.nprocs,
+                cache_stats=seq.cache_stats,
             )
 
         nprocs = self.processors or (len(cluster.hosts) if cluster is not None else 4)
@@ -226,6 +249,7 @@ class MultisplittingSolver:
         part = self._normalize_partition(partition, n, cluster, nprocs)
         scheme = self._resolve_weighting(part)
         runner = run_synchronous if self.mode == "synchronous" else run_asynchronous
+        cache_before = self.cache.stats.snapshot() if self.cache is not None else None
         run = runner(
             A,
             b,
@@ -236,6 +260,7 @@ class MultisplittingSolver:
             stopping=self.stopping,
             detection=self.detection,
             x0=x0,
+            cache=self.cache,
         )
         return SolveResult(
             x=run.x,
@@ -250,6 +275,9 @@ class MultisplittingSolver:
             factorization_time=run.factorization_time,
             detection_messages=run.detection_messages,
             stats=run.stats,
+            cache_stats=(
+                self.cache.stats.since(cache_before) if self.cache is not None else None
+            ),
         )
 
     def _normalize_partition(

@@ -81,6 +81,16 @@ class LocalConvergenceState:
             self.streak = 0
         return self.converged
 
+    def reset(self) -> None:
+        """Discard the current streak.
+
+        Used when an external verification (e.g. a true-residual check on
+        a candidate stop) contradicts the monitor: the tracker starts
+        collecting evidence from scratch instead of re-declaring
+        convergence on the very next quiet observation.
+        """
+        self.streak = 0
+
     def observe_diff(self, x_new: np.ndarray, x_old: np.ndarray) -> bool:
         """Feed the iterate change ``||x_new - x_old||_inf``."""
         return self.observe(max_norm(np.asarray(x_new) - np.asarray(x_old)))

@@ -39,6 +39,7 @@ from repro.core.stopping import StoppingCriterion
 from repro.core.weighting import WeightingScheme
 from repro.detection.synchronous import sync_converged
 from repro.direct.base import DirectSolver
+from repro.direct.cache import FactorizationCache
 from repro.grid.comm import vector_bytes
 from repro.grid.topology import Cluster
 from repro.grid.trace import TraceRecorder
@@ -66,17 +67,25 @@ def run_synchronous(
     stopping: StoppingCriterion | None = None,
     detection: str = "centralized",
     x0: np.ndarray | None = None,
+    cache: FactorizationCache | None = None,
 ) -> DistributedRunResult:
     """Run the synchronous algorithm; returns a :class:`DistributedRunResult`.
 
     The ``detection`` string selects the vote schedule (``"centralized"``
     or ``"decentralized"``); both are exact in synchronous mode and differ
-    only in communication cost.
+    only in communication cost.  ``cache`` enables factorization reuse
+    across runs (the per-run reuse counters land in ``stats``).
     """
     stopping = stopping or StoppingCriterion()
+    if np.asarray(b).ndim != 1:
+        raise ValueError(
+            "the distributed drivers solve one right-hand side; "
+            "use multisplitting_iterate for batched (n, k) blocks"
+        )
     L = partition.nprocs
     hosts = placement_for(cluster, L)
-    systems = build_local_systems(A, b, partition.sets, solver)
+    cache_before = cache.stats.snapshot() if cache is not None else None
+    systems = build_local_systems(A, b, partition.sets, solver, cache=cache)
     pattern = communication_pattern(partition, weighting, systems)
     n = partition.n
     z_init = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
@@ -171,6 +180,8 @@ def run_synchronous(
         engine.spawn(make_proc(l), hosts[l], name=f"ms-sync-{l}")
     engine.run()
     outcomes: list[ProcOutcome] = engine.results()
+    if cache is not None:
+        recorder.record_cache(cache.stats.since(cache_before))
 
     x = assemble_solution(partition, outcomes)
     converged = all(o.locally_converged for o in outcomes)

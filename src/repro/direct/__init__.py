@@ -18,6 +18,13 @@ Use :func:`get_solver` to instantiate by name, e.g.
 """
 
 from repro.direct.banded import BandedFactorization, BandedLU, to_band_storage
+from repro.direct.cache import (
+    CacheKey,
+    CacheStats,
+    FactorizationCache,
+    matrix_fingerprint,
+    solver_fingerprint,
+)
 from repro.direct.base import (
     DirectSolver,
     Factorization,
@@ -55,7 +62,10 @@ __all__ = [
     "BYTES_PER_NNZ",
     "BandedFactorization",
     "BandedLU",
+    "CacheKey",
+    "CacheStats",
     "CostEstimate",
+    "FactorizationCache",
     "DenseFactorization",
     "DenseLU",
     "DirectSolver",
@@ -75,9 +85,11 @@ __all__ = [
     "forward_substitution",
     "get_solver",
     "lu_decompose",
+    "matrix_fingerprint",
     "minimum_degree_ordering",
     "rcm_ordering",
     "register_solver",
+    "solver_fingerprint",
     "sparse_factor_cost",
     "sparse_lower_solve",
     "sparse_upper_solve",

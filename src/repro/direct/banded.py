@@ -60,29 +60,47 @@ class BandedFactorization(Factorization):
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Forward/backward substitution sweeping the band rows only."""
         n = self.stats.n
-        kl, ku = self._kl, self._ku
-        ab = self._ab
         x = np.array(b, dtype=float, copy=True)
         if x.shape != (n,):
             raise ValueError(f"rhs must have shape ({n},)")
+        return self._band_substitute(x)
+
+    def solve_many(self, B: np.ndarray) -> np.ndarray:
+        """Solve all columns of ``B`` with one batched band sweep."""
+        B = np.asarray(B, dtype=float)
+        if B.ndim == 1:
+            return self.solve(B)
+        n = self.stats.n
+        if B.ndim != 2 or B.shape[0] != n:
+            raise ValueError(f"B must have shape ({n}, k), got {B.shape}")
+        return self._band_substitute(np.array(B, dtype=float, copy=True))
+
+    def _band_substitute(self, x: np.ndarray) -> np.ndarray:
+        """In-place forward/backward sweep; ``x`` is ``(n,)`` or ``(n, k)``."""
+        n = self.stats.n
+        kl, ku = self._kl, self._ku
+        ab = self._ab
+        batched = x.ndim == 2
         # Forward: L has unit diagonal; multipliers are stored at ab[ku+1:, j].
         for j in range(n):
             xj = x[j]
-            if xj != 0.0:
+            if np.any(xj != 0.0):
                 i_hi = min(n, j + kl + 1)
                 rows = np.arange(j + 1, i_hi)
                 if rows.size:
-                    x[rows] -= ab[ku + rows - j, j] * xj
+                    m = ab[ku + rows - j, j]
+                    x[rows] -= m[:, None] * xj if batched else m * xj
         # Backward with U.
         for j in range(n - 1, -1, -1):
             d = ab[ku, j]
             x[j] /= d
             xj = x[j]
-            if xj != 0.0:
+            if np.any(xj != 0.0):
                 i_lo = max(0, j - ku)
                 rows = np.arange(i_lo, j)
                 if rows.size:
-                    x[rows] -= ab[ku + rows - j, j] * xj
+                    m = ab[ku + rows - j, j]
+                    x[rows] -= m[:, None] * xj if batched else m * xj
         return x
 
     @property

@@ -79,6 +79,24 @@ class Factorization(abc.ABC):
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve ``A x = b`` for one right-hand side using the stored factors."""
 
+    def solve_many(self, B: np.ndarray) -> np.ndarray:
+        """Solve ``A X = B`` for a batch of right-hand sides, shape ``(n, k)``.
+
+        Returns ``X`` with the same shape.  Concrete kernels override this
+        with a vectorized sweep (one pass over the factors for *all*
+        columns); this fallback loops so every kernel honours the batched
+        contract regardless.  A 1-D ``B`` is handled as a single system.
+        """
+        B = np.asarray(B, dtype=float)
+        if B.ndim == 1:
+            return self.solve(B)
+        if B.ndim != 2 or B.shape[0] != self.stats.n:
+            raise ValueError(f"B must have shape ({self.stats.n}, k), got {B.shape}")
+        out = np.empty_like(B)
+        for j in range(B.shape[1]):
+            out[:, j] = self.solve(B[:, j])
+        return out
+
 
 class DirectSolver(abc.ABC):
     """A sequential direct solver kernel (the SuperLU role)."""

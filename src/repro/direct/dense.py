@@ -84,6 +84,19 @@ class DenseFactorization(Factorization):
         y = forward_substitution(self._LU, y, unit_diagonal=True)
         return backward_substitution(self._LU, y)
 
+    def solve_many(self, B: np.ndarray) -> np.ndarray:
+        """Solve all columns of ``B`` in one pair of batched triangular sweeps."""
+        B = np.asarray(B, dtype=float)
+        if B.ndim == 1:
+            return self.solve(B)
+        if B.ndim != 2 or B.shape[0] != self.stats.n:
+            raise ValueError(f"B must have shape ({self.stats.n}, k), got {B.shape}")
+        # Sequentially applying the ipiv swaps equals indexing by the
+        # accumulated permutation (see the ``permutation`` property).
+        y = B[self.permutation]
+        y = forward_substitution(self._LU, y, unit_diagonal=True)
+        return backward_substitution(self._LU, y)
+
     @property
     def L(self) -> np.ndarray:
         """Unit lower factor (for tests and the theory module)."""

@@ -44,6 +44,15 @@ class ScipyFactorization(Factorization):
             raise ValueError(f"rhs must have shape ({self.stats.n},)")
         return self._handle.solve(b)
 
+    def solve_many(self, B: np.ndarray) -> np.ndarray:
+        """SuperLU's ``gstrs`` handles multiple right-hand sides natively."""
+        B = np.asarray(B, dtype=float)
+        if B.ndim == 1:
+            return self.solve(B)
+        if B.ndim != 2 or B.shape[0] != self.stats.n:
+            raise ValueError(f"B must have shape ({self.stats.n}, k), got {B.shape}")
+        return self._handle.solve(B)
+
 
 @register_solver
 class ScipySuperLU(DirectSolver):

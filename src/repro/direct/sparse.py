@@ -35,6 +35,7 @@ from repro.direct.base import (
     register_solver,
 )
 from repro.direct.ordering import compute_ordering
+from repro.direct.triangular import sparse_lower_solve, sparse_upper_solve
 from repro.linalg.sparse import as_csc
 
 __all__ = ["SparseLU", "SparseFactorization"]
@@ -67,11 +68,26 @@ class SparseFactorization(Factorization):
         # A x = b  <=>  Ap y = b[q] with x[q] = y, so the combined row
         # permutation in original indices is q[row_perm].
         y = b[self._col_perm[self._row_perm]]
-        y = _lower_unit_solve(self._L, y)
-        y = _upper_solve(self._U, y)
+        y = sparse_lower_solve(self._L, y)
+        y = sparse_upper_solve(self._U, y)
         x = np.empty(n)
         x[self._col_perm] = y
         return x
+
+    def solve_many(self, B: np.ndarray) -> np.ndarray:
+        """Solve all columns of ``B`` in one batched pair of sparse sweeps."""
+        B = np.asarray(B, dtype=float)
+        if B.ndim == 1:
+            return self.solve(B)
+        n = self.stats.n
+        if B.ndim != 2 or B.shape[0] != n:
+            raise ValueError(f"B must have shape ({n}, k), got {B.shape}")
+        y = B[self._col_perm[self._row_perm]]
+        y = sparse_lower_solve(self._L, y)
+        y = sparse_upper_solve(self._U, y)
+        X = np.empty_like(y)
+        X[self._col_perm] = y
+        return X
 
     @property
     def L(self) -> sp.csc_matrix:
@@ -92,36 +108,6 @@ class SparseFactorization(Factorization):
     def col_perm(self) -> np.ndarray:
         """``col_perm[j]`` = original column index placed at position ``j``."""
         return self._col_perm
-
-
-def _lower_unit_solve(L: sp.csc_matrix, b: np.ndarray) -> np.ndarray:
-    x = b.copy()
-    indptr, indices, data = L.indptr, L.indices, L.data
-    n = L.shape[0]
-    for j in range(n):
-        xj = x[j]
-        if xj != 0.0:
-            lo, hi = indptr[j], indptr[j + 1]
-            # entries strictly below the (implicit unit) diagonal
-            x[indices[lo:hi]] -= data[lo:hi] * xj
-    return x
-
-
-def _upper_solve(U: sp.csc_matrix, b: np.ndarray) -> np.ndarray:
-    x = b.copy()
-    indptr, indices, data = U.indptr, U.indices, U.data
-    n = U.shape[0]
-    for j in range(n - 1, -1, -1):
-        lo, hi = indptr[j], indptr[j + 1]
-        # diagonal entry is stored last in each column (rows are < j before it)
-        d = data[hi - 1]
-        if indices[hi - 1] != j or d == 0.0:
-            raise SingularMatrixError(f"missing/zero U diagonal at column {j}")
-        x[j] /= d
-        xj = x[j]
-        if xj != 0.0 and hi - 1 > lo:
-            x[indices[lo : hi - 1]] -= data[lo : hi - 1] * xj
-    return x
 
 
 @register_solver

@@ -5,6 +5,15 @@ substitution"; these are the equivalent kernels used by every
 factorization in :mod:`repro.direct`.  The dense routines are vectorised
 row sweeps; the sparse routines run over CSC columns, which matches the
 storage produced by the left-looking LU.
+
+Every routine accepts either a single right-hand side of shape ``(n,)``
+or a **batch** of right-hand sides of shape ``(n, k)`` and solves all
+columns in one sweep: the per-row/per-column updates become rank-1
+(outer-product) updates, so the Python-level loop length stays ``n``
+regardless of ``k``.  This is the kernel behind
+:meth:`repro.direct.base.Factorization.solve_many` -- the multisplitting
+drivers use it to solve every local right-hand-side column of a weighted
+combination in one vectorized call instead of a Python loop over columns.
 """
 
 from __future__ import annotations
@@ -27,6 +36,9 @@ def forward_substitution(L: np.ndarray, b: np.ndarray, *, unit_diagonal: bool = 
 
     Parameters
     ----------
+    b:
+        Right-hand side(s), shape ``(n,)`` or ``(n, k)``; the result has
+        the same shape.
     unit_diagonal:
         When ``True`` the diagonal is assumed to be all ones and is not
         read (the LU convention for the ``L`` factor).
@@ -46,7 +58,7 @@ def forward_substitution(L: np.ndarray, b: np.ndarray, *, unit_diagonal: bool = 
 
 
 def backward_substitution(U: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Solve ``U x = b`` for dense upper-triangular ``U``."""
+    """Solve ``U x = b`` for dense upper-triangular ``U`` (``b``: ``(n,)`` or ``(n, k)``)."""
     U = np.asarray(U, dtype=float)
     n = U.shape[0]
     x = np.array(b, dtype=float, copy=True)
@@ -60,17 +72,43 @@ def backward_substitution(U: np.ndarray, b: np.ndarray) -> np.ndarray:
     return x
 
 
+def _any_nonzero(xj) -> bool:
+    """Skip-test valid for both a scalar row and a batch row."""
+    return bool(np.any(xj != 0.0))
+
+
+def _canonical_csc(M: sp.csc_matrix) -> sp.csc_matrix:
+    """Return ``M`` in canonical CSC form (duplicates summed, indices sorted).
+
+    The vectorized scatter ``x[rows] -= vals * xj`` applies only the last
+    of any duplicate index, so duplicate entries must be collapsed first
+    (summing them is exactly what per-entry accumulation would compute).
+    Canonical inputs -- including every factor built by
+    :mod:`repro.direct.sparse` -- pass through untouched; scipy caches the
+    canonical-format flag on the matrix object, so repeated solves against
+    the same factor only pay the check once.
+    """
+    M = M.tocsc()
+    if not M.has_canonical_format:
+        M = M.copy()
+        M.sum_duplicates()
+    return M
+
+
 def sparse_lower_solve(L: sp.csc_matrix, b: np.ndarray, *, unit_diagonal: bool = True) -> np.ndarray:
     """Solve ``L x = b`` for sparse lower-triangular ``L`` in CSC.
 
-    Column-oriented forward substitution: once ``x[j]`` is known, column
-    ``j``'s sub-diagonal entries are scattered into the remaining residual.
-    Assumes the diagonal entry is the first stored entry at or above row
-    ``j`` (guaranteed for factors built by :mod:`repro.direct.sparse`).
+    Column-oriented forward substitution: once row ``j`` of ``x`` is known,
+    column ``j``'s sub-diagonal entries are scattered into the remaining
+    residual.  ``b`` may be ``(n,)`` or ``(n, k)``; the scatter is a rank-1
+    update in the batched case.  Assumes the diagonal entry is the first
+    stored entry at or above row ``j`` (guaranteed for factors built by
+    :mod:`repro.direct.sparse`).
     """
-    L = L.tocsc()
+    L = _canonical_csc(L)
     n = L.shape[0]
     x = np.array(b, dtype=float, copy=True)
+    batched = x.ndim == 2
     indptr, indices, data = L.indptr, L.indices, L.data
     for j in range(n):
         start, stop = indptr[j], indptr[j + 1]
@@ -82,19 +120,25 @@ def sparse_lower_solve(L: sp.csc_matrix, b: np.ndarray, *, unit_diagonal: bool =
                 raise SingularMatrixError(f"zero diagonal at column {j}")
             x[j] /= data[start + pos[0]]
         xj = x[j]
-        if xj != 0.0:
-            for k in range(start, stop):
-                i = indices[k]
-                if i > j:
-                    x[i] -= data[k] * xj
+        if _any_nonzero(xj):
+            seg = indices[start:stop]
+            below = seg > j
+            if np.any(below):
+                rows = seg[below]
+                vals = data[start:stop][below]
+                if batched:
+                    x[rows] -= vals[:, None] * xj[None, :]
+                else:
+                    x[rows] -= vals * xj
     return x
 
 
 def sparse_upper_solve(U: sp.csc_matrix, b: np.ndarray) -> np.ndarray:
-    """Solve ``U x = b`` for sparse upper-triangular ``U`` in CSC."""
-    U = U.tocsc()
+    """Solve ``U x = b`` for sparse upper-triangular ``U`` in CSC (``b``: ``(n,)`` or ``(n, k)``)."""
+    U = _canonical_csc(U)
     n = U.shape[0]
     x = np.array(b, dtype=float, copy=True)
+    batched = x.ndim == 2
     indptr, indices, data = U.indptr, U.indices, U.data
     for j in range(n - 1, -1, -1):
         start, stop = indptr[j], indptr[j + 1]
@@ -104,9 +148,13 @@ def sparse_upper_solve(U: sp.csc_matrix, b: np.ndarray) -> np.ndarray:
             raise SingularMatrixError(f"zero diagonal at column {j}")
         x[j] /= data[start + pos[0]]
         xj = x[j]
-        if xj != 0.0:
-            for k in range(start, stop):
-                i = indices[k]
-                if i < j:
-                    x[i] -= data[k] * xj
+        if _any_nonzero(xj):
+            above = seg < j
+            if np.any(above):
+                rows = seg[above]
+                vals = data[start:stop][above]
+                if batched:
+                    x[rows] -= vals[:, None] * xj[None, :]
+                else:
+                    x[rows] -= vals * xj
     return x

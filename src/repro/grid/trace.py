@@ -33,7 +33,17 @@ class TraceEvent:
 
 @dataclass
 class RunStats:
-    """Aggregated statistics of one simulated run."""
+    """Aggregated statistics of one simulated run.
+
+    The ``cache_*`` fields surface the factorization-reuse counters of
+    :class:`repro.direct.cache.FactorizationCache` when a run was driven
+    through one: ``cache_misses`` is the number of sub-block
+    factorizations actually performed, ``cache_hits`` the number of
+    factor reuses on the hot path (one per sub-block per outer
+    iteration), and ``cache_factor_seconds_saved`` the wall-clock a
+    refactor-per-iteration implementation would have spent.  They stay at
+    their zero defaults for uncached runs.
+    """
 
     makespan: float = 0.0
     total_compute_time: float = 0.0
@@ -42,6 +52,10 @@ class RunStats:
     events_by_kind: Counter = field(default_factory=Counter)
     compute_time_by_pid: dict[int, float] = field(default_factory=dict)
     bytes_by_pair: dict[tuple[int, int], int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_factor_seconds_saved: float = 0.0
+    cache_factor_seconds_spent: float = 0.0
 
 
 class TraceRecorder:
@@ -65,6 +79,7 @@ class TraceRecorder:
         self._messages = 0
         self._bytes = 0
         self._last_time = 0.0
+        self._cache_stats = None
 
     def __call__(self, kind: str, time: float, **fields) -> None:
         self._counter[kind] += 1
@@ -80,8 +95,20 @@ class TraceRecorder:
         if self.keep_events and len(self.events) < self.keep_events:
             self.events.append(TraceEvent(kind, time, tuple(sorted(fields.items()))))
 
+    def record_cache(self, cache_stats) -> None:
+        """Attach factorization-cache counters to this run's statistics.
+
+        ``cache_stats`` is any object exposing the
+        :class:`repro.direct.cache.CacheStats` counter attributes
+        (typically a run-scoped delta); the solvers call this after the
+        simulation so :meth:`stats` reports factor reuse next to the
+        communication figures.
+        """
+        self._cache_stats = cache_stats
+
     def stats(self) -> RunStats:
         """Summarise everything recorded so far."""
+        c = self._cache_stats
         return RunStats(
             makespan=self._last_time,
             total_compute_time=sum(self._compute_by_pid.values()),
@@ -90,6 +117,10 @@ class TraceRecorder:
             events_by_kind=Counter(self._counter),
             compute_time_by_pid=dict(self._compute_by_pid),
             bytes_by_pair=dict(self._bytes_by_pair),
+            cache_hits=c.hits if c is not None else 0,
+            cache_misses=c.misses if c is not None else 0,
+            cache_factor_seconds_saved=c.factor_seconds_saved if c is not None else 0.0,
+            cache_factor_seconds_spent=c.factor_seconds_spent if c is not None else 0.0,
         )
 
     def events_of_kind(self, kind: str) -> list[TraceEvent]:

@@ -53,9 +53,11 @@ def residual(A, x: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Return the residual vector ``b - A @ x``.
 
     Works with dense arrays and any ``scipy.sparse`` matrix (which all
-    implement ``@``).
+    implement ``@``).  ``x``/``b`` may also be batches of shape ``(n, k)``
+    (one residual per column).
     """
-    return np.asarray(b, dtype=float) - np.asarray(A @ x, dtype=float).ravel()
+    b = np.asarray(b, dtype=float)
+    return b - np.asarray(A @ x, dtype=float).reshape(b.shape)
 
 
 def residual_norm(A, x: np.ndarray, b: np.ndarray) -> float:

@@ -1,0 +1,96 @@
+"""Determinism regression: same seed => bit-identical traces and counts.
+
+The docstring of :mod:`repro.grid.engine` promises that the single event
+heap keyed ``(time, sequence)`` makes every run bit-for-bit deterministic;
+the experiment tables rely on it.  Nothing enforced it until now.
+"""
+
+import numpy as np
+
+from repro.core import make_weighting, run_asynchronous, run_synchronous, uniform_bands
+from repro.direct import get_solver
+from repro.grid import cluster3
+from repro.grid.trace import TraceRecorder
+from repro.matrices import diagonally_dominant, rhs_for_solution
+
+
+def _problem(n=48, L=3, seed=21):
+    A = diagonally_dominant(n, dominance=1.4, bandwidth=4, seed=seed)
+    b, _ = rhs_for_solution(A, seed=seed + 1)
+    part = uniform_bands(n, L).to_general()
+    scheme = make_weighting("ownership", part)
+    return A, b, part, scheme
+
+
+def _run(runner, seed):
+    A, b, part, scheme = _problem()
+    cluster = cluster3(3, seed=seed)
+    return runner(A, b, part, scheme, get_solver("scipy"), cluster)
+
+
+class TestSolverDeterminism:
+    def test_async_same_seed_bit_identical(self):
+        r1 = _run(run_asynchronous, seed=5)
+        r2 = _run(run_asynchronous, seed=5)
+        assert r1.converged and r2.converged
+        assert r1.iterations == r2.iterations
+        assert r1.per_proc_iterations == r2.per_proc_iterations
+        assert r1.simulated_time == r2.simulated_time  # exact, not approx
+        assert r1.factorization_time == r2.factorization_time
+        np.testing.assert_array_equal(r1.x, r2.x)  # bit-identical iterates
+        s1, s2 = r1.stats, r2.stats
+        assert s1.makespan == s2.makespan
+        assert s1.messages == s2.messages
+        assert s1.bytes_sent == s2.bytes_sent
+        assert s1.events_by_kind == s2.events_by_kind
+        assert s1.compute_time_by_pid == s2.compute_time_by_pid
+        assert s1.bytes_by_pair == s2.bytes_by_pair
+        assert r1.detection_messages == r2.detection_messages
+
+    def test_sync_same_seed_bit_identical(self):
+        r1 = _run(run_synchronous, seed=7)
+        r2 = _run(run_synchronous, seed=7)
+        assert r1.per_proc_iterations == r2.per_proc_iterations
+        assert r1.simulated_time == r2.simulated_time
+        np.testing.assert_array_equal(r1.x, r2.x)
+        assert r1.stats.events_by_kind == r2.stats.events_by_kind
+
+    def test_different_cluster_seed_diverges(self):
+        """Sanity: the seed actually feeds the run (heterogeneous speeds)."""
+        r1 = _run(run_asynchronous, seed=5)
+        r2 = _run(run_asynchronous, seed=6)
+        assert r1.simulated_time != r2.simulated_time
+
+
+class TestEngineTraceDeterminism:
+    def test_raw_event_streams_identical(self):
+        """Two engine runs of the same workload record identical event lists."""
+
+        def trace_of(run_seed: int):
+            recorder = TraceRecorder(keep_events=100_000)
+            cluster = cluster3(3, seed=run_seed)
+            engine = cluster.make_engine(trace=recorder)
+            rng_payload = np.random.default_rng(123).standard_normal(64)
+
+            def make_proc(rank: int):
+                def proc(ctx):
+                    yield ctx.compute(1e6 * (rank + 1))
+                    peer = (rank + 1) % 3
+                    yield ctx.send(peer, nbytes=512, payload=rng_payload, tag=("t", rank))
+                    msg = yield ctx.recv(
+                        source=(rank - 1) % 3, tag=("t", (rank - 1) % 3)
+                    )
+                    yield ctx.compute(float(np.sum(np.abs(msg.payload))))
+                    return rank
+
+                return proc
+
+            for rank in range(3):
+                engine.spawn(make_proc(rank), cluster.hosts[rank], name=f"p{rank}")
+            engine.run()
+            return recorder.events
+
+        e1 = trace_of(11)
+        e2 = trace_of(11)
+        assert len(e1) > 0
+        assert e1 == e2  # TraceEvent is a frozen dataclass: full equality
