@@ -124,13 +124,15 @@ def band_memory_bytes(system: LocalSystem) -> int:
     """Simulated resident bytes of one processor's band data.
 
     Band rows (couplings) + right-hand side + local copies + the
-    factorization itself.
+    factorization itself.  Batched right-hand sides scale the vector
+    residents (not the factors) by the batch width ``k``.
     """
     n_local = system.size
+    k = system.b_sub.shape[1] if system.b_sub.ndim == 2 else 1
     return int(
         system.dep.nnz * BYTES_PER_NNZ
         + system.factor_memory_bytes
-        + 8 * 4 * n_local  # BSub, XSub, BLoc, previous piece
+        + 8 * 4 * n_local * k  # BSub, XSub, BLoc, previous piece
     )
 
 
@@ -148,11 +150,14 @@ def charge_initialisation(ctx: SimContext, system: LocalSystem):
 def assemble_solution(
     partition: GeneralPartition, outcomes: list[ProcOutcome]
 ) -> np.ndarray:
-    """Reassemble the global vector from the owned (core) pieces."""
-    x = np.empty(partition.n)
+    """Reassemble the global vector (or ``(n, k)`` batch) from core pieces."""
     for out in outcomes:
         if out.core_piece is None:
             raise ValueError(f"rank {out.rank} returned no solution piece")
+    first = outcomes[0].core_piece
+    shape = (partition.n,) if first.ndim == 1 else (partition.n, first.shape[1])
+    x = np.empty(shape)
+    for out in outcomes:
         x[partition.core[out.rank]] = out.core_piece
     return x
 

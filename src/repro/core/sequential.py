@@ -17,6 +17,15 @@ shared, across repeated runs and Newton steps.  ``b`` may also be a batch
 ``(n, k)`` of right-hand sides: every processor then solves all its local
 RHS columns in one vectorized multi-RHS call instead of the driver being
 re-run column by column.
+
+Both drivers also accept an ``executor`` (:mod:`repro.runtime`): the
+per-iteration block solves run wherever the backend puts them -- the
+calling thread (inline, the default), a thread pool, or worker processes
+exchanging vectors through shared memory.  The iterates are the same
+either way: a block solve is a pure function of ``(block, z)`` and the
+executor contract returns results in request order, so the synchronous
+driver is bit-identical across backends and the chaotic driver keeps its
+seeded schedule.
 """
 
 from __future__ import annotations
@@ -26,7 +35,6 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.local import LocalSystem, build_local_systems
 from repro.core.partition import GeneralPartition
 from repro.core.stopping import StoppingCriterion
 from repro.core.weighting import WeightingScheme
@@ -58,6 +66,11 @@ class SequentialResult:
     cache_stats:
         Factorization-cache counters attributable to this run (``None``
         when no cache was supplied).
+    backend:
+        Name of the :mod:`repro.runtime` backend the block solves ran on.
+    block_seconds:
+        Cumulative wall-clock seconds spent solving each block (measured
+        where the solve executed -- worker-side for the process backend).
     """
 
     x: np.ndarray
@@ -66,6 +79,19 @@ class SequentialResult:
     history: list[float] = field(default_factory=list)
     residual: float = np.nan
     cache_stats: CacheStats | None = None
+    backend: str = "inline"
+    block_seconds: dict[int, float] = field(default_factory=dict)
+
+
+def _resolve_executor(executor):
+    """Default to the serial backend; report whether we own its lifecycle."""
+    if executor is None:
+        # Imported lazily: repro.runtime builds on repro.core, so a
+        # module-level import here would be circular.
+        from repro.runtime.inline import InlineExecutor
+
+        return InlineExecutor(), True
+    return executor, False
 
 
 def _combine_core(partition: GeneralPartition, pieces: list[np.ndarray]) -> np.ndarray:
@@ -90,6 +116,7 @@ def multisplitting_iterate(
     x0: np.ndarray | None = None,
     callback: Callable[[int, np.ndarray], None] | None = None,
     cache: FactorizationCache | None = None,
+    executor=None,
 ) -> SequentialResult:
     """Run the synchronous multisplitting-direct iteration in-process.
 
@@ -109,53 +136,65 @@ def multisplitting_iterate(
     cache:
         Optional factorization cache; sub-blocks already present are not
         re-factored, and reuse is counted in the returned ``cache_stats``.
+    executor:
+        Optional :class:`repro.runtime.Executor` running the per-block
+        solves (default: serial inline).  A caller-supplied executor is
+        attached/detached but not closed, so its workers are reusable.
     """
     stopping = stopping or StoppingCriterion()
     n = partition.n
     L = partition.nprocs
     b = np.asarray(b, dtype=float)
-    cache_before = cache.stats.snapshot() if cache is not None else None
-    systems = build_local_systems(A, b, partition.sets, solver, cache=cache)
+    ex, owns_executor = _resolve_executor(executor)
     z0 = np.zeros(b.shape) if x0 is None else np.asarray(x0, dtype=float).copy()
     if z0.shape != b.shape:
         raise ValueError(f"x0 must have shape {b.shape}")
-    Z = [z0.copy() for _ in range(L)]
-    weights = [weighting.update_weights(l) for l in range(L)]
-    state = stopping.new_state()
-    x_prev = z0.copy()
-    history: list[float] = []
-    converged = False
-    iterations = 0
-    batched = b.ndim == 2
-    for it in range(1, stopping.max_iterations + 1):
-        iterations = it
-        pieces = [systems[l].solve_with(Z[l]) for l in range(L)]
-        for l in range(L):
-            z_new = np.zeros(b.shape)
-            for k, w in weights[l].items():
-                wk = w[:, None] if batched else w
-                z_new[partition.sets[k]] += wk * pieces[k]
-            Z[l] = z_new
-        x_est = _combine_core(partition, pieces)
-        if stopping.metric == "residual":
-            value = residual_norm(A, x_est, b)
-        else:
-            value = max_norm(x_est - x_prev)
-        history.append(value)
-        x_prev = x_est
-        if callback is not None:
-            callback(it, x_est)
-        if state.observe(value):
-            converged = True
-            break
-    return SequentialResult(
-        x=x_prev,
-        iterations=iterations,
-        converged=converged,
-        history=history,
-        residual=residual_norm(A, x_prev, b),
-        cache_stats=cache.stats.since(cache_before) if cache is not None else None,
-    )
+    try:
+        ex.attach(A, b, partition.sets, solver, cache=cache)
+        Z = [z0.copy() for _ in range(L)]
+        weights = [weighting.update_weights(l) for l in range(L)]
+        state = stopping.new_state()
+        x_prev = z0.copy()
+        history: list[float] = []
+        converged = False
+        iterations = 0
+        batched = b.ndim == 2
+        for it in range(1, stopping.max_iterations + 1):
+            iterations = it
+            pieces = ex.solve_round(Z)
+            for l in range(L):
+                z_new = np.zeros(b.shape)
+                for k, w in weights[l].items():
+                    wk = w[:, None] if batched else w
+                    z_new[partition.sets[k]] += wk * pieces[k]
+                Z[l] = z_new
+            x_est = _combine_core(partition, pieces)
+            if stopping.metric == "residual":
+                value = residual_norm(A, x_est, b)
+            else:
+                value = max_norm(x_est - x_prev)
+            history.append(value)
+            x_prev = x_est
+            if callback is not None:
+                callback(it, x_est)
+            if state.observe(value):
+                converged = True
+                break
+        result = SequentialResult(
+            x=x_prev,
+            iterations=iterations,
+            converged=converged,
+            history=history,
+            residual=residual_norm(A, x_prev, b),
+            cache_stats=ex.run_cache_stats(),
+            backend=ex.name,
+            block_seconds=ex.block_seconds(),
+        )
+    finally:
+        ex.detach()
+        if owns_executor:
+            ex.close()
+    return result
 
 
 def chaotic_iterate(
@@ -171,6 +210,7 @@ def chaotic_iterate(
     seed: int = 0,
     x0: np.ndarray | None = None,
     cache: FactorizationCache | None = None,
+    executor=None,
 ) -> SequentialResult:
     """Emulate an asynchronous execution with bounded delays.
 
@@ -197,6 +237,12 @@ def chaotic_iterate(
     says regardless of how ``A`` is scaled.  (The distributed solvers
     achieve the same soundness through their detection protocols'
     verification rounds.)
+
+    ``executor`` parallelises each step's *selected* block solves (the
+    seeded schedule itself stays in the driver, so the emulation remains
+    deterministic for a given seed on every backend).  For scheduling-
+    driven rather than seeded asynchrony, see
+    :func:`repro.runtime.async_iterate`.
     """
     if not (0.0 < update_probability <= 1.0):
         raise ValueError("update_probability must lie in (0, 1]")
@@ -206,76 +252,87 @@ def chaotic_iterate(
     rng = np.random.default_rng(seed)
     n, L = partition.n, partition.nprocs
     b = np.asarray(b, dtype=float)
-    cache_before = cache.stats.snapshot() if cache is not None else None
-    systems = build_local_systems(A, b, partition.sets, solver, cache=cache)
+    ex, owns_executor = _resolve_executor(executor)
     z0 = np.zeros(b.shape) if x0 is None else np.asarray(x0, dtype=float).copy()
     if z0.shape != b.shape:
         raise ValueError(f"x0 must have shape {b.shape}")
     weights = [weighting.update_weights(l) for l in range(L)]
     batched = b.ndim == 2
-    # ring buffer of historical pieces for stale reads
-    pieces = [z0[partition.sets[l]].copy() for l in range(L)]
-    piece_history: list[list[np.ndarray]] = [[p.copy() for p in pieces]]
-    starve_guard = max(1, int(np.ceil(1 / update_probability))) * 4
-    since_update = [0] * L
-    state = stopping.new_state()
-    x_prev = z0.copy()
-    history: list[float] = []
-    converged = False
-    iterations = 0
-    # Soundness guard: a small global diff on a step where few processors
-    # updated says little.  Convergence additionally requires that *every*
-    # processor has updated since the last above-tolerance diff.
-    updated_since_bad: set[int] = set()
-    # Residual threshold for verifying candidate stops (see docstring).
-    row_sums = np.abs(A).sum(axis=1)
-    norm_A = float(np.max(np.asarray(row_sums))) if partition.n else 0.0
-    residual_tolerance = stopping.tolerance * max(1.0, norm_A)
-    for it in range(1, stopping.max_iterations + 1):
-        iterations = it
-        new_pieces = [p.copy() for p in pieces]
-        updated_now: list[int] = []
-        for l in range(L):
-            since_update[l] += 1
-            if rng.random() > update_probability and since_update[l] < starve_guard:
-                continue
-            since_update[l] = 0
-            updated_now.append(l)
-            # build z^l from (possibly stale) neighbour pieces
-            z = np.zeros(b.shape)
-            for k, w in weights[l].items():
-                lag = int(rng.integers(0, max_delay + 1)) if k != l else 0
-                lag = min(lag, len(piece_history) - 1)
-                stale = piece_history[-1 - lag][k]
-                wk = w[:, None] if batched else w
-                z[partition.sets[k]] += wk * stale
-            new_pieces[l] = systems[l].solve_with(z)
-        pieces = new_pieces
-        piece_history.append([p.copy() for p in pieces])
-        if len(piece_history) > max_delay + 1:
-            piece_history.pop(0)
-        x_est = _combine_core(partition, pieces)
-        value = max_norm(x_est - x_prev)
-        history.append(value)
-        x_prev = x_est
-        quiet = state.observe(value)
-        if state.streak == 0:
-            updated_since_bad.clear()
-        else:
-            updated_since_bad.update(updated_now)
-        if quiet and len(updated_since_bad) == L:
-            # Candidate stop: verify against the true residual so stale
-            # no-op re-solves can never fake convergence.
-            if residual_norm(A, x_est, b) <= residual_tolerance:
-                converged = True
-                break
-            state.reset()
-            updated_since_bad.clear()
-    return SequentialResult(
-        x=x_prev,
-        iterations=iterations,
-        converged=converged,
-        history=history,
-        residual=residual_norm(A, x_prev, b),
-        cache_stats=cache.stats.since(cache_before) if cache is not None else None,
-    )
+    try:
+        ex.attach(A, b, partition.sets, solver, cache=cache)
+        # ring buffer of historical pieces for stale reads
+        pieces = [z0[partition.sets[l]].copy() for l in range(L)]
+        piece_history: list[list[np.ndarray]] = [[p.copy() for p in pieces]]
+        starve_guard = max(1, int(np.ceil(1 / update_probability))) * 4
+        since_update = [0] * L
+        state = stopping.new_state()
+        x_prev = z0.copy()
+        history: list[float] = []
+        converged = False
+        iterations = 0
+        # Soundness guard: a small global diff on a step where few processors
+        # updated says little.  Convergence additionally requires that *every*
+        # processor has updated since the last above-tolerance diff.
+        updated_since_bad: set[int] = set()
+        # Residual threshold for verifying candidate stops (see docstring).
+        row_sums = np.abs(A).sum(axis=1)
+        norm_A = float(np.max(np.asarray(row_sums))) if partition.n else 0.0
+        residual_tolerance = stopping.tolerance * max(1.0, norm_A)
+        for it in range(1, stopping.max_iterations + 1):
+            iterations = it
+            new_pieces = [p.copy() for p in pieces]
+            tasks: list[tuple[int, np.ndarray]] = []
+            updated_now: list[int] = []
+            for l in range(L):
+                since_update[l] += 1
+                if rng.random() > update_probability and since_update[l] < starve_guard:
+                    continue
+                since_update[l] = 0
+                updated_now.append(l)
+                # build z^l from (possibly stale) neighbour pieces
+                z = np.zeros(b.shape)
+                for k, w in weights[l].items():
+                    lag = int(rng.integers(0, max_delay + 1)) if k != l else 0
+                    lag = min(lag, len(piece_history) - 1)
+                    stale = piece_history[-1 - lag][k]
+                    wk = w[:, None] if batched else w
+                    z[partition.sets[k]] += wk * stale
+                tasks.append((l, z))
+            for l, piece in zip(updated_now, ex.solve_blocks(tasks)):
+                new_pieces[l] = piece
+            pieces = new_pieces
+            piece_history.append([p.copy() for p in pieces])
+            if len(piece_history) > max_delay + 1:
+                piece_history.pop(0)
+            x_est = _combine_core(partition, pieces)
+            value = max_norm(x_est - x_prev)
+            history.append(value)
+            x_prev = x_est
+            quiet = state.observe(value)
+            if state.streak == 0:
+                updated_since_bad.clear()
+            else:
+                updated_since_bad.update(updated_now)
+            if quiet and len(updated_since_bad) == L:
+                # Candidate stop: verify against the true residual so stale
+                # no-op re-solves can never fake convergence.
+                if residual_norm(A, x_est, b) <= residual_tolerance:
+                    converged = True
+                    break
+                state.reset()
+                updated_since_bad.clear()
+        result = SequentialResult(
+            x=x_prev,
+            iterations=iterations,
+            converged=converged,
+            history=history,
+            residual=residual_norm(A, x_prev, b),
+            cache_stats=ex.run_cache_stats(),
+            backend=ex.name,
+            block_seconds=ex.block_seconds(),
+        )
+    finally:
+        ex.detach()
+        if owns_executor:
+            ex.close()
+    return result

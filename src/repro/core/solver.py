@@ -67,6 +67,11 @@ class SolveResult:
         Final ``||b - A x||_inf``.
     mode / nprocs / detection_messages / stats:
         Run metadata (see :class:`repro.core.distributed.DistributedRunResult`).
+    backend:
+        :mod:`repro.runtime` execution backend the block solves ran on.
+    block_seconds:
+        Real wall-clock seconds spent solving each block (cumulative over
+        the run; measured where the solve executed).
     """
 
     x: np.ndarray | None
@@ -82,6 +87,8 @@ class SolveResult:
     detection_messages: int = 0
     stats: RunStats | None = None
     cache_stats: CacheStats | None = None
+    backend: str = "inline"
+    block_seconds: dict[int, float] = field(default_factory=dict)
 
     def error_vs(self, x_true: np.ndarray) -> float:
         """Max-norm error against a known solution."""
@@ -134,6 +141,19 @@ class MultisplittingSolver:
         its own capacity.  Per-run counters are reported on
         :attr:`SolveResult.cache_stats` (and, for the distributed modes,
         in ``SolveResult.stats``).
+    backend:
+        :mod:`repro.runtime` execution backend for the block solves:
+        ``"inline"`` (serial, the default), ``"threads"`` (per-block
+        worker threads; the kernels release the GIL in BLAS/LAPACK/
+        SuperLU), ``"processes"`` (worker processes exchanging vectors
+        through shared memory), or an :class:`~repro.runtime.Executor`
+        instance.  In ``"sequential"`` mode the whole iteration runs on
+        the backend; in the simulated distributed modes the backend
+        parallelises the real setup factorization (simulated times are
+        unchanged).  A backend created from a name is owned by the
+        solver and reused across :meth:`solve` calls -- call
+        :meth:`close` (or use the solver as a context manager) to tear
+        down its workers; a passed-in instance is never closed.
     """
 
     def __init__(
@@ -150,6 +170,7 @@ class MultisplittingSolver:
         detection: str = "centralized",
         proportional: bool = True,
         cache: "FactorizationCache | bool" = True,
+        backend: str = "inline",
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -178,6 +199,9 @@ class MultisplittingSolver:
             self.cache = None
         else:
             self.cache = cache
+        self.backend = backend
+        self._executor = None
+        self._owns_executor = False
         default_consecutive = 1 if mode != "asynchronous" else 3
         if max_iterations is None:
             # Asynchronous runs legitimately take many more (cheap, local)
@@ -190,6 +214,28 @@ class MultisplittingSolver:
             consecutive=consecutive if consecutive is not None else default_consecutive,
             max_iterations=max_iterations,
         )
+
+    # -- runtime backend -----------------------------------------------
+    def _get_executor(self):
+        """Resolve (and, for names, lazily own) the runtime executor."""
+        if self._executor is None:
+            from repro.runtime import Executor, get_executor
+
+            self._owns_executor = not isinstance(self.backend, Executor)
+            self._executor = get_executor(self.backend)
+        return self._executor
+
+    def close(self) -> None:
+        """Tear down the solver-owned execution backend (idempotent)."""
+        if self._executor is not None and self._owns_executor:
+            self._executor.close()
+        self._executor = None
+
+    def __enter__(self) -> "MultisplittingSolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- partition construction ----------------------------------------
     def build_partition(
@@ -230,7 +276,7 @@ class MultisplittingSolver:
             scheme = self._resolve_weighting(part)
             seq = multisplitting_iterate(
                 A, b, part, scheme, self.direct_solver, stopping=self.stopping,
-                x0=x0, cache=self.cache,
+                x0=x0, cache=self.cache, executor=self._get_executor(),
             )
             return SolveResult(
                 x=seq.x,
@@ -241,6 +287,8 @@ class MultisplittingSolver:
                 mode="sequential",
                 nprocs=part.nprocs,
                 cache_stats=seq.cache_stats,
+                backend=seq.backend,
+                block_seconds=seq.block_seconds,
             )
 
         nprocs = self.processors or (len(cluster.hosts) if cluster is not None else 4)
@@ -261,6 +309,7 @@ class MultisplittingSolver:
             detection=self.detection,
             x0=x0,
             cache=self.cache,
+            executor=self._get_executor(),
         )
         return SolveResult(
             x=run.x,
@@ -278,6 +327,8 @@ class MultisplittingSolver:
             cache_stats=(
                 self.cache.stats.since(cache_before) if self.cache is not None else None
             ),
+            backend=run.stats.backend if run.stats is not None else "inline",
+            block_seconds=dict(run.stats.block_seconds) if run.stats is not None else {},
         )
 
     def _normalize_partition(

@@ -234,11 +234,15 @@ class FactorizationCache:
 
     Notes
     -----
-    The class is safe to share across the sequential, distributed and
-    asynchronous drivers: a lock guards the table, and misses factor while
-    holding it so concurrent requests for the same key never factor twice.
-    Misses by design happen once per sub-block, so the lock is effectively
-    uncontended on the hot (hit) path.
+    The class is safe to share across threads (the
+    :class:`repro.runtime.ThreadExecutor` workers all resolve their
+    factors through one instance): a single lock covers the table, the
+    LRU order *and* every counter update, so ``hits + misses`` always
+    equals the number of lookups regardless of interleaving.  Kernel
+    factorization itself runs *outside* that lock -- a per-key in-flight
+    event makes concurrent requests for the same key factor exactly once
+    (latecomers wait on the event), while requests for *different* keys
+    factor genuinely in parallel instead of serialising on the cache.
     """
 
     def __init__(self, *, capacity: int | None = None):
@@ -247,6 +251,7 @@ class FactorizationCache:
         self.capacity = capacity
         self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
         self._lock = threading.Lock()
+        self._in_flight: dict[CacheKey, threading.Event] = {}
         self.stats = CacheStats()
 
     # -- keying ----------------------------------------------------------
@@ -269,24 +274,44 @@ class FactorizationCache:
         """
         if key is None:
             key = self.key_for(solver, A)
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                self.stats.factor_seconds_saved += entry.factor_seconds
-                return entry.factorization
-            self.stats.misses += 1
-            t0 = time.perf_counter()
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    self.stats.factor_seconds_saved += entry.factor_seconds
+                    return entry.factorization
+                pending = self._in_flight.get(key)
+                if pending is None:
+                    # We factor this key; others wait on the event.  The
+                    # miss is counted now so hits + misses == lookups even
+                    # while the kernel is still running.
+                    pending = self._in_flight[key] = threading.Event()
+                    self.stats.misses += 1
+                    break
+            # Another thread is factoring this very key: wait for it to
+            # publish (or fail), then re-run the lookup.
+            pending.wait()
+        t0 = time.perf_counter()
+        try:
             fact = solver.factor(A)
-            dt = time.perf_counter() - t0
+        except BaseException:
+            with self._lock:
+                del self._in_flight[key]
+            pending.set()
+            raise
+        dt = time.perf_counter() - t0
+        with self._lock:
             self.stats.factor_seconds_spent += dt
             self._entries[key] = _Entry(factorization=fact, factor_seconds=dt)
+            del self._in_flight[key]
             if self.capacity is not None:
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
-            return fact
+        pending.set()
+        return fact
 
     def get(self, key: CacheKey, *, count_miss: bool = True) -> Factorization | None:
         """Lookup without factoring; counts a hit, and (by default) a miss.

@@ -6,10 +6,14 @@ Examples::
     repro-experiments table4 --scale 0.5
     repro-experiments all --scale 0.25
     repro-experiments figure3 --check
+    repro-experiments table1 --backend threads
 
 ``--scale`` multiplies every workload's default order (1.0 reproduces the
 laptop-scale defaults documented in DESIGN.md); ``--check`` additionally
-runs the qualitative shape assertions against the paper's findings.
+runs the qualitative shape assertions against the paper's findings;
+``--backend`` selects the :mod:`repro.runtime` execution backend the
+replays run their real computations on (simulated times are unaffected;
+wall-clock is).
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from repro.experiments.report import (
     format_table,
 )
 from repro.experiments.tables import EXPERIMENTS, run_experiment
+from repro.runtime import available_backends
 
 __all__ = ["main"]
 
@@ -60,13 +65,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="assert the qualitative shape against the paper's findings",
     )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="inline",
+        help="runtime execution backend for the real block computations "
+        "(default: inline)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     status = 0
     for name in names:
         t0 = time.time()
-        result = run_experiment(name, scale=args.scale)
+        result = run_experiment(name, scale=args.scale, backend=args.backend)
         elapsed = time.time() - t0
         print(format_table(result))
         print(f"(replayed in {elapsed:.1f}s wall; scale={args.scale})")

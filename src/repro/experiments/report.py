@@ -63,6 +63,16 @@ def format_table(result: ExperimentResult, *, title: str | None = None) -> str:
         lines.append(
             " | ".join(_cell(row.get(c)).ljust(w) for c, w in zip(cols, widths))
         )
+    cache = result.notes.get("cache")
+    if cache:
+        lines.append(
+            f"factor cache: hits={cache['hits']} misses={cache['misses']} "
+            f"hit_rate={cache['hit_rate']:.1%} "
+            f"factor-seconds saved={cache['factor_seconds_saved']:.3f}"
+        )
+    backend = result.notes.get("backend")
+    if backend and backend != "inline":
+        lines.append(f"execution backend: {backend}")
     body = "\n".join(lines)
     return f"== {header[0]} ==\n{body}"
 

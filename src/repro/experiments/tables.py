@@ -21,6 +21,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.solver import MultisplittingSolver
+from repro.direct.cache import FactorizationCache
 from repro.distbaseline.dist_lu import BaselineResult, run_distributed_lu
 from repro.distbaseline.fillmodel import FillProfile, exact_fill_profile
 from repro.grid.topology import Cluster, cluster1, cluster2, cluster3
@@ -68,13 +69,38 @@ def _baseline(A, cluster: Cluster, fill: FillProfile | None, nprocs: int) -> Bas
     )
 
 
-def _multisplitting(mode: str, A, b, cluster: Cluster, *, overlap: int = 0,
-                    max_iterations: int | None = None):
-    solver = MultisplittingSolver(
-        mode=mode, direct_solver="scipy", overlap=overlap,
-        max_iterations=max_iterations,
-    )
-    return solver.solve(A, b, cluster=cluster)
+def _make_solvers(
+    cache: FactorizationCache,
+    *,
+    backend: str = "inline",
+    overlap: int = 0,
+    max_iterations: int | None = None,
+) -> dict[str, MultisplittingSolver]:
+    """One shared solver per mode, all draining the same factor cache.
+
+    Replays call these solvers across every cluster size and mode of an
+    experiment, so identical bands (same matrix slice, same kernel) are
+    factored exactly once per experiment instead of once per run -- the
+    reuse counters land in the experiment notes and are printed by
+    :func:`repro.experiments.report.format_table`.
+    """
+    return {
+        mode: MultisplittingSolver(
+            mode=mode, direct_solver="scipy", overlap=overlap,
+            max_iterations=max_iterations, cache=cache, backend=backend,
+        )
+        for mode in ("synchronous", "asynchronous")
+    }
+
+
+def _cache_note(cache: FactorizationCache) -> dict[str, Any]:
+    s = cache.stats
+    return {
+        "hits": s.hits,
+        "misses": s.misses,
+        "hit_rate": s.hit_rate,
+        "factor_seconds_saved": s.factor_seconds_saved,
+    }
 
 
 def _fmt(value) -> Any:
@@ -85,37 +111,45 @@ def _fmt(value) -> Any:
     return float(value)
 
 
-def _scalability_table(name: str, procs_list: list[int], *, scale: float) -> ExperimentResult:
+def _scalability_table(
+    name: str, procs_list: list[int], *, scale: float, backend: str = "inline"
+) -> ExperimentResult:
     """Common driver for Tables 1 and 2 (cluster1 scalability)."""
     A, b, _ = load_workload(name, scale=scale)
     fill = _cached_fill(name, scale, A)
+    cache = FactorizationCache(capacity=256)
+    solvers = _make_solvers(cache, backend=backend)
     rows: list[dict[str, Any]] = []
-    for procs in procs_list:
-        cluster = cluster1(max(procs, 1))
-        base = _baseline(A, cluster, fill, procs)
-        row: dict[str, Any] = {"processors": procs}
-        row["distributed SuperLU"] = (
-            "nem" if base.status == "nem" else base.simulated_time
-        )
-        if procs == 1:
-            # The paper leaves multisplitting blank on one processor.
-            row["sync multisplitting-LU"] = None
-            row["async multisplitting-LU"] = None
-            row["factorization time"] = None
-        else:
-            sync = _multisplitting("synchronous", A, b, cluster)
-            asyn = _multisplitting("asynchronous", A, b, cluster)
-            row["sync multisplitting-LU"] = (
-                "nem" if sync.status == "nem" else sync.simulated_time
+    try:
+        for procs in procs_list:
+            cluster = cluster1(max(procs, 1))
+            base = _baseline(A, cluster, fill, procs)
+            row: dict[str, Any] = {"processors": procs}
+            row["distributed SuperLU"] = (
+                "nem" if base.status == "nem" else base.simulated_time
             )
-            row["async multisplitting-LU"] = (
-                "nem" if asyn.status == "nem" else asyn.simulated_time
-            )
-            row["factorization time"] = sync.factorization_time
-            row["sync iterations"] = sync.iterations
-            row["async iterations"] = max(asyn.per_proc_iterations or [0])
-            row["residual sync"] = sync.residual
-        rows.append(row)
+            if procs == 1:
+                # The paper leaves multisplitting blank on one processor.
+                row["sync multisplitting-LU"] = None
+                row["async multisplitting-LU"] = None
+                row["factorization time"] = None
+            else:
+                sync = solvers["synchronous"].solve(A, b, cluster=cluster)
+                asyn = solvers["asynchronous"].solve(A, b, cluster=cluster)
+                row["sync multisplitting-LU"] = (
+                    "nem" if sync.status == "nem" else sync.simulated_time
+                )
+                row["async multisplitting-LU"] = (
+                    "nem" if asyn.status == "nem" else asyn.simulated_time
+                )
+                row["factorization time"] = sync.factorization_time
+                row["sync iterations"] = sync.iterations
+                row["async iterations"] = max(asyn.per_proc_iterations or [0])
+                row["residual sync"] = sync.residual
+            rows.append(row)
+    finally:
+        for solver in solvers.values():
+            solver.close()
     return ExperimentResult(
         experiment=name,
         columns=[
@@ -126,19 +160,31 @@ def _scalability_table(name: str, procs_list: list[int], *, scale: float) -> Exp
             "factorization time",
         ],
         rows=rows,
-        notes={"workload": name, "n": A.shape[0], "scale": scale},
+        notes={
+            "workload": name,
+            "n": A.shape[0],
+            "scale": scale,
+            "backend": backend,
+            "cache": _cache_note(cache),
+        },
     )
 
 
-def table1(*, scale: float = 1.0, procs_list: list[int] | None = None) -> ExperimentResult:
+def table1(
+    *, scale: float = 1.0, procs_list: list[int] | None = None,
+    backend: str = "inline",
+) -> ExperimentResult:
     """Table 1: scalability on cluster1 with the cage10 analog."""
     procs = procs_list or [1, 2, 3, 4, 6, 8, 9, 12, 16, 20]
-    res = _scalability_table("cage10", procs, scale=scale)
+    res = _scalability_table("cage10", procs, scale=scale, backend=backend)
     res.notes["paper_table"] = "Table 1"
     return res
 
 
-def table2(*, scale: float = 1.0, procs_list: list[int] | None = None) -> ExperimentResult:
+def table2(
+    *, scale: float = 1.0, procs_list: list[int] | None = None,
+    backend: str = "inline",
+) -> ExperimentResult:
     """Table 2: scalability on cluster1 with the cage11 analog.
 
     Rows below 4 processors are reported as "nem" (the paper: "the
@@ -146,46 +192,52 @@ def table2(*, scale: float = 1.0, procs_list: list[int] | None = None) -> Experi
     4 processors").
     """
     procs = procs_list or [4, 6, 8, 9, 12, 16, 20]
-    res = _scalability_table("cage11", procs, scale=scale)
+    res = _scalability_table("cage11", procs, scale=scale, backend=backend)
     res.notes["paper_table"] = "Table 2"
     return res
 
 
-def table3(*, scale: float = 1.0) -> ExperimentResult:
+def table3(*, scale: float = 1.0, backend: str = "inline") -> ExperimentResult:
     """Table 3: the distant/heterogeneous cluster comparison."""
     cases = [
         ("cage11", "cluster2", cluster2(8), 8),
         ("cage12", "cluster3", cluster3(10), 10),
         ("gen-large", "cluster3", cluster3(10), 10),
     ]
+    cache = FactorizationCache(capacity=256)
+    solvers = _make_solvers(cache, backend=backend)
     rows: list[dict[str, Any]] = []
-    for name, cluster_name, cluster, nprocs in cases:
-        A, b, _ = load_workload(name, scale=scale)
-        # cage12's full factorization is exactly the infeasible case ->
-        # probe-based fill; the others are measured exactly.
-        if name == "cage12":
-            base = run_distributed_lu(
-                A, None, cluster, block=BASELINE_BLOCK, nprocs=nprocs,
-                fill_mode="probe",
+    try:
+        for name, cluster_name, cluster, nprocs in cases:
+            A, b, _ = load_workload(name, scale=scale)
+            # cage12's full factorization is exactly the infeasible case ->
+            # probe-based fill; the others are measured exactly.
+            if name == "cage12":
+                base = run_distributed_lu(
+                    A, None, cluster, block=BASELINE_BLOCK, nprocs=nprocs,
+                    fill_mode="probe",
+                )
+            else:
+                base = _baseline(A, cluster, _cached_fill(name, scale, A), nprocs)
+            sync = solvers["synchronous"].solve(A, b, cluster=cluster)
+            fresh = (
+                cluster2(8) if cluster_name == "cluster2" else cluster3(10)
             )
-        else:
-            base = _baseline(A, cluster, _cached_fill(name, scale, A), nprocs)
-        sync = _multisplitting("synchronous", A, b, cluster)
-        fresh = (
-            cluster2(8) if cluster_name == "cluster2" else cluster3(10)
-        )
-        asyn = _multisplitting("asynchronous", A, b, fresh)
-        rows.append(
-            {
-                "matrix": name,
-                "cluster": cluster_name,
-                "distributed SuperLU": "nem" if base.status == "nem" else base.simulated_time,
-                "sync multisplitting-LU": "nem" if sync.status == "nem" else sync.simulated_time,
-                "async multisplitting-LU": "nem" if asyn.status == "nem" else asyn.simulated_time,
-                "factorization time": sync.factorization_time,
-                "residual sync": sync.residual,
-            }
-        )
+            asyn = solvers["asynchronous"].solve(A, b, cluster=fresh)
+            rows.append(
+                {
+                    "matrix": name,
+                    "cluster": cluster_name,
+                    "distributed SuperLU": "nem" if base.status == "nem" else base.simulated_time,
+                    "sync multisplitting-LU": "nem" if sync.status == "nem" else sync.simulated_time,
+                    "async multisplitting-LU": "nem" if asyn.status == "nem" else asyn.simulated_time,
+                    "factorization time": sync.factorization_time,
+                    "residual sync": sync.residual,
+                }
+            )
+    finally:
+        for solver in solvers.values():
+            solver.close()
     return ExperimentResult(
         experiment="table3",
         columns=[
@@ -197,36 +249,50 @@ def table3(*, scale: float = 1.0) -> ExperimentResult:
             "factorization time",
         ],
         rows=rows,
-        notes={"paper_table": "Table 3", "scale": scale},
+        notes={
+            "paper_table": "Table 3",
+            "scale": scale,
+            "backend": backend,
+            "cache": _cache_note(cache),
+        },
     )
 
 
-def table4(*, scale: float = 1.0, perturbations: list[int] | None = None) -> ExperimentResult:
+def table4(
+    *, scale: float = 1.0, perturbations: list[int] | None = None,
+    backend: str = "inline",
+) -> ExperimentResult:
     """Table 4: background traffic on the inter-site link (gen-large)."""
     perturbs = perturbations if perturbations is not None else [0, 1, 5, 10]
     A, b, _ = load_workload("gen-large", scale=scale)
     fill = _cached_fill("gen-large", scale, A)
+    cache = FactorizationCache(capacity=256)
+    solvers = _make_solvers(cache, backend=backend)
     rows: list[dict[str, Any]] = []
-    for count in perturbs:
-        c_base = cluster3(10)
-        c_base.add_perturbations(count)
-        base = _baseline(A, c_base, fill, 10)
-        c_sync = cluster3(10)
-        c_sync.add_perturbations(count)
-        sync = _multisplitting("synchronous", A, b, c_sync)
-        c_async = cluster3(10)
-        c_async.add_perturbations(count)
-        asyn = _multisplitting("asynchronous", A, b, c_async)
-        rows.append(
-            {
-                "perturbing communications": count,
-                "distributed SuperLU": "nem" if base.status == "nem" else base.simulated_time,
-                "sync multisplitting-LU": "nem" if sync.status == "nem" else sync.simulated_time,
-                "async multisplitting-LU": "nem" if asyn.status == "nem" else asyn.simulated_time,
-                "sync iterations": sync.iterations,
-                "async iterations": max(asyn.per_proc_iterations or [0]),
-            }
-        )
+    try:
+        for count in perturbs:
+            c_base = cluster3(10)
+            c_base.add_perturbations(count)
+            base = _baseline(A, c_base, fill, 10)
+            c_sync = cluster3(10)
+            c_sync.add_perturbations(count)
+            sync = solvers["synchronous"].solve(A, b, cluster=c_sync)
+            c_async = cluster3(10)
+            c_async.add_perturbations(count)
+            asyn = solvers["asynchronous"].solve(A, b, cluster=c_async)
+            rows.append(
+                {
+                    "perturbing communications": count,
+                    "distributed SuperLU": "nem" if base.status == "nem" else base.simulated_time,
+                    "sync multisplitting-LU": "nem" if sync.status == "nem" else sync.simulated_time,
+                    "async multisplitting-LU": "nem" if asyn.status == "nem" else asyn.simulated_time,
+                    "sync iterations": sync.iterations,
+                    "async iterations": max(asyn.per_proc_iterations or [0]),
+                }
+            )
+    finally:
+        for solver in solvers.values():
+            solver.close()
     return ExperimentResult(
         experiment="table4",
         columns=[
@@ -236,11 +302,19 @@ def table4(*, scale: float = 1.0, perturbations: list[int] | None = None) -> Exp
             "async multisplitting-LU",
         ],
         rows=rows,
-        notes={"paper_table": "Table 4", "scale": scale},
+        notes={
+            "paper_table": "Table 4",
+            "scale": scale,
+            "backend": backend,
+            "cache": _cache_note(cache),
+        },
     )
 
 
-def figure3(*, scale: float = 1.0, overlaps: list[int] | None = None) -> ExperimentResult:
+def figure3(
+    *, scale: float = 1.0, overlaps: list[int] | None = None,
+    backend: str = "inline",
+) -> ExperimentResult:
     """Figure 3: overlap sweep on the near-singular generated matrix.
 
     Overlap values default to 0..5% of n in six steps, mirroring the
@@ -256,13 +330,30 @@ def figure3(*, scale: float = 1.0, overlaps: list[int] | None = None) -> Experim
             int(round(f * n))
             for f in (0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.45)
         ]
+    cache = FactorizationCache(capacity=256)
     rows: list[dict[str, Any]] = []
     for ov in overlaps:
-        cluster_s = cluster3(10)
-        sync = _multisplitting("synchronous", A, b, cluster_s, overlap=ov,
-                               max_iterations=5_000)
-        cluster_a = cluster3(10)
-        asyn = _multisplitting("asynchronous", A, b, cluster_a, overlap=ov)
+        # Overlap is a constructor option, so each sweep point gets its
+        # own solver pair -- still draining the shared cache, so the
+        # sync/async pair factors each extended band once, not twice.
+        solvers = {
+            "synchronous": MultisplittingSolver(
+                mode="synchronous", direct_solver="scipy", overlap=ov,
+                max_iterations=5_000, cache=cache, backend=backend,
+            ),
+            "asynchronous": MultisplittingSolver(
+                mode="asynchronous", direct_solver="scipy", overlap=ov,
+                cache=cache, backend=backend,
+            ),
+        }
+        try:
+            cluster_s = cluster3(10)
+            sync = solvers["synchronous"].solve(A, b, cluster=cluster_s)
+            cluster_a = cluster3(10)
+            asyn = solvers["asynchronous"].solve(A, b, cluster=cluster_a)
+        finally:
+            for solver in solvers.values():
+                solver.close()
         rows.append(
             {
                 "overlap": ov,
@@ -284,7 +375,13 @@ def figure3(*, scale: float = 1.0, overlaps: list[int] | None = None) -> Experim
             "sync iterations",
         ],
         rows=rows,
-        notes={"paper_table": "Figure 3", "scale": scale, "n": n},
+        notes={
+            "paper_table": "Figure 3",
+            "scale": scale,
+            "n": n,
+            "backend": backend,
+            "cache": _cache_note(cache),
+        },
     )
 
 

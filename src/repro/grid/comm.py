@@ -58,9 +58,15 @@ def _coll_tag(ctx: SimContext, base: str) -> tuple[str, int]:
     return (base, seq)
 
 
-def vector_bytes(n: int) -> int:
-    """Wire size of an ``n``-vector of float64 (8 bytes each + small header)."""
-    return 8 * int(n) + 64
+def vector_bytes(n: int, k: int = 1) -> int:
+    """Wire size of an ``(n, k)`` float64 payload (8 bytes each + small header).
+
+    ``k`` is the batch width: a multi-RHS exchange ships one ``(n, k)``
+    block per message, so the charged bytes scale with ``k`` while the
+    per-message header (and thus latency cost) is paid once -- the whole
+    point of batching on slow links.
+    """
+    return 8 * int(n) * int(k) + 64
 
 
 def barrier(ctx: SimContext):

@@ -43,6 +43,12 @@ class RunStats:
     iteration), and ``cache_factor_seconds_saved`` the wall-clock a
     refactor-per-iteration implementation would have spent.  They stay at
     their zero defaults for uncached runs.
+
+    ``backend``/``block_seconds`` surface the :mod:`repro.runtime`
+    execution backend of the run and the *real* (not simulated)
+    wall-clock seconds spent solving each block -- the bridge between
+    the simulator's charged times and where the host actually spent its
+    cycles.
     """
 
     makespan: float = 0.0
@@ -56,6 +62,8 @@ class RunStats:
     cache_misses: int = 0
     cache_factor_seconds_saved: float = 0.0
     cache_factor_seconds_spent: float = 0.0
+    backend: str = "inline"
+    block_seconds: dict[int, float] = field(default_factory=dict)
 
 
 class TraceRecorder:
@@ -80,6 +88,8 @@ class TraceRecorder:
         self._bytes = 0
         self._last_time = 0.0
         self._cache_stats = None
+        self._backend = "inline"
+        self._block_seconds: dict[int, float] = {}
 
     def __call__(self, kind: str, time: float, **fields) -> None:
         self._counter[kind] += 1
@@ -106,6 +116,11 @@ class TraceRecorder:
         """
         self._cache_stats = cache_stats
 
+    def record_runtime(self, backend: str, block_seconds: dict[int, float]) -> None:
+        """Attach the execution-backend name and real per-block solve seconds."""
+        self._backend = backend
+        self._block_seconds = dict(block_seconds)
+
     def stats(self) -> RunStats:
         """Summarise everything recorded so far."""
         c = self._cache_stats
@@ -121,6 +136,8 @@ class TraceRecorder:
             cache_misses=c.misses if c is not None else 0,
             cache_factor_seconds_saved=c.factor_seconds_saved if c is not None else 0.0,
             cache_factor_seconds_spent=c.factor_seconds_spent if c is not None else 0.0,
+            backend=self._backend,
+            block_seconds=dict(self._block_seconds),
         )
 
     def events_of_kind(self, kind: str) -> list[TraceEvent]:

@@ -1,0 +1,78 @@
+"""``repro.runtime`` -- real parallel execution behind a pluggable API.
+
+The rest of the package describes *what* the multisplitting method
+computes (``repro.core``) and *how a grid would price it*
+(``repro.grid``); this subsystem is where sub-block solves actually
+execute.  Three interchangeable backends implement the
+:class:`Executor` contract:
+
+======================  =============================================
+``"inline"``            serial, on the calling thread -- the
+                        bit-identical baseline
+``"threads"``           per-block tasks on a persistent thread pool
+                        (kernels release the GIL inside
+                        BLAS/LAPACK/SuperLU)
+``"processes"``         worker processes; matrices shipped once,
+                        vectors exchanged via shared memory
+======================  =============================================
+
+Select one by name (:func:`get_executor`), through the
+``backend=`` option of :class:`repro.core.solver.MultisplittingSolver`,
+or by passing an instance to the ``executor=`` parameter of the core
+drivers.  :func:`async_iterate` additionally provides a *genuinely*
+asynchronous driver: free-running block threads over
+:class:`VersionedVector` seqlock slots.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.api import Executor
+from repro.runtime.asynchronous import async_iterate
+from repro.runtime.inline import InlineExecutor
+from repro.runtime.processes import ProcessExecutor
+from repro.runtime.seqlock import VersionedVector
+from repro.runtime.shm import SharedVectorPlane
+from repro.runtime.threads import ThreadExecutor
+
+__all__ = [
+    "Executor",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "SharedVectorPlane",
+    "ThreadExecutor",
+    "VersionedVector",
+    "async_iterate",
+    "available_backends",
+    "get_executor",
+]
+
+_BACKENDS: dict[str, type[Executor]] = {
+    "inline": InlineExecutor,
+    "threads": ThreadExecutor,
+    "processes": ProcessExecutor,
+}
+
+
+def available_backends() -> list[str]:
+    """Names accepted by :func:`get_executor` (and ``backend=`` options)."""
+    return sorted(_BACKENDS)
+
+
+def get_executor(backend: "str | Executor", **kwargs) -> Executor:
+    """Instantiate an execution backend by name.
+
+    An :class:`Executor` *instance* passes through unchanged (``kwargs``
+    must then be empty), so every ``backend=`` option accepts either
+    form.
+    """
+    if isinstance(backend, Executor):
+        if kwargs:
+            raise ValueError("kwargs are only valid with a backend name")
+        return backend
+    try:
+        cls = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown runtime backend {backend!r}; available: {available_backends()}"
+        ) from None
+    return cls(**kwargs)

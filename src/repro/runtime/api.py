@@ -1,0 +1,215 @@
+"""The :class:`Executor` contract: where sub-block solves actually run.
+
+The multisplitting method is embarrassingly coarse-grained: per outer
+iteration every processor solves its own factored band system against its
+own local copy of the iterate, and the only coupling is the exchange of
+sub-solution pieces.  The drivers in :mod:`repro.core` therefore never
+need to know *where* those solves execute -- they describe the work
+(block ``l``, local copy ``z``) and an :class:`Executor` runs it:
+
+* :class:`repro.runtime.InlineExecutor` -- current thread, serial.  The
+  bit-identical baseline every other backend is measured against.
+* :class:`repro.runtime.ThreadExecutor` -- one task per block on a
+  persistent thread pool.  The dense/banded/sparse/SciPy kernels spend
+  their time inside GIL-releasing BLAS/LAPACK/SuperLU calls, so the
+  solves overlap on real cores.
+* :class:`repro.runtime.ProcessExecutor` -- worker processes that receive
+  the matrices **once** (at :meth:`Executor.attach`) and afterwards
+  exchange only vectors through ``multiprocessing.shared_memory`` --
+  no per-iteration pickling of matrices, no GIL at all.
+
+The contract is deliberately phase-structured rather than a bare task
+pool: ``attach`` binds the per-block systems (this is where a process
+backend ships the matrices), ``solve_blocks`` runs any subset of block
+solves against fresh local copies, and ``detach`` releases the binding.
+Synchronous drivers are **bit-identical** across backends because each
+block solve is a deterministic pure function of ``(block, z)`` and
+results are always returned in request order.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.local import LocalSystem, build_local_systems
+from repro.direct.cache import CacheStats, FactorizationCache
+
+__all__ = ["Executor", "InProcessExecutor"]
+
+
+class Executor(abc.ABC):
+    """Pluggable execution backend for per-block direct solves.
+
+    Lifecycle::
+
+        ex = get_executor("threads")
+        ex.attach(A, b, sets, solver, cache=cache)   # factor the blocks
+        pieces = ex.solve_round(Z)                   # one outer iteration
+        some = ex.solve_blocks([(2, z2), (0, z0)])   # any subset, any order
+        stats = ex.run_cache_stats()                 # factor-reuse counters
+        ex.detach()                                  # release the binding
+        ex.close()                                   # tear down workers
+
+    An executor is reusable: ``attach`` may be called again after
+    ``detach`` (worker pools persist across bindings, which is what makes
+    a long-lived :class:`~repro.core.solver.MultisplittingSolver` with a
+    process backend pay the spawn cost once).  Executors are context
+    managers; ``with`` closes them.
+    """
+
+    #: Registry/display name of the backend ("inline", "threads", ...).
+    name: str = "abstract"
+
+    # -- binding ---------------------------------------------------------
+    @abc.abstractmethod
+    def attach(
+        self,
+        A,
+        b: np.ndarray,
+        sets: Sequence[np.ndarray],
+        solver,
+        *,
+        cache: FactorizationCache | None = None,
+    ) -> None:
+        """Bind the per-block systems for subsequent :meth:`solve_blocks`.
+
+        Slices ``A``/``b`` into one band system per entry of ``sets`` and
+        factors each block (through ``cache`` when given).  A process
+        backend ships ``(A, b, sets, solver)`` to its workers here --
+        exactly once per binding.
+        """
+
+    @abc.abstractmethod
+    def detach(self) -> None:
+        """Release the current binding (idempotent).  Workers survive."""
+
+    # -- solving ---------------------------------------------------------
+    @abc.abstractmethod
+    def solve_blocks(
+        self, tasks: Sequence[tuple[int, np.ndarray]]
+    ) -> list[np.ndarray]:
+        """Solve ``XSub_l`` for every ``(l, z_l)`` request.
+
+        ``z_l`` is block ``l``'s full-length local copy (shape ``(n,)`` or
+        ``(n, k)`` for batched right-hand sides, matching the ``b`` the
+        binding was attached with).  Returns the solution pieces over each
+        block's extended index set, **in request order** -- this ordering
+        guarantee is what makes the synchronous drivers bit-identical
+        across backends.
+        """
+
+    def solve_round(self, Z: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """One synchronous outer iteration: solve every block ``l`` on ``Z[l]``."""
+        return self.solve_blocks(list(enumerate(Z)))
+
+    @abc.abstractmethod
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Generic ordered parallel map used for setup-phase work.
+
+        Thread backends run ``fn`` over ``items`` concurrently; backends
+        whose workers cannot execute arbitrary closures (processes) fall
+        back to inline execution.  Results keep the order of ``items``.
+        """
+
+    # -- observability ---------------------------------------------------
+    @abc.abstractmethod
+    def block_seconds(self) -> dict[int, float]:
+        """Cumulative wall-clock seconds spent solving each block since attach."""
+
+    def run_cache_stats(self) -> CacheStats | None:
+        """Factorization-cache counter delta since :meth:`attach`.
+
+        ``None`` when the binding runs uncached.  For the process backend
+        this aggregates the *per-worker* caches, which is the only place
+        the counters exist.
+        """
+        return None
+
+    @property
+    def nblocks(self) -> int:
+        """Number of blocks in the current binding (0 when detached)."""
+        return 0
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Tear down any worker pool.  Implies :meth:`detach`."""
+        self.detach()
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(blocks={self.nblocks})"
+
+
+class InProcessExecutor(Executor):
+    """Shared machinery of the backends whose systems live in this process.
+
+    Both the inline and the thread backend hold the
+    :class:`~repro.core.local.LocalSystem` list in the driver process and
+    share the caller's :class:`~repro.direct.cache.FactorizationCache`;
+    they differ only in *where* ``solve_blocks`` runs each task.
+    """
+
+    def __init__(self) -> None:
+        self._systems: list[LocalSystem] | None = None
+        self._cache: FactorizationCache | None = None
+        self._cache_before: CacheStats | None = None
+        self._block_seconds: dict[int, float] = {}
+
+    def attach(self, A, b, sets, solver, *, cache=None) -> None:
+        self.detach()
+        self._cache = cache
+        self._cache_before = cache.stats.snapshot() if cache is not None else None
+        self._systems = build_local_systems(
+            A, b, sets, solver, cache=cache, executor=self._setup_executor()
+        )
+        self._block_seconds = {l: 0.0 for l in range(len(self._systems))}
+
+    def _setup_executor(self):
+        """Executor forwarded to :func:`build_local_systems` (None = serial)."""
+        return None
+
+    def detach(self) -> None:
+        self._systems = None
+        self._cache = None
+        self._cache_before = None
+
+    @property
+    def systems(self) -> list[LocalSystem]:
+        """The bound per-block systems (raises when detached)."""
+        if self._systems is None:
+            raise RuntimeError(f"{type(self).__name__} is not attached")
+        return self._systems
+
+    @property
+    def nblocks(self) -> int:
+        return len(self._systems) if self._systems is not None else 0
+
+    def _timed_solve(self, l: int, z: np.ndarray) -> tuple[np.ndarray, float]:
+        """Solve one block, returning ``(piece, seconds)``.
+
+        The caller accumulates the timing in the driver thread, so the
+        ``block_seconds`` table is never mutated concurrently.
+        """
+        t0 = time.perf_counter()
+        piece = self.systems[l].solve_with(z)
+        return piece, time.perf_counter() - t0
+
+    def _account(self, l: int, seconds: float) -> None:
+        self._block_seconds[l] = self._block_seconds.get(l, 0.0) + seconds
+
+    def block_seconds(self) -> dict[int, float]:
+        return dict(self._block_seconds)
+
+    def run_cache_stats(self) -> CacheStats | None:
+        if self._cache is None or self._cache_before is None:
+            return None
+        return self._cache.stats.since(self._cache_before)

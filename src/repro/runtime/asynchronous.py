@@ -1,0 +1,217 @@
+"""Genuinely asynchronous multisplitting on worker threads.
+
+Where :func:`repro.core.sequential.chaotic_iterate` *emulates* an
+asynchronous execution (deterministic schedule, seeded delays) and
+:func:`repro.core.asynchronous.run_asynchronous` *simulates* one on the
+grid event engine, this driver actually runs one: each block gets a
+free-running worker thread that
+
+1. reads its dependencies' latest published pieces from
+   :class:`~repro.runtime.seqlock.VersionedVector` slots -- wait-free,
+   possibly stale, never torn;
+2. re-solves its factored band system whenever anything it read has
+   changed since its last solve (an unchanged input would reproduce the
+   piece bit-for-bit -- a direct solve is deterministic -- so those
+   no-op solves are skipped, mirroring the chaotic driver's reasoning);
+3. publishes the new piece iff it differs from the previous one, which
+   is what lets the whole system go quiet at the fixed point.
+
+Nobody ever blocks on anybody -- the Bertsekas & Tsitsiklis model with
+staleness bounded by thread-scheduling latency rather than by a seeded
+ring buffer.  Convergence is monitored from the outside: the driver
+thread periodically assembles the core iterate and stops everyone once
+the **true residual** satisfies ``||b - A x||_inf <= tol * max(1,
+||A||_inf)`` -- the same scale-invariant soundness rule the chaotic
+driver uses, so a quiet-but-wrong state can never report convergence.
+
+The result is a :class:`~repro.core.sequential.SequentialResult` whose
+``history`` holds the sampled residuals.  Iterate *paths* are
+scheduling-dependent (that is the point), but every run under Theorem
+1's asynchronous condition converges to the same solution; the
+regression tests assert cross-backend agreement within tolerance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core.partition import GeneralPartition
+from repro.core.sequential import SequentialResult
+from repro.core.stopping import StoppingCriterion
+from repro.core.local import build_local_systems
+from repro.core.weighting import WeightingScheme
+from repro.direct.base import DirectSolver
+from repro.direct.cache import FactorizationCache
+from repro.linalg.norms import residual_norm
+from repro.runtime.seqlock import VersionedVector
+
+__all__ = ["async_iterate"]
+
+
+def async_iterate(
+    A,
+    b: np.ndarray,
+    partition: GeneralPartition,
+    weighting: WeightingScheme,
+    solver: DirectSolver,
+    *,
+    stopping: StoppingCriterion | None = None,
+    x0: np.ndarray | None = None,
+    cache: FactorizationCache | None = None,
+    poll_interval: float = 1e-4,
+    monitor_interval: float = 1e-3,
+    quiescence_timeout: float = 0.5,
+) -> SequentialResult:
+    """Solve ``A x = b`` with one free-running thread per block.
+
+    Parameters
+    ----------
+    stopping:
+        ``tolerance`` bounds the final true residual (scaled by
+        ``max(1, ||A||_inf)``); ``max_iterations`` caps each thread's
+        local solve count.  Defaults to the asynchronous default
+        (``consecutive=3`` is irrelevant here -- the monitor checks the
+        true residual directly).
+    poll_interval:
+        Sleep between dependency polls once a thread's inputs are quiet.
+    monitor_interval:
+        Sleep between the driver's residual samples.
+    quiescence_timeout:
+        Backstop for an *unreachable* tolerance: when no thread has
+        solved or published anything for this many seconds (the system
+        reached a bitwise fixed point whose residual still exceeds the
+        threshold), the driver stops with ``converged=False`` instead of
+        idling forever.
+    cache:
+        Shared (thread-safe) factorization cache; blocks factor once and
+        concurrently during setup.
+    """
+    stopping = stopping or StoppingCriterion(consecutive=3)
+    b = np.asarray(b, dtype=float)
+    if b.ndim != 1:
+        raise ValueError(
+            "async_iterate solves one right-hand side; use "
+            "multisplitting_iterate for batched (n, k) blocks"
+        )
+    L = partition.nprocs
+    cache_before = cache.stats.snapshot() if cache is not None else None
+    systems = build_local_systems(A, b, partition.sets, solver, cache=cache)
+    z0 = np.zeros(b.shape) if x0 is None else np.asarray(x0, dtype=float).copy()
+    if z0.shape != b.shape:
+        raise ValueError(f"x0 must have shape {b.shape}")
+    weights = [weighting.update_weights(l) for l in range(L)]
+
+    slots = [VersionedVector(z0[partition.sets[l]]) for l in range(L)]
+    stop_event = threading.Event()
+    counts = [0] * L
+    solving = [False] * L
+    errors: list[BaseException] = []
+
+    row_sums = np.abs(A).sum(axis=1)
+    norm_A = float(np.max(np.asarray(row_sums))) if partition.n else 0.0
+    residual_tolerance = stopping.tolerance * max(1.0, norm_A)
+
+    def worker(l: int) -> None:
+        my_weights = weights[l]
+        last_seen = {k: -1 for k in my_weights}
+        prev_piece: np.ndarray | None = None
+        it = 0
+        try:
+            while not stop_event.is_set() and it < stopping.max_iterations:
+                z = np.zeros(b.shape)
+                changed = False
+                for k, w in my_weights.items():
+                    piece_k, version = slots[k].read()
+                    if version != last_seen[k]:
+                        changed = True
+                        last_seen[k] = version
+                    z[partition.sets[k]] += w * piece_k
+                if not changed and prev_piece is not None:
+                    # Identical inputs reproduce the piece bit-for-bit;
+                    # skip the no-op solve and poll again.
+                    time.sleep(poll_interval)
+                    continue
+                solving[l] = True
+                try:
+                    piece = systems[l].solve_with(z)
+                finally:
+                    solving[l] = False
+                it += 1
+                counts[l] = it
+                if prev_piece is None or not np.array_equal(piece, prev_piece):
+                    slots[l].write(piece)
+                    prev_piece = piece
+                # An unchanged piece is not re-published: at the fixed
+                # point every thread stops publishing and the system
+                # goes globally quiet.
+        except BaseException as exc:  # pragma: no cover - kernel failure
+            errors.append(exc)
+            stop_event.set()
+        finally:
+            counts[l] = it
+
+    core_sel = [
+        np.isin(partition.sets[l], partition.core[l]) for l in range(L)
+    ]
+
+    def assemble() -> np.ndarray:
+        x = np.empty(partition.n)
+        for l, core in enumerate(partition.core):
+            piece, _ = slots[l].read()
+            x[core] = piece[core_sel[l]]
+        return x
+
+    threads = [
+        threading.Thread(target=worker, args=(l,), name=f"repro-async-{l}")
+        for l in range(L)
+    ]
+    for t in threads:
+        t.start()
+
+    history: list[float] = []
+    converged = False
+    quiet_state: tuple | None = None
+    quiet_since = 0.0
+    try:
+        while True:
+            x = assemble()
+            value = residual_norm(A, x, b)
+            history.append(value)
+            if value <= residual_tolerance:
+                converged = True
+                break
+            if errors or all(not t.is_alive() for t in threads):
+                break
+            # Quiescence backstop: every thread idle (no new solves, no
+            # new publications) means the system sits at a bitwise fixed
+            # point the tolerance cannot certify -- stop rather than
+            # idle-poll forever.  A solve in progress always bumps
+            # counts[l] on completion, which resets the timer.
+            state = (tuple(s.version for s in slots), tuple(counts))
+            now = time.monotonic()
+            if state != quiet_state or any(solving):
+                quiet_state = state
+                quiet_since = now
+            elif now - quiet_since >= quiescence_timeout:
+                break
+            time.sleep(monitor_interval)
+    finally:
+        stop_event.set()
+        for t in threads:
+            t.join()
+    if errors:
+        raise errors[0]
+
+    x = assemble()
+    return SequentialResult(
+        x=x,
+        iterations=max(counts) if counts else 0,
+        converged=converged,
+        history=history,
+        residual=residual_norm(A, x, b),
+        cache_stats=cache.stats.since(cache_before) if cache is not None else None,
+        backend="threads",
+    )

@@ -1,0 +1,390 @@
+"""Worker-process backend: no GIL, matrices shipped once, vectors via shm.
+
+Deployment shape (mirrors the paper's one-process-per-machine layout, at
+laptop scale):
+
+* ``attach`` spawns (or reuses) ``W = min(L, max_workers)`` daemon worker
+  processes and ships each one its blocks' slice of the problem --
+  ``(A, b, sets, kernel)`` crosses the task queue exactly **once** per
+  binding, and each worker factors its own blocks locally (with a
+  per-process :class:`~repro.direct.cache.FactorizationCache`, so
+  re-attaching the same matrix skips the factorization);
+* every outer iteration exchanges only *vectors*, through two
+  :class:`~repro.runtime.shm.SharedVectorPlane` segments: the driver
+  writes block ``l``'s local copy into its ``z`` slot, enqueues a tiny
+  ``("solve", l)`` ticket, and the worker writes ``XSub_l`` into the
+  piece slot before acknowledging.  Queue tickets order the slot
+  accesses, so no locks are needed and nothing numeric is ever pickled
+  on the hot path;
+* completion tickets carry the worker-side wall-clock of each solve, so
+  ``block_seconds`` reports where the time actually went.
+
+Blocks are assigned round-robin (``owner(l) = l mod W``).  Worker caches
+mean cache *counters* live in the workers; ``run_cache_stats`` aggregates
+them over the binding's workers.
+
+Trade-offs vs :class:`~repro.runtime.ThreadExecutor`: true core-level
+parallelism independent of any GIL-releasing discipline in the kernels,
+at the price of one queue round-trip (~0.1 ms) plus two vector copies per
+block per iteration, and of per-worker (not shared) factor caches.  Pick
+processes when block solves are chunky; threads when they are small or
+when a shared cache across blocks matters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import threading
+import time
+import traceback
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.direct.cache import CacheStats, FactorizationCache
+from repro.runtime.api import Executor
+from repro.runtime.shm import SharedVectorPlane
+
+__all__ = ["ProcessExecutor"]
+
+#: Seconds a driver waits on one worker reply before declaring it dead.
+_REPLY_TIMEOUT = 300.0
+
+
+def _worker_main(rank: int, task_q, result_q) -> None:
+    """Verb loop of one worker process.
+
+    Workers execute a fixed verb set (attach / solve / stats / detach /
+    exit) rather than arbitrary closures -- that keeps every message
+    picklable under any start method and makes the hot-path messages
+    constant-size.
+    """
+    # Imports happen here (not at module import) so a "spawn" child only
+    # pays for what it uses.
+    from repro.core.local import build_local_system
+    from repro.linalg.sparse import as_csr
+
+    cache = FactorizationCache(capacity=256)
+    systems: dict[int, object] = {}
+    z_plane: SharedVectorPlane | None = None
+    piece_plane: SharedVectorPlane | None = None
+    cache_before: CacheStats | None = None
+    use_cache = False
+
+    def _release_binding() -> None:
+        nonlocal systems, z_plane, piece_plane
+        systems = {}
+        if z_plane is not None:
+            z_plane.close()
+            z_plane = None
+        if piece_plane is not None:
+            piece_plane.close()
+            piece_plane = None
+
+    # Every message after the verb carries the binding epoch; replies echo
+    # it so the driver can discard stragglers from an aborted binding.
+    while True:
+        msg = task_q.get()
+        kind = msg[0]
+        if kind == "exit":
+            _release_binding()
+            return
+        epoch = msg[1]
+        try:
+            if kind == "attach":
+                spec = msg[2]
+                _release_binding()
+                use_cache = spec["use_cache"]
+                cache_before = cache.stats.snapshot() if use_cache else None
+                csr = as_csr(spec["A"])
+                b = spec["b"]
+                z_plane = SharedVectorPlane(
+                    spec["z_shapes"], name=spec["z_name"], create=False
+                )
+                piece_plane = SharedVectorPlane(
+                    spec["piece_shapes"], name=spec["piece_name"], create=False
+                )
+                for l in spec["owned"]:
+                    systems[l] = build_local_system(
+                        csr,
+                        b,
+                        spec["sets"][l],
+                        l,
+                        spec["solvers"][l],
+                        cache=cache if use_cache else None,
+                    )
+                result_q.put(("attached", epoch, rank))
+            elif kind == "solve":
+                l = msg[2]
+                z = z_plane.read(l)
+                t0 = time.perf_counter()
+                piece = systems[l].solve_with(z)
+                dt = time.perf_counter() - t0
+                piece_plane.write(l, np.asarray(piece, dtype=float))
+                result_q.put(("done", epoch, l, dt))
+            elif kind == "stats":
+                delta = (
+                    cache.stats.since(cache_before)
+                    if use_cache and cache_before is not None
+                    else None
+                )
+                result_q.put(("stats", epoch, rank, delta))
+            elif kind == "detach":
+                _release_binding()
+                result_q.put(("detached", epoch, rank))
+            else:  # pragma: no cover - protocol violation
+                result_q.put(("error", epoch, rank, f"unknown verb {kind!r}"))
+        except BaseException:
+            result_q.put(("error", epoch, rank, traceback.format_exc()))
+
+
+class ProcessExecutor(Executor):
+    """Run block solves in worker processes with shared-memory vectors.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker-process count cap; defaults to ``os.cpu_count()``.  The
+        pool grows lazily up to ``min(nblocks, max_workers)`` and
+        persists across ``attach``/``detach`` cycles.
+    start_method:
+        ``multiprocessing`` start method; by default ``"fork"`` when the
+        parent is still single-threaded at first spawn (cheapest), else
+        ``"forkserver"``/``"spawn"`` (fork-with-threads can deadlock the
+        child on an inherited lock).
+    """
+
+    name = "processes"
+
+    def __init__(self, *, max_workers: int | None = None, start_method: str | None = None):
+        self.max_workers = max_workers
+        self.start_method = start_method
+        self._ctx = None
+        self._workers: list = []
+        self._task_qs: list = []
+        self._result_q = None
+        self._active = 0
+        self._owner: dict[int, int] = {}
+        self._z_plane: SharedVectorPlane | None = None
+        self._piece_plane: SharedVectorPlane | None = None
+        self._block_seconds: dict[int, float] = {}
+        self._attached = False
+        self._use_cache = False
+        self._epoch = 0
+
+    # -- worker pool -----------------------------------------------------
+    def _context(self):
+        """Pick the start method at first spawn, not at construction.
+
+        ``fork`` is the cheapest, but forking a *multi-threaded* parent
+        can clone a child while another thread (a ThreadExecutor pool, a
+        BLAS pool) holds an internal lock, deadlocking the worker before
+        it reaches its queue loop.  So ``fork`` is only chosen when the
+        parent is still single-threaded; otherwise ``forkserver`` (or
+        ``spawn``) launches workers from a clean process.
+        """
+        if self._ctx is None:
+            method = self.start_method
+            if method is None:
+                available = mp.get_all_start_methods()
+                if "fork" in available and threading.active_count() == 1:
+                    method = "fork"
+                elif "forkserver" in available:
+                    method = "forkserver"
+                else:
+                    method = "spawn"
+            self._ctx = mp.get_context(method)
+        return self._ctx
+
+    def _ensure_workers(self, count: int) -> None:
+        ctx = self._context()
+        if self._result_q is None:
+            self._result_q = ctx.Queue()
+        while len(self._workers) < count:
+            rank = len(self._workers)
+            task_q = ctx.Queue()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(rank, task_q, self._result_q),
+                daemon=True,
+                name=f"repro-runtime-{rank}",
+            )
+            proc.start()
+            self._task_qs.append(task_q)
+            self._workers.append(proc)
+
+    def _collect(self, expected_kind: str, count: int) -> list[tuple]:
+        """Gather ``count`` current-epoch replies.
+
+        Replies from older epochs (left over when a binding aborted on a
+        worker error) are discarded; worker tracebacks and worker deaths
+        surface as ``RuntimeError``.
+        """
+        replies = []
+        deadline = time.monotonic() + _REPLY_TIMEOUT
+        while len(replies) < count:
+            try:
+                msg = self._result_q.get(timeout=1.0)
+            except queue_mod.Empty:
+                dead = [p.name for p in self._workers[: self._active] if not p.is_alive()]
+                if dead:
+                    raise RuntimeError(f"runtime workers died: {dead}")
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"timed out waiting for {expected_kind!r} replies "
+                        f"({len(replies)}/{count} received)"
+                    )
+                continue
+            if msg[1] != self._epoch:
+                continue  # straggler from an aborted binding
+            if msg[0] == "error":
+                raise RuntimeError(f"runtime worker {msg[2]} failed:\n{msg[3]}")
+            if msg[0] != expected_kind:  # pragma: no cover - protocol violation
+                raise RuntimeError(f"expected {expected_kind!r} reply, got {msg[0]!r}")
+            replies.append(msg)
+        return replies
+
+    # -- binding ---------------------------------------------------------
+    def attach(self, A, b, sets, solver, *, cache=None) -> None:
+        from repro.linalg.sparse import as_csr
+
+        self.detach()
+        csr = as_csr(A)
+        b = np.asarray(b, dtype=float)
+        L = len(sets)
+        if L == 0:
+            raise ValueError("at least one block required")
+        if isinstance(solver, (list, tuple)):
+            solvers = list(solver)
+            if len(solvers) != L:
+                raise ValueError(f"{len(solvers)} kernels for {L} blocks")
+        else:
+            solvers = [solver] * L
+        sets_list = [np.asarray(rows, dtype=np.int64) for rows in sets]
+        W = max(1, min(L, self.max_workers or os.cpu_count() or 1))
+        self._ensure_workers(W)
+        z_shapes = [b.shape] * L
+        piece_shapes = [(rows.size,) + tuple(b.shape[1:]) for rows in sets_list]
+        self._z_plane = SharedVectorPlane(z_shapes)
+        self._piece_plane = SharedVectorPlane(piece_shapes)
+        self._owner = {l: l % W for l in range(L)}
+        self._active = W
+        self._use_cache = cache is not None
+        self._epoch += 1
+        try:
+            for w in range(W):
+                spec = {
+                    "A": csr,
+                    "b": b,
+                    "sets": sets_list,
+                    "solvers": solvers,
+                    "owned": [l for l in range(L) if l % W == w],
+                    "use_cache": self._use_cache,
+                    "z_name": self._z_plane.name,
+                    "z_shapes": z_shapes,
+                    "piece_name": self._piece_plane.name,
+                    "piece_shapes": piece_shapes,
+                }
+                self._task_qs[w].put(("attach", self._epoch, spec))
+            self._collect("attached", W)
+        except BaseException:
+            # Aborted binding: reclaim the planes; workers release their
+            # stale state on their next attach, and any straggler replies
+            # are filtered out by the epoch check.
+            for plane in (self._z_plane, self._piece_plane):
+                if plane is not None:
+                    plane.close()
+                    plane.unlink()
+            self._z_plane = None
+            self._piece_plane = None
+            raise
+        self._block_seconds = {l: 0.0 for l in range(L)}
+        self._attached = True
+
+    def detach(self) -> None:
+        if self._attached:
+            # A fresh epoch for the detach round: if a solve aborted on a
+            # worker error, the surviving workers' same-epoch "done"
+            # replies are still queued — bumping the epoch makes the
+            # straggler filter drop them instead of tripping the
+            # detached-reply check (which would mask the original error).
+            self._epoch += 1
+            for w in range(self._active):
+                self._task_qs[w].put(("detach", self._epoch))
+            self._collect("detached", self._active)
+            self._attached = False
+        for plane in (self._z_plane, self._piece_plane):
+            if plane is not None:
+                plane.close()
+                plane.unlink()
+        self._z_plane = None
+        self._piece_plane = None
+
+    @property
+    def nblocks(self) -> int:
+        return len(self._owner) if self._attached else 0
+
+    # -- solving ---------------------------------------------------------
+    def solve_blocks(
+        self, tasks: Sequence[tuple[int, np.ndarray]]
+    ) -> list[np.ndarray]:
+        if not self._attached:
+            raise RuntimeError("ProcessExecutor is not attached")
+        blocks = [l for l, _ in tasks]
+        if len(set(blocks)) != len(blocks):
+            raise ValueError("duplicate block in one solve_blocks call")
+        for l, z in tasks:
+            self._z_plane.write(l, np.asarray(z, dtype=float))
+            self._task_qs[self._owner[l]].put(("solve", self._epoch, l))
+        for _, _, l, dt in self._collect("done", len(tasks)):
+            self._block_seconds[l] += dt
+        return [self._piece_plane.read(l) for l in blocks]
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        # Workers speak a fixed verb set, not closures; setup-phase maps
+        # run inline (the per-binding factorization already happens
+        # worker-side, in parallel, during attach).
+        return [fn(item) for item in items]
+
+    # -- observability ---------------------------------------------------
+    def block_seconds(self) -> dict[int, float]:
+        return dict(self._block_seconds)
+
+    def run_cache_stats(self) -> CacheStats | None:
+        if not self._attached or not self._use_cache:
+            return None
+        for w in range(self._active):
+            self._task_qs[w].put(("stats", self._epoch))
+        merged = CacheStats()
+        for _, _, _, delta in self._collect("stats", self._active):
+            if delta is None:
+                continue
+            merged.hits += delta.hits
+            merged.misses += delta.misses
+            merged.evictions += delta.evictions
+            merged.invalidations += delta.invalidations
+            merged.factor_seconds_spent += delta.factor_seconds_spent
+            merged.factor_seconds_saved += delta.factor_seconds_saved
+        return merged
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        self.detach()
+        for task_q, proc in zip(self._task_qs, self._workers):
+            if proc.is_alive():
+                task_q.put(("exit",))
+        for proc in self._workers:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for task_q in self._task_qs:
+            task_q.close()
+        if self._result_q is not None:
+            self._result_q.close()
+            self._result_q = None
+        self._workers = []
+        self._task_qs = []
+        self._active = 0

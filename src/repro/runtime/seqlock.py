@@ -1,0 +1,78 @@
+"""Seqlock-style versioned vectors for free-running asynchronous threads.
+
+The asynchronous multisplitting iteration *wants* stale reads -- Theorem
+1's asynchronous branch tolerates arbitrarily old dependency values -- but
+it cannot tolerate **torn** reads (half of an old piece spliced onto half
+of a new one is not a delayed iterate of the model; it is a vector no
+processor ever produced).  A mutex per piece would serialise readers
+against the writer, which is exactly the blocking the asynchronous
+algorithm exists to avoid.
+
+:class:`VersionedVector` is the classic seqlock compromise: the single
+writer increments a version counter to an *odd* value, updates the
+buffer, and increments again to *even*; readers snapshot the counter,
+copy the buffer, and retry iff the counter was odd or moved.  Readers
+never block the writer, the writer never blocks readers, and every
+successful read is some complete historical value -- precisely the
+"bounded staleness, whole vectors" model the convergence theory assumes.
+CPython's memory model (one bytecode at a time under the GIL, with
+sequentially consistent effects between threads) makes the counter
+protocol sound without explicit fences.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+__all__ = ["VersionedVector"]
+
+
+class VersionedVector:
+    """One block's published piece, safely readable while being replaced.
+
+    Parameters
+    ----------
+    initial:
+        First published value (copied).  Its version is 0.
+    """
+
+    def __init__(self, initial: np.ndarray):
+        self._buf = np.array(initial, dtype=float, copy=True)
+        self._version = 0  # even = stable; odd = write in progress
+        self._write_lock = threading.Lock()  # serialises writers only
+
+    def write(self, values: np.ndarray) -> int:
+        """Publish a new value; returns its (stable) version number."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != self._buf.shape:
+            raise ValueError(f"expected shape {self._buf.shape}, got {values.shape}")
+        with self._write_lock:
+            self._version += 1  # odd: readers will retry
+            self._buf[...] = values
+            self._version += 1  # even: stable again
+            return self._version >> 1
+
+    def read(self) -> tuple[np.ndarray, int]:
+        """Return ``(copy_of_value, version)`` -- never torn, never blocking.
+
+        The version is a monotone publication counter (0 for the initial
+        value); callers use it to detect whether a dependency has changed
+        since their last read.
+        """
+        while True:
+            v0 = self._version
+            if v0 & 1:
+                time.sleep(0)  # writer mid-flight: yield and retry
+                continue
+            out = self._buf.copy()
+            if self._version == v0:
+                return out, v0 >> 1
+            # a write landed while we were copying: retry
+
+    @property
+    def version(self) -> int:
+        """Latest stable publication count (cheap, may race by one)."""
+        return self._version >> 1

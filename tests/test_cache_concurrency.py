@@ -1,0 +1,224 @@
+"""Concurrency hammer for :class:`repro.direct.cache.FactorizationCache`.
+
+The thread backend points many workers at one cache, so the counters must
+stay exact under contention (a single lock covers stats + LRU order) and
+the per-key in-flight latch must guarantee
+
+* the same key is never factored twice concurrently (latecomers wait);
+* different keys factor *outside* the lock, so they can proceed in
+  parallel;
+* every ``factor()`` call is counted exactly once: ``hits + misses ==
+  total requests``, always.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.direct.base import DirectSolver, Factorization
+from repro.direct.cache import FactorizationCache
+from repro.direct.dense import DenseLU
+
+
+class CountingDense(DirectSolver):
+    """Dense kernel wrapper counting real factorizations, thread-safely.
+
+    The counter lives on the *class* (not the instance) so it never
+    enters the solver fingerprint -- instances with equal ``delay`` share
+    cache entries, exactly like production kernels.
+    """
+
+    name = "counting-dense"
+    factor_calls = 0
+    in_flight = 0
+    max_in_flight = 0
+    _lock = threading.Lock()
+
+    def __init__(self, delay: float = 0.0):
+        self.delay = delay
+
+    @classmethod
+    def reset(cls) -> None:
+        cls.factor_calls = 0
+        cls.in_flight = 0
+        cls.max_in_flight = 0
+
+    def factor(self, A) -> Factorization:
+        cls = type(self)
+        with cls._lock:
+            cls.factor_calls += 1
+            cls.in_flight += 1
+            cls.max_in_flight = max(cls.max_in_flight, cls.in_flight)
+        try:
+            if self.delay:
+                time.sleep(self.delay)
+            return DenseLU().factor(A)
+        finally:
+            with cls._lock:
+                cls.in_flight -= 1
+
+
+def _matrices(count: int, n: int = 12) -> list[np.ndarray]:
+    rng = np.random.default_rng(42)
+    out = []
+    for _ in range(count):
+        M = rng.normal(size=(n, n))
+        M += n * np.eye(n)  # safely non-singular
+        out.append(M)
+    return out
+
+
+class TestHammer:
+    def test_counters_exact_under_contention(self):
+        """N threads x M requests: hits + misses == total requests."""
+        CountingDense.reset()
+        cache = FactorizationCache()
+        solver = CountingDense()
+        mats = _matrices(5)
+        keys = [cache.key_for(solver, M) for M in mats]
+        n_threads, per_thread = 8, 200
+        start = threading.Barrier(n_threads)
+        failures: list[BaseException] = []
+
+        def hammer(tid: int) -> None:
+            try:
+                start.wait()
+                for i in range(per_thread):
+                    j = (tid + i) % len(mats)
+                    fact = cache.factor(solver, mats[j], key=keys[j])
+                    assert fact is not None
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        total = n_threads * per_thread
+        assert cache.stats.hits + cache.stats.misses == total
+        # each distinct matrix factored exactly once, by exactly one thread
+        assert cache.stats.misses == len(mats)
+        assert CountingDense.factor_calls == len(mats)
+        assert cache.stats.hits == total - len(mats)
+        assert len(cache) == len(mats)
+
+    def test_same_key_concurrent_requests_factor_once(self):
+        """A slow factorization is shared: latecomers wait, not refactor."""
+        CountingDense.reset()
+        cache = FactorizationCache()
+        solver = CountingDense(delay=0.05)
+        (M,) = _matrices(1)
+        results: list[Factorization] = []
+        start = threading.Barrier(6)
+
+        def request() -> None:
+            start.wait()
+            results.append(cache.factor(solver, M))
+
+        threads = [threading.Thread(target=request) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert CountingDense.factor_calls == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 5
+        assert all(f is results[0] for f in results)
+
+    def test_distinct_keys_factor_outside_the_lock(self):
+        """Two slow factorizations of different keys overlap in time.
+
+        If misses factored while holding the table lock, ``in_flight``
+        could never exceed 1.
+        """
+        CountingDense.reset()
+        cache = FactorizationCache()
+        solver = CountingDense(delay=0.1)
+        mats = _matrices(2)
+        start = threading.Barrier(2)
+
+        def request(j: int) -> None:
+            start.wait()
+            cache.factor(solver, mats[j])
+
+        threads = [threading.Thread(target=request, args=(j,)) for j in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert CountingDense.factor_calls == 2
+        assert CountingDense.max_in_flight == 2
+
+    def test_failed_factorization_releases_waiters(self):
+        """An exception inside the kernel must not deadlock latecomers."""
+
+        class Exploding(CountingDense):
+            name = "exploding-dense"
+
+            def factor(self, A):
+                type(self).factor_calls += 1
+                time.sleep(0.02)
+                raise RuntimeError("boom")
+
+        Exploding.reset()
+        cache = FactorizationCache()
+        solver = Exploding()
+        (M,) = _matrices(1)
+        outcomes: list[str] = []
+        start = threading.Barrier(4)
+
+        def request() -> None:
+            start.wait()
+            try:
+                cache.factor(solver, M)
+                outcomes.append("ok")
+            except RuntimeError:
+                outcomes.append("boom")
+
+        threads = [threading.Thread(target=request) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert all(not t.is_alive() for t in threads), "a waiter deadlocked"
+        assert outcomes == ["boom"] * 4
+        # every request is still counted exactly once
+        assert cache.stats.hits + cache.stats.misses == 4
+
+    def test_counters_exact_with_evictions(self):
+        """The invariant survives an LRU bound tighter than the key set."""
+        CountingDense.reset()
+        cache = FactorizationCache(capacity=2)
+        solver = CountingDense()
+        mats = _matrices(4)
+        keys = [cache.key_for(solver, M) for M in mats]
+        n_threads, per_thread = 6, 100
+        start = threading.Barrier(n_threads)
+
+        def hammer(tid: int) -> None:
+            start.wait()
+            for i in range(per_thread):
+                j = (tid * 3 + i) % len(mats)
+                cache.factor(solver, mats[j], key=keys[j])
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        assert cache.stats.hits + cache.stats.misses == total
+        # misses == real factorizations, even when eviction forces refactors
+        assert cache.stats.misses == CountingDense.factor_calls
+        assert cache.stats.evictions == cache.stats.misses - cache.capacity
+        assert len(cache) <= cache.capacity

@@ -1,0 +1,163 @@
+"""Seqlock vectors and the genuinely-asynchronous threaded driver."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    check_theorem1,
+    make_weighting,
+    multisplitting_iterate,
+    uniform_bands,
+)
+from repro.core.stopping import StoppingCriterion
+from repro.direct import get_solver
+from repro.direct.cache import FactorizationCache
+from repro.matrices import diagonally_dominant, rhs_for_solution
+from repro.runtime import VersionedVector, async_iterate
+
+
+class TestVersionedVector:
+    def test_initial_read(self):
+        v = VersionedVector(np.arange(4.0))
+        value, version = v.read()
+        np.testing.assert_array_equal(value, [0.0, 1.0, 2.0, 3.0])
+        assert version == 0
+
+    def test_write_bumps_version(self):
+        v = VersionedVector(np.zeros(3))
+        assert v.write(np.ones(3)) == 1
+        assert v.write(2 * np.ones(3)) == 2
+        value, version = v.read()
+        assert version == 2
+        np.testing.assert_array_equal(value, 2 * np.ones(3))
+
+    def test_shape_checked(self):
+        v = VersionedVector(np.zeros(3))
+        with pytest.raises(ValueError, match="shape"):
+            v.write(np.zeros(4))
+
+    def test_no_torn_reads_under_contention(self):
+        """Readers only ever observe complete published values.
+
+        The writer publishes constant-valued vectors (value == sweep
+        index); a torn read would show two different constants in one
+        snapshot.  Large buffers maximise the window for the writer to
+        land mid-copy.
+        """
+        n = 50_000
+        v = VersionedVector(np.zeros(n))
+        stop = threading.Event()
+        torn: list[np.ndarray] = []
+
+        def writer() -> None:
+            i = 0.0
+            while not stop.is_set():
+                i += 1.0
+                v.write(np.full(n, i))
+
+        def reader() -> None:
+            last_version = -1
+            for _ in range(300):
+                value, version = v.read()
+                if value.min() != value.max():
+                    torn.append(value)
+                # versions never go backwards
+                assert version >= last_version
+                last_version = version
+
+        w = threading.Thread(target=writer)
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        w.start()
+        for r in readers:
+            r.start()
+        for r in readers:
+            r.join()
+        stop.set()
+        w.join()
+        assert not torn, f"observed {len(torn)} torn reads"
+
+
+class TestAsyncIterate:
+    def _problem(self, n=120, L=3, seed=3):
+        A = diagonally_dominant(n, dominance=1.5, bandwidth=4, seed=seed)
+        b, x_true = rhs_for_solution(A, seed=seed + 1)
+        part = uniform_bands(n, L).to_general()
+        scheme = make_weighting("ownership", part)
+        return A, b, x_true, part, scheme
+
+    def test_converges_to_reference_solution(self):
+        A, b, x_true, part, scheme = self._problem()
+        # pre-flight: Theorem 1's asynchronous condition holds here
+        assert check_theorem1(A, part).asynchronous_ok
+        cache = FactorizationCache()
+        result = async_iterate(
+            A, b, part, scheme, get_solver("scipy"), cache=cache
+        )
+        assert result.converged
+        assert result.backend == "threads"
+        assert result.iterations >= 1
+        # sound stop: the true residual honours the scaled tolerance
+        norm_A = float(np.max(np.abs(A).sum(axis=1)))
+        assert result.residual <= 1e-8 * max(1.0, norm_A)
+        # same fixed point as the synchronous reference, within tolerance
+        ref = multisplitting_iterate(A, b, part, scheme, get_solver("scipy"))
+        assert np.max(np.abs(result.x - ref.x)) < 1e-5
+        assert np.max(np.abs(result.x - x_true)) < 1e-5
+        # factor-once during setup
+        assert cache.stats.misses == part.nprocs
+
+    def test_repeated_runs_agree_within_tolerance(self):
+        """Scheduling differs run to run; the solution must not."""
+        A, b, _, part, scheme = self._problem(seed=8)
+        first = async_iterate(A, b, part, scheme, get_solver("scipy"))
+        second = async_iterate(A, b, part, scheme, get_solver("scipy"))
+        assert first.converged and second.converged
+        assert np.max(np.abs(first.x - second.x)) < 1e-5
+
+    def test_warm_start(self):
+        A, b, _, part, scheme = self._problem()
+        ref = multisplitting_iterate(A, b, part, scheme, get_solver("scipy"))
+        warm = async_iterate(
+            A, b, part, scheme, get_solver("scipy"), x0=ref.x
+        )
+        assert warm.converged
+        assert np.max(np.abs(warm.x - ref.x)) < 1e-6
+
+    def test_iteration_budget_respected(self):
+        A, b, _, part, scheme = self._problem()
+        stopping = StoppingCriterion(tolerance=1e-300, max_iterations=5)
+        result = async_iterate(
+            A, b, part, scheme, get_solver("scipy"), stopping=stopping
+        )
+        assert not result.converged
+        assert result.iterations <= 5
+
+    def test_unreachable_tolerance_terminates(self):
+        """Bitwise fixed point above the tolerance: quiesce, don't hang."""
+        A, b, _, part, scheme = self._problem()
+        stopping = StoppingCriterion(tolerance=1e-300)
+        result = async_iterate(
+            A, b, part, scheme, get_solver("scipy"),
+            stopping=stopping, quiescence_timeout=0.2,
+        )
+        assert not result.converged
+        # it still did real work and landed at the fixed point
+        assert result.iterations >= 1
+        assert result.residual < 1e-6
+
+    def test_rejects_batched_rhs(self):
+        A, b, _, part, scheme = self._problem()
+        B = np.stack([b, b], axis=1)
+        with pytest.raises(ValueError, match="one right-hand side"):
+            async_iterate(A, B, part, scheme, get_solver("scipy"))
+
+    def test_rejects_bad_x0(self):
+        A, b, _, part, scheme = self._problem()
+        with pytest.raises(ValueError, match="x0"):
+            async_iterate(
+                A, b, part, scheme, get_solver("scipy"), x0=np.zeros(7)
+            )
