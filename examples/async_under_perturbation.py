@@ -14,8 +14,6 @@ the load.
 Run:  python examples/async_under_perturbation.py
 """
 
-import numpy as np
-
 from repro.core import MultisplittingSolver
 from repro.grid import cluster3
 from repro.matrices import load_workload

@@ -15,8 +15,6 @@ restricted (ownership) combination versus the O'Leary-White average.
 Run:  python examples/overlap_tuning.py
 """
 
-import numpy as np
-
 from repro.core import MultisplittingSolver
 from repro.grid import cluster3
 from repro.matrices import jacobi_spectral_radius, load_workload

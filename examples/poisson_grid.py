@@ -14,8 +14,6 @@ over our own sparse Gilbert-Peierls LU versus SciPy's SuperLU.
 Run:  python examples/poisson_grid.py
 """
 
-import numpy as np
-
 from repro.core import MultisplittingSolver
 from repro.direct import get_solver
 from repro.grid import custom_cluster

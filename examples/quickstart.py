@@ -12,8 +12,6 @@ Demonstrates the core public API in ~40 lines:
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro import MultisplittingSolver, load_workload
 from repro.core import check_theorem1, uniform_bands
 from repro.grid import cluster1, cluster3

@@ -23,6 +23,13 @@ Convergence is guaranteed under Theorem 1's stronger condition
 ``rho(|M_l^{-1} N_l|) < 1``; the solver itself guards with a local
 ``consecutive`` streak requirement plus the verification round of the
 detectors.
+
+Batched right-hand sides ``(n, k)`` are accounted **per column**: each
+column keeps its own diff-streak tracker and the local flag requires
+all of them, so a column that settled early can never vouch for one
+still moving -- the asynchronous analog of ``run_synchronous``'s
+worst-column monitor.
+
 """
 
 from __future__ import annotations
@@ -73,6 +80,7 @@ def run_asynchronous(
     x0: np.ndarray | None = None,
     cache: FactorizationCache | None = None,
     executor=None,
+    placement=None,
 ) -> DistributedRunResult:
     """Run the asynchronous algorithm; returns a :class:`DistributedRunResult`.
 
@@ -81,26 +89,32 @@ def run_asynchronous(
     factorization reuse across runs (counters land in ``stats``).
     ``executor`` (:mod:`repro.runtime`) parallelises the real setup
     factorization across blocks; the backend name and per-block solve
-    wall-clock land on ``stats``.
+    wall-clock land on ``stats``.  ``placement``
+    (:class:`repro.schedule.Placement`) maps each rank onto the plan's
+    worker's host; its summary lands on ``stats.placement``.
+
+    ``b`` may be one right-hand side ``(n,)`` or a batch ``(n, k)``,
+    matching :func:`repro.core.sync.run_synchronous`: every exchange
+    then carries an ``(m, k)`` block (bytes scale with ``k``, one
+    header per message) and convergence is accounted **per column** --
+    the local flag requires every column's diff streak to hold, so one
+    settled column can never mask another still moving.
     """
     if stopping is None:
         stopping = StoppingCriterion(consecutive=3)
-    if np.asarray(b).ndim != 1:
-        raise ValueError(
-            "the asynchronous driver solves one right-hand side; use "
-            "run_synchronous or multisplitting_iterate for batched (n, k) blocks"
-        )
+    b = np.asarray(b, dtype=float)
+    batched = b.ndim == 2
+    k_width = b.shape[1] if batched else 1
     L = partition.nprocs
-    hosts = placement_for(cluster, L)
+    hosts = placement_for(cluster, L, plan=placement)
     cache_before = cache.stats.snapshot() if cache is not None else None
     systems = build_local_systems(
         A, b, partition.sets, solver, cache=cache, executor=executor
     )
     pattern = communication_pattern(partition, weighting, systems)
-    n = partition.n
-    z_init = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
-    if z_init.shape != (n,):
-        raise ValueError(f"x0 must have shape ({n},)")
+    z_init = np.zeros(b.shape) if x0 is None else np.asarray(x0, dtype=float).copy()
+    if z_init.shape != b.shape:
+        raise ValueError(f"x0 must have shape {b.shape}")
 
     for l, (system, host) in enumerate(zip(systems, hosts)):
         if band_memory_bytes(system) > host.memory_free:
@@ -139,7 +153,10 @@ def run_asynchronous(
                 k: (0, z_init[partition.sets[k]]) for k in pattern.deps[l]
             }
             z = z_init.copy()
-            state = stopping.new_state()
+            # One convergence tracker per right-hand-side column: the
+            # local flag requires EVERY column's streak, so a settled
+            # column can never vouch for one still moving.
+            states = [stopping.new_state() for _ in range(k_width)]
             piece = z[rows].copy()
             it = 0
             stopped = False
@@ -157,7 +174,7 @@ def run_asynchronous(
             # the free-running loop skips those no-op solves and polls the
             # mailbox instead.  Identical iterates, bounded event count.
             z_dirty = True
-            iter_time = hosts[l].compute_time(system.iteration_flops)
+            iter_time = hosts[l].compute_time(system.iteration_flops * k_width)
             poll_floor = max(iter_time, 1e-5)
             poll = poll_floor
             idle_polls = 0
@@ -171,16 +188,19 @@ def run_asynchronous(
                     it += 1
                     poll = poll_floor
                     idle_polls = 0
-                    yield ctx.compute(system.iteration_flops)
+                    yield ctx.compute(system.iteration_flops * k_width)
                     t0 = time.perf_counter()
                     new_piece = system.solve_with(z)
                     block_wall[l] += time.perf_counter() - t0
-                    quiet = state.observe(
-                        float(np.max(np.abs(new_piece[core_mask] - piece[core_mask])))
-                        if core_mask.any()
-                        else 0.0
+                    if core_mask.any():
+                        diff = np.abs(new_piece[core_mask] - piece[core_mask])
+                        col_max = diff.max(axis=0) if batched else [diff.max()]
+                    else:
+                        col_max = [0.0] * k_width
+                    quiet = all(
+                        [states[j].observe(float(col_max[j])) for j in range(k_width)]
                     )
-                    if state.streak == 0:
+                    if any(s.streak == 0 for s in states):
                         absorbed_quietly.clear()
                     else:
                         absorbed_quietly |= pending_fresh
@@ -191,7 +211,7 @@ def run_asynchronous(
                     for k in pattern.dependents[l]:
                         yield ctx.send(
                             k,
-                            nbytes=vector_bytes(piece.size),
+                            nbytes=vector_bytes(piece.shape[0], k_width),
                             payload=(it, piece),
                             tag="axsub",
                             coalesce=True,
@@ -207,7 +227,7 @@ def run_asynchronous(
                         for k in pattern.dependents[l]:
                             yield ctx.send(
                                 k,
-                                nbytes=vector_bytes(piece.size),
+                                nbytes=vector_bytes(piece.shape[0], k_width),
                                 payload=(it, piece),
                                 tag="axsub",
                                 coalesce=True,
@@ -228,7 +248,8 @@ def run_asynchronous(
                         z[needed] = 0.0
                     for k, (_, p) in latest.items():
                         piece_idx, col_idx, w = terms[k]
-                        z[col_idx] += w * p[piece_idx]
+                        wk = w[:, None] if batched else w
+                        z[col_idx] += wk * p[piece_idx]
                     z_dirty = True
                 stopped = yield from detector.update(local_flag)
             return ProcOutcome(
@@ -252,6 +273,12 @@ def run_asynchronous(
     recorder.record_runtime(
         executor.name if executor is not None else "inline", block_wall
     )
+    if placement is not None:
+        # Provenance includes the *actual* host mapping (by-name when the
+        # plan was built from this cluster, positional for generic plans).
+        summary = placement.summary()
+        summary["hosts"] = [h.name for h in hosts]
+        recorder.record_placement(summary)
 
     x = assemble_solution(partition, outcomes)
     converged = all(o.locally_converged for o in outcomes)

@@ -104,18 +104,49 @@ class DistributedRunResult:
     extra: dict = field(default_factory=dict)
 
 
-def placement_for(cluster: Cluster, nprocs: int):
+def placement_for(cluster: Cluster, nprocs: int, plan=None):
     """Map ranks to hosts (one process per machine, paper-style).
+
+    Without a plan, rank ``l`` runs on ``cluster.hosts[l]``.  A
+    :class:`repro.schedule.Placement` overrides that: rank ``l`` runs on
+    the host of the plan's worker ``assignment[l]``, resolved by worker
+    name -- so the simulator charges each band exactly where the plan
+    put it.  Plans with no cluster-host names at all (generic or
+    calibrated-from-real-workers plans) fall back to positional
+    mapping; a plan that names *some* cluster hosts but not all is a
+    plan built from a different topology, and that mismatch raises
+    rather than silently mis-mapping bands.
 
     Raises
     ------
     ValueError
-        If the cluster has fewer machines than requested processes.
+        If the cluster has fewer machines than requested processes, the
+        plan schedules a different number of blocks, or the plan's
+        worker names only partially match the cluster's hosts.
     """
     if nprocs > len(cluster.hosts):
         raise ValueError(
             f"{nprocs} processes requested but cluster {cluster.name!r} has "
             f"{len(cluster.hosts)} hosts"
+        )
+    if plan is None:
+        return cluster.hosts[:nprocs]
+    if plan.nblocks != nprocs:
+        raise ValueError(
+            f"placement schedules {plan.nblocks} blocks but the run has "
+            f"{nprocs} processes"
+        )
+    by_name = {h.name: h for h in cluster.hosts}
+    matched = [l for l in range(nprocs) if plan.worker_of(l).name in by_name]
+    if len(matched) == nprocs:
+        return [by_name[plan.worker_of(l).name] for l in range(nprocs)]
+    if matched:
+        missing = sorted(
+            {plan.worker_of(l).name for l in range(nprocs)} - set(by_name)
+        )
+        raise ValueError(
+            f"placement names hosts absent from cluster {cluster.name!r} "
+            f"(e.g. {missing[:3]}); was the plan built from another topology?"
         )
     return cluster.hosts[:nprocs]
 

@@ -19,7 +19,7 @@ derived from the matrix pattern (``DependsOnMe`` in Algorithm 1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -30,6 +30,7 @@ __all__ = [
     "GeneralPartition",
     "uniform_bands",
     "proportional_bands",
+    "cost_balanced_bands",
     "interleaved_partition",
     "permuted_bands",
 ]
@@ -243,6 +244,90 @@ def proportional_bands(
             sizes[idx] -= 1
             drift += 1
         i += 1
+    bounds = []
+    start = 0
+    for s in sizes:
+        bounds.append((start, start + s))
+        start += s
+    return BandPartition(n=n, bounds=tuple(bounds), overlap=overlap)
+
+
+def cost_balanced_bands(
+    n: int,
+    speeds: list[float],
+    *,
+    cost=None,
+    fixed: list[float] | None = None,
+    overlap: int = 0,
+) -> BandPartition:
+    """Split bands so the *estimated per-band time* is equalised.
+
+    :func:`proportional_bands` equalises row counts per unit of speed,
+    which is only optimal when per-row work is uniform and communication
+    is free.  This builder instead balances a cost model: band ``l`` of
+    size ``s`` is estimated to take ``cost(s) / speeds[l] + fixed[l]``
+    seconds per outer iteration, where ``cost`` maps a band size to work
+    (flops; monotone non-decreasing, default linear) and ``fixed[l]`` is
+    a per-iteration constant the band pays regardless of its size
+    (message latency and volume -- a WAN-facing band should shrink so
+    its compute share absorbs the link it sits behind).
+
+    The equalised time ``T`` is found by bisection: for a candidate
+    ``T``, each band takes the largest size it can finish within ``T``;
+    the smallest ``T`` whose sizes cover ``n`` wins, and rounding drift
+    is repaid by shrinking the currently-slowest bands.  Every band
+    keeps at least one row.
+    """
+    if not speeds:
+        raise ValueError("speeds must be non-empty")
+    if any(s <= 0 for s in speeds):
+        raise ValueError("speeds must be positive")
+    L = len(speeds)
+    if L > n:
+        raise ValueError(f"cannot split {n} unknowns over {L} processors")
+    if cost is None:
+        cost = float
+    fixed = [0.0] * L if fixed is None else [float(f) for f in fixed]
+    if len(fixed) != L:
+        raise ValueError(f"{len(fixed)} fixed costs for {L} bands")
+    if any(f < 0 for f in fixed):
+        raise ValueError("fixed costs must be non-negative")
+
+    def band_time(l: int, size: int) -> float:
+        return float(cost(size)) / speeds[l] + fixed[l]
+
+    def size_within(l: int, T: float) -> int:
+        """Largest size in [0, n] band ``l`` finishes within ``T``."""
+        if band_time(l, 1) > T:
+            return 0
+        lo, hi = 1, n
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if band_time(l, mid) <= T:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    lo_T = min(band_time(l, 1) for l in range(L))
+    hi_T = max(band_time(l, n) for l in range(L))
+    for _ in range(64):
+        mid_T = 0.5 * (lo_T + hi_T)
+        if sum(size_within(l, mid_T) for l in range(L)) >= n:
+            hi_T = mid_T
+        else:
+            lo_T = mid_T
+    sizes = [max(1, size_within(l, hi_T)) for l in range(L)]
+    # Rounding drift: shave rows off the currently-slowest bands (never
+    # below one row), or grow the currently-fastest ones.
+    while sum(sizes) != n:
+        if sum(sizes) > n:
+            candidates = [l for l in range(L) if sizes[l] > 1]
+            worst = max(candidates, key=lambda l: band_time(l, sizes[l]))
+            sizes[worst] -= 1
+        else:
+            best = min(range(L), key=lambda l: band_time(l, sizes[l] + 1))
+            sizes[best] += 1
     bounds = []
     start = 0
     for s in sizes:

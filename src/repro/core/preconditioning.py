@@ -20,8 +20,6 @@ identity) but it is still returned so callers are agnostic to the side.
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 import scipy.sparse as sp
 

@@ -71,6 +71,9 @@ class SequentialResult:
     block_seconds:
         Cumulative wall-clock seconds spent solving each block (measured
         where the solve executed -- worker-side for the process backend).
+    placement:
+        Summary of the :class:`repro.schedule.Placement` the run was
+        pinned with (``None`` without one).
     """
 
     x: np.ndarray
@@ -81,6 +84,7 @@ class SequentialResult:
     cache_stats: CacheStats | None = None
     backend: str = "inline"
     block_seconds: dict[int, float] = field(default_factory=dict)
+    placement: dict | None = None
 
 
 def _resolve_executor(executor):
@@ -117,6 +121,7 @@ def multisplitting_iterate(
     callback: Callable[[int, np.ndarray], None] | None = None,
     cache: FactorizationCache | None = None,
     executor=None,
+    placement=None,
 ) -> SequentialResult:
     """Run the synchronous multisplitting-direct iteration in-process.
 
@@ -140,9 +145,13 @@ def multisplitting_iterate(
         Optional :class:`repro.runtime.Executor` running the per-block
         solves (default: serial inline).  A caller-supplied executor is
         attached/detached but not closed, so its workers are reusable.
+    placement:
+        Optional :class:`repro.schedule.Placement` pinning blocks to the
+        executor's workers (sticky affinity); the plan summary lands on
+        the result.  The partition should normally be the plan's own
+        (``placement.partition().to_general()``).
     """
     stopping = stopping or StoppingCriterion()
-    n = partition.n
     L = partition.nprocs
     b = np.asarray(b, dtype=float)
     ex, owns_executor = _resolve_executor(executor)
@@ -150,7 +159,7 @@ def multisplitting_iterate(
     if z0.shape != b.shape:
         raise ValueError(f"x0 must have shape {b.shape}")
     try:
-        ex.attach(A, b, partition.sets, solver, cache=cache)
+        ex.attach(A, b, partition.sets, solver, cache=cache, placement=placement)
         Z = [z0.copy() for _ in range(L)]
         weights = [weighting.update_weights(l) for l in range(L)]
         state = stopping.new_state()
@@ -189,6 +198,7 @@ def multisplitting_iterate(
             cache_stats=ex.run_cache_stats(),
             backend=ex.name,
             block_seconds=ex.block_seconds(),
+            placement=placement.summary() if placement is not None else None,
         )
     finally:
         ex.detach()
@@ -211,6 +221,7 @@ def chaotic_iterate(
     x0: np.ndarray | None = None,
     cache: FactorizationCache | None = None,
     executor=None,
+    placement=None,
 ) -> SequentialResult:
     """Emulate an asynchronous execution with bounded delays.
 
@@ -259,7 +270,7 @@ def chaotic_iterate(
     weights = [weighting.update_weights(l) for l in range(L)]
     batched = b.ndim == 2
     try:
-        ex.attach(A, b, partition.sets, solver, cache=cache)
+        ex.attach(A, b, partition.sets, solver, cache=cache, placement=placement)
         # ring buffer of historical pieces for stale reads
         pieces = [z0[partition.sets[l]].copy() for l in range(L)]
         piece_history: list[list[np.ndarray]] = [[p.copy() for p in pieces]]
@@ -330,6 +341,7 @@ def chaotic_iterate(
             cache_stats=ex.run_cache_stats(),
             backend=ex.name,
             block_seconds=ex.block_seconds(),
+            placement=placement.summary() if placement is not None else None,
         )
     finally:
         ex.detach()

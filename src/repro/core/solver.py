@@ -40,6 +40,7 @@ from repro.grid.trace import RunStats
 __all__ = ["MultisplittingSolver", "SolveResult"]
 
 _MODES = ("sequential", "synchronous", "asynchronous")
+_PLACEMENTS = ("uniform", "proportional", "calibrated")
 
 
 @dataclass
@@ -72,6 +73,10 @@ class SolveResult:
     block_seconds:
         Real wall-clock seconds spent solving each block (cumulative over
         the run; measured where the solve executed).
+    placement:
+        Summary of the :class:`repro.schedule.Placement` the run was
+        configured from (strategy, band sizes, block-to-worker
+        assignment), or ``None`` for the legacy implicit layout.
     """
 
     x: np.ndarray | None
@@ -89,6 +94,7 @@ class SolveResult:
     cache_stats: CacheStats | None = None
     backend: str = "inline"
     block_seconds: dict[int, float] = field(default_factory=dict)
+    placement: dict | None = None
 
     def error_vs(self, x_true: np.ndarray) -> float:
         """Max-norm error against a known solution."""
@@ -128,7 +134,28 @@ class MultisplittingSolver:
         ``"decentralized"``.
     proportional:
         When True (default) bands are sized proportionally to host speeds
-        on heterogeneous clusters.
+        on heterogeneous clusters.  Subsumed by ``placement``; kept for
+        backward compatibility (``placement=None`` maps it to the
+        ``"proportional"``/``"uniform"`` strategies).
+    placement:
+        Scheduling strategy, or an explicit plan
+        (:class:`repro.schedule.Placement`):
+
+        * ``"uniform"`` -- equal bands regardless of host speed;
+        * ``"proportional"`` -- bands sized to raw host speed ratios;
+        * ``"calibrated"`` -- cost-model balanced bands
+          (:func:`repro.schedule.cluster_placement` over the cluster's
+          hosts and links in the distributed modes; live micro-benchmark
+          calibration of the actual execution backend's workers in
+          sequential mode);
+        * a ``Placement`` instance -- used verbatim (its band sizes must
+          cover the matrix).
+
+        The resolved plan configures the partition, the simulated host
+        mapping, and the executor's sticky block-to-worker affinity in
+        one object; its summary lands on :attr:`SolveResult.placement`.
+        ``None`` (default) keeps the legacy behaviour driven by
+        ``proportional``.
     cache:
         Factorization reuse across :meth:`solve` calls.  ``True``
         (default) gives the solver its own
@@ -171,6 +198,7 @@ class MultisplittingSolver:
         proportional: bool = True,
         cache: "FactorizationCache | bool" = True,
         backend: str = "inline",
+        placement=None,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -178,6 +206,11 @@ class MultisplittingSolver:
             raise ValueError("processors must be positive")
         if overlap < 0:
             raise ValueError("overlap must be non-negative")
+        if isinstance(placement, str) and placement not in _PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {_PLACEMENTS} or a Placement, "
+                f"got {placement!r}"
+            )
         self.processors = processors
         self.mode = mode
         if isinstance(direct_solver, (list, tuple)):
@@ -193,6 +226,7 @@ class MultisplittingSolver:
         self.weighting = weighting
         self.detection = detection
         self.proportional = proportional
+        self.placement = placement
         if cache is True:
             self.cache: FactorizationCache | None = FactorizationCache(capacity=256)
         elif cache is False or cache is None:
@@ -202,6 +236,10 @@ class MultisplittingSolver:
         self.backend = backend
         self._executor = None
         self._owns_executor = False
+        # Live-calibration memo: measuring the backend's workers is a
+        # micro-benchmark, and a fresh measurement each solve would
+        # jitter the band sizes and defeat factor reuse across solves.
+        self._calibrated_plans: dict = {}
         default_consecutive = 1 if mode != "asynchronous" else 3
         if max_iterations is None:
             # Asynchronous runs legitimately take many more (cheap, local)
@@ -230,6 +268,8 @@ class MultisplittingSolver:
         if self._executor is not None and self._owns_executor:
             self._executor.close()
         self._executor = None
+        # New workers may come up with different speeds: re-measure.
+        self._calibrated_plans.clear()
 
     def __enter__(self) -> "MultisplittingSolver":
         return self
@@ -248,6 +288,55 @@ class MultisplittingSolver:
         else:
             band = uniform_bands(n, nprocs, overlap=self.overlap)
         return band.to_general()
+
+    def _resolve_plan(self, A, n: int, cluster: Cluster | None, nprocs: int):
+        """Resolve the ``placement`` option into a concrete plan (or None).
+
+        ``None`` means the legacy implicit layout (:meth:`build_partition`
+        + first-N-hosts mapping); anything else is a
+        :class:`repro.schedule.Placement` that sizes the partition, maps
+        simulated ranks to hosts, and pins executor workers.
+        """
+        if self.placement is None:
+            return None
+        from repro.schedule import (
+            Placement,
+            calibrated_placement,
+            cluster_placement,
+            uniform_placement,
+        )
+
+        if isinstance(self.placement, Placement):
+            if self.placement.n != n:
+                raise ValueError(
+                    f"placement covers {self.placement.n} unknowns but the "
+                    f"matrix has {n}"
+                )
+            return self.placement
+        strategy = self.placement
+        if cluster is not None:
+            nnz = getattr(A, "nnz", None)
+            density = max(float(nnz) / n, 1.0) if nnz is not None else 5.0
+            return cluster_placement(
+                cluster,
+                nprocs,
+                strategy=strategy,
+                overlap=self.overlap,
+                density=density,
+                n=n,
+            )
+        # Sequential mode: no topology to read speeds from.  "calibrated"
+        # micro-benchmarks the actual execution backend's workers;
+        # "uniform"/"proportional" degrade to equal bands (all workers
+        # are presumed equal without a measurement or a model).
+        if strategy == "calibrated":
+            key = (n, nprocs)
+            if key not in self._calibrated_plans:
+                self._calibrated_plans[key] = calibrated_placement(
+                    self._get_executor(), n, nprocs, overlap=self.overlap
+                )
+            return self._calibrated_plans[key]
+        return uniform_placement(n, nprocs, overlap=self.overlap)
 
     def _resolve_weighting(self, partition: GeneralPartition) -> WeightingScheme:
         if isinstance(self.weighting, str):
@@ -268,15 +357,30 @@ class MultisplittingSolver:
 
         In the distributed modes a missing ``cluster`` defaults to the
         paper's homogeneous ``cluster1`` sized to ``processors``.
+
+        An explicit ``partition`` and a configured ``placement`` both
+        claim the band layout; passing both is a conflict (the plan's
+        sizes would be silently discarded), so it raises.
         """
         n = A.shape[0]
+        if partition is not None and self.placement is not None:
+            raise ValueError(
+                "an explicit partition and a placement both prescribe the "
+                "band layout; pass the plan's own partition "
+                "(placement.partition()) or drop one of the two"
+            )
         if self.mode == "sequential":
             nprocs = self.processors or 4
-            part = self._normalize_partition(partition, n, None, nprocs)
+            plan = self._resolve_plan(A, n, None, nprocs) if partition is None else None
+            if plan is not None:
+                part = plan.partition().to_general()
+            else:
+                part = self._normalize_partition(partition, n, None, nprocs)
             scheme = self._resolve_weighting(part)
             seq = multisplitting_iterate(
                 A, b, part, scheme, self.direct_solver, stopping=self.stopping,
                 x0=x0, cache=self.cache, executor=self._get_executor(),
+                placement=plan,
             )
             return SolveResult(
                 x=seq.x,
@@ -289,12 +393,17 @@ class MultisplittingSolver:
                 cache_stats=seq.cache_stats,
                 backend=seq.backend,
                 block_seconds=seq.block_seconds,
+                placement=seq.placement,
             )
 
         nprocs = self.processors or (len(cluster.hosts) if cluster is not None else 4)
         if cluster is None:
             cluster = cluster1(min(nprocs, 20))
-        part = self._normalize_partition(partition, n, cluster, nprocs)
+        plan = self._resolve_plan(A, n, cluster, nprocs) if partition is None else None
+        if plan is not None:
+            part = plan.partition().to_general()
+        else:
+            part = self._normalize_partition(partition, n, cluster, nprocs)
         scheme = self._resolve_weighting(part)
         runner = run_synchronous if self.mode == "synchronous" else run_asynchronous
         cache_before = self.cache.stats.snapshot() if self.cache is not None else None
@@ -310,6 +419,7 @@ class MultisplittingSolver:
             x0=x0,
             cache=self.cache,
             executor=self._get_executor(),
+            placement=plan,
         )
         return SolveResult(
             x=run.x,
@@ -329,6 +439,7 @@ class MultisplittingSolver:
             ),
             backend=run.stats.backend if run.stats is not None else "inline",
             block_seconds=dict(run.stats.block_seconds) if run.stats is not None else {},
+            placement=run.stats.placement if run.stats is not None else None,
         )
 
     def _normalize_partition(

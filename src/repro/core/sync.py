@@ -72,6 +72,7 @@ def run_synchronous(
     x0: np.ndarray | None = None,
     cache: FactorizationCache | None = None,
     executor=None,
+    placement=None,
 ) -> DistributedRunResult:
     """Run the synchronous algorithm; returns a :class:`DistributedRunResult`.
 
@@ -89,19 +90,23 @@ def run_synchronous(
     factorization across blocks (thread backends); simulated times are
     unaffected.  Its name and the per-block solve wall-clock land on
     ``stats.backend``/``stats.block_seconds``.
+
+    ``placement`` (:class:`repro.schedule.Placement`) maps each rank
+    onto the plan's worker's host -- the same plan object that sized the
+    partition and that pins the real executors; its summary lands on
+    ``stats.placement``.
     """
     stopping = stopping or StoppingCriterion()
     b = np.asarray(b, dtype=float)
     batched = b.ndim == 2
     k_width = b.shape[1] if batched else 1
     L = partition.nprocs
-    hosts = placement_for(cluster, L)
+    hosts = placement_for(cluster, L, plan=placement)
     cache_before = cache.stats.snapshot() if cache is not None else None
     systems = build_local_systems(
         A, b, partition.sets, solver, cache=cache, executor=executor
     )
     pattern = communication_pattern(partition, weighting, systems)
-    n = partition.n
     z_init = np.zeros(b.shape) if x0 is None else np.asarray(x0, dtype=float).copy()
     if z_init.shape != b.shape:
         raise ValueError(f"x0 must have shape {b.shape}")
@@ -203,6 +208,12 @@ def run_synchronous(
     recorder.record_runtime(
         executor.name if executor is not None else "inline", block_wall
     )
+    if placement is not None:
+        # Provenance includes the *actual* host mapping (by-name when the
+        # plan was built from this cluster, positional for generic plans).
+        summary = placement.summary()
+        summary["hosts"] = [h.name for h in hosts]
+        recorder.record_placement(summary)
 
     x = assemble_solution(partition, outcomes)
     converged = all(o.locally_converged for o in outcomes)

@@ -22,7 +22,7 @@ rank.
 
 from __future__ import annotations
 
-from repro.grid.engine import ANY, SimContext
+from repro.grid.engine import SimContext
 
 __all__ = ["AsyncCentralizedDetector"]
 

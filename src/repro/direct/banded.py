@@ -16,7 +16,6 @@ band can appear.  Callers with general matrices should use the ``dense`` or
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.direct.base import (
     DirectSolver,

@@ -34,7 +34,7 @@ import hashlib
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
@@ -203,6 +203,23 @@ class CacheStats:
             factor_seconds_spent=self.factor_seconds_spent - before.factor_seconds_spent,
             factor_seconds_saved=self.factor_seconds_saved - before.factor_seconds_saved,
         )
+
+    def merge_in(self, delta: "CacheStats | None") -> None:
+        """Accumulate another counter set into this one (in place).
+
+        The aggregation primitive for backends whose counters live in
+        per-worker caches (process and socket executors sum the worker
+        deltas into one run-level record).  ``None`` deltas -- a worker
+        that ran uncached -- are ignored.
+        """
+        if delta is None:
+            return
+        self.hits += delta.hits
+        self.misses += delta.misses
+        self.evictions += delta.evictions
+        self.invalidations += delta.invalidations
+        self.factor_seconds_spent += delta.factor_seconds_spent
+        self.factor_seconds_saved += delta.factor_seconds_saved
 
     def snapshot(self) -> "CacheStats":
         """Return an immutable-by-convention copy of the current counters."""

@@ -19,7 +19,6 @@ from __future__ import annotations
 import heapq
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.linalg.sparse import as_csr
 

@@ -16,7 +16,6 @@ the standard estimate from the factor column counts:
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.direct.base import (

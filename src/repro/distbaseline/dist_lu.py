@@ -28,7 +28,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.direct.costs import BYTES_PER_NNZ
-from repro.direct.dense import lu_decompose
 from repro.distbaseline.blockcyclic import BlockCyclic
 from repro.distbaseline.fillmodel import (
     FillProfile,

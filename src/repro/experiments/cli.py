@@ -7,6 +7,7 @@ Examples::
     repro-experiments all --scale 0.25
     repro-experiments figure3 --check
     repro-experiments table1 --backend threads
+    repro-experiments table3 --placement calibrated
 
 ``--scale`` multiplies every workload's default order (1.0 reproduces the
 laptop-scale defaults documented in DESIGN.md); ``--check`` additionally
@@ -72,13 +73,24 @@ def main(argv: list[str] | None = None) -> int:
         help="runtime execution backend for the real block computations "
         "(default: inline)",
     )
+    parser.add_argument(
+        "--placement",
+        choices=["uniform", "proportional", "calibrated"],
+        default=None,
+        help="scheduling strategy for band sizes and host mapping "
+        "(repro.schedule; default: the solver's legacy "
+        "speed-proportional layout)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     status = 0
     for name in names:
         t0 = time.time()
-        result = run_experiment(name, scale=args.scale, backend=args.backend)
+        result = run_experiment(
+            name, scale=args.scale, backend=args.backend,
+            placement=args.placement,
+        )
         elapsed = time.time() - t0
         print(format_table(result))
         print(f"(replayed in {elapsed:.1f}s wall; scale={args.scale})")

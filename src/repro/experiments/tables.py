@@ -18,8 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-import numpy as np
-
 from repro.core.solver import MultisplittingSolver
 from repro.direct.cache import FactorizationCache
 from repro.distbaseline.dist_lu import BaselineResult, run_distributed_lu
@@ -73,6 +71,7 @@ def _make_solvers(
     cache: FactorizationCache,
     *,
     backend: str = "inline",
+    placement: str | None = None,
     overlap: int = 0,
     max_iterations: int | None = None,
 ) -> dict[str, MultisplittingSolver]:
@@ -88,6 +87,7 @@ def _make_solvers(
         mode: MultisplittingSolver(
             mode=mode, direct_solver="scipy", overlap=overlap,
             max_iterations=max_iterations, cache=cache, backend=backend,
+            placement=placement,
         )
         for mode in ("synchronous", "asynchronous")
     }
@@ -112,13 +112,14 @@ def _fmt(value) -> Any:
 
 
 def _scalability_table(
-    name: str, procs_list: list[int], *, scale: float, backend: str = "inline"
+    name: str, procs_list: list[int], *, scale: float, backend: str = "inline",
+    placement: str | None = None,
 ) -> ExperimentResult:
     """Common driver for Tables 1 and 2 (cluster1 scalability)."""
     A, b, _ = load_workload(name, scale=scale)
     fill = _cached_fill(name, scale, A)
     cache = FactorizationCache(capacity=256)
-    solvers = _make_solvers(cache, backend=backend)
+    solvers = _make_solvers(cache, backend=backend, placement=placement)
     rows: list[dict[str, Any]] = []
     try:
         for procs in procs_list:
@@ -165,6 +166,7 @@ def _scalability_table(
             "n": A.shape[0],
             "scale": scale,
             "backend": backend,
+            "placement": placement or "default",
             "cache": _cache_note(cache),
         },
     )
@@ -172,18 +174,20 @@ def _scalability_table(
 
 def table1(
     *, scale: float = 1.0, procs_list: list[int] | None = None,
-    backend: str = "inline",
+    backend: str = "inline", placement: str | None = None,
 ) -> ExperimentResult:
     """Table 1: scalability on cluster1 with the cage10 analog."""
     procs = procs_list or [1, 2, 3, 4, 6, 8, 9, 12, 16, 20]
-    res = _scalability_table("cage10", procs, scale=scale, backend=backend)
+    res = _scalability_table(
+        "cage10", procs, scale=scale, backend=backend, placement=placement
+    )
     res.notes["paper_table"] = "Table 1"
     return res
 
 
 def table2(
     *, scale: float = 1.0, procs_list: list[int] | None = None,
-    backend: str = "inline",
+    backend: str = "inline", placement: str | None = None,
 ) -> ExperimentResult:
     """Table 2: scalability on cluster1 with the cage11 analog.
 
@@ -192,12 +196,17 @@ def table2(
     4 processors").
     """
     procs = procs_list or [4, 6, 8, 9, 12, 16, 20]
-    res = _scalability_table("cage11", procs, scale=scale, backend=backend)
+    res = _scalability_table(
+        "cage11", procs, scale=scale, backend=backend, placement=placement
+    )
     res.notes["paper_table"] = "Table 2"
     return res
 
 
-def table3(*, scale: float = 1.0, backend: str = "inline") -> ExperimentResult:
+def table3(
+    *, scale: float = 1.0, backend: str = "inline",
+    placement: str | None = None,
+) -> ExperimentResult:
     """Table 3: the distant/heterogeneous cluster comparison."""
     cases = [
         ("cage11", "cluster2", cluster2(8), 8),
@@ -205,7 +214,7 @@ def table3(*, scale: float = 1.0, backend: str = "inline") -> ExperimentResult:
         ("gen-large", "cluster3", cluster3(10), 10),
     ]
     cache = FactorizationCache(capacity=256)
-    solvers = _make_solvers(cache, backend=backend)
+    solvers = _make_solvers(cache, backend=backend, placement=placement)
     rows: list[dict[str, Any]] = []
     try:
         for name, cluster_name, cluster, nprocs in cases:
@@ -253,6 +262,7 @@ def table3(*, scale: float = 1.0, backend: str = "inline") -> ExperimentResult:
             "paper_table": "Table 3",
             "scale": scale,
             "backend": backend,
+            "placement": placement or "default",
             "cache": _cache_note(cache),
         },
     )
@@ -260,14 +270,14 @@ def table3(*, scale: float = 1.0, backend: str = "inline") -> ExperimentResult:
 
 def table4(
     *, scale: float = 1.0, perturbations: list[int] | None = None,
-    backend: str = "inline",
+    backend: str = "inline", placement: str | None = None,
 ) -> ExperimentResult:
     """Table 4: background traffic on the inter-site link (gen-large)."""
     perturbs = perturbations if perturbations is not None else [0, 1, 5, 10]
     A, b, _ = load_workload("gen-large", scale=scale)
     fill = _cached_fill("gen-large", scale, A)
     cache = FactorizationCache(capacity=256)
-    solvers = _make_solvers(cache, backend=backend)
+    solvers = _make_solvers(cache, backend=backend, placement=placement)
     rows: list[dict[str, Any]] = []
     try:
         for count in perturbs:
@@ -306,6 +316,7 @@ def table4(
             "paper_table": "Table 4",
             "scale": scale,
             "backend": backend,
+            "placement": placement or "default",
             "cache": _cache_note(cache),
         },
     )
@@ -313,7 +324,7 @@ def table4(
 
 def figure3(
     *, scale: float = 1.0, overlaps: list[int] | None = None,
-    backend: str = "inline",
+    backend: str = "inline", placement: str | None = None,
 ) -> ExperimentResult:
     """Figure 3: overlap sweep on the near-singular generated matrix.
 
@@ -340,10 +351,11 @@ def figure3(
             "synchronous": MultisplittingSolver(
                 mode="synchronous", direct_solver="scipy", overlap=ov,
                 max_iterations=5_000, cache=cache, backend=backend,
+                placement=placement,
             ),
             "asynchronous": MultisplittingSolver(
                 mode="asynchronous", direct_solver="scipy", overlap=ov,
-                cache=cache, backend=backend,
+                cache=cache, backend=backend, placement=placement,
             ),
         }
         try:
@@ -380,6 +392,7 @@ def figure3(
             "scale": scale,
             "n": n,
             "backend": backend,
+            "placement": placement or "default",
             "cache": _cache_note(cache),
         },
     )

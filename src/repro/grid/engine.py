@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable
+from typing import Any, Callable, Generator
 
 from repro.grid.host import Host
 from repro.grid.network import Flow, Network, Route

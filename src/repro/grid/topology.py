@@ -117,6 +117,33 @@ class Cluster:
         """Return a new :class:`Engine` routing over this topology."""
         return Engine(self.network, self.route, trace=trace)
 
+    def placement(
+        self,
+        n: int,
+        nprocs: int | None = None,
+        *,
+        strategy: str = "proportional",
+        overlap: int = 0,
+        **kwargs,
+    ):
+        """Export this topology as a :class:`repro.schedule.Placement`.
+
+        The plan carries one worker slot per host (speeds from the host
+        flop rates, co-location groups from the sites) and band sizes
+        chosen by ``strategy`` (``"uniform"``, ``"proportional"``, or
+        ``"calibrated"`` -- cost-model balanced over the actual LAN/WAN
+        routes).  The same object then configures both the simulated
+        drivers (``placement=``) and the real executors
+        (``attach(..., placement=...)``); see :mod:`repro.schedule`.
+        """
+        # Imported here: repro.schedule builds on repro.grid, so a
+        # module-level import would be circular.
+        from repro.schedule.plan import cluster_placement
+
+        return cluster_placement(
+            self, nprocs, strategy=strategy, overlap=overlap, n=n, **kwargs
+        )
+
     def add_perturbations(self, count: int, site_a: str | None = None, site_b: str | None = None) -> None:
         """Install ``count`` never-ending background flows on a WAN link.
 

@@ -49,6 +49,11 @@ class RunStats:
     wall-clock seconds spent solving each block -- the bridge between
     the simulator's charged times and where the host actually spent its
     cycles.
+
+    ``placement`` is the scheduling plan the run was configured from
+    (the :meth:`repro.schedule.Placement.summary` dictionary: strategy,
+    band sizes, block-to-worker assignment, worker speeds/groups), or
+    ``None`` when the run used the legacy implicit layout.
     """
 
     makespan: float = 0.0
@@ -64,6 +69,7 @@ class RunStats:
     cache_factor_seconds_spent: float = 0.0
     backend: str = "inline"
     block_seconds: dict[int, float] = field(default_factory=dict)
+    placement: dict | None = None
 
 
 class TraceRecorder:
@@ -90,6 +96,7 @@ class TraceRecorder:
         self._cache_stats = None
         self._backend = "inline"
         self._block_seconds: dict[int, float] = {}
+        self._placement: dict | None = None
 
     def __call__(self, kind: str, time: float, **fields) -> None:
         self._counter[kind] += 1
@@ -121,6 +128,10 @@ class TraceRecorder:
         self._backend = backend
         self._block_seconds = dict(block_seconds)
 
+    def record_placement(self, summary: dict | None) -> None:
+        """Attach the scheduling plan the run was configured from."""
+        self._placement = summary
+
     def stats(self) -> RunStats:
         """Summarise everything recorded so far."""
         c = self._cache_stats
@@ -138,6 +149,7 @@ class TraceRecorder:
             cache_factor_seconds_spent=c.factor_seconds_spent if c is not None else 0.0,
             backend=self._backend,
             block_seconds=dict(self._block_seconds),
+            placement=self._placement,
         )
 
     def events_of_kind(self, kind: str) -> list[TraceEvent]:

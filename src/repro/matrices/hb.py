@@ -87,7 +87,7 @@ def read_rua(path: str | Path) -> sp.csc_matrix:
             totcrd = int(counts_line[0:14])
             ptrcrd = int(counts_line[14:28])
             indcrd = int(counts_line[28:42])
-            valcrd = int(counts_line[42:56])
+            int(counts_line[42:56])  # valcrd: parsed only to validate the card
             rhscrd_s = counts_line[56:70].strip()
             rhscrd = int(rhscrd_s) if rhscrd_s else 0
         except ValueError as exc:

@@ -14,6 +14,9 @@ execute.  Three interchangeable backends implement the
                         BLAS/LAPACK/SuperLU)
 ``"processes"``         worker processes; matrices shipped once,
                         vectors exchanged via shared memory
+``"sockets"``           worker processes over TCP -- possibly on
+                        other machines; matrices shipped once per
+                        attach, vectors exchanged per round
 ======================  =============================================
 
 Select one by name (:func:`get_executor`), through the
@@ -32,6 +35,7 @@ from repro.runtime.inline import InlineExecutor
 from repro.runtime.processes import ProcessExecutor
 from repro.runtime.seqlock import VersionedVector
 from repro.runtime.shm import SharedVectorPlane
+from repro.runtime.sockets import SocketExecutor, serve_worker
 from repro.runtime.threads import ThreadExecutor
 
 __all__ = [
@@ -39,17 +43,20 @@ __all__ = [
     "InlineExecutor",
     "ProcessExecutor",
     "SharedVectorPlane",
+    "SocketExecutor",
     "ThreadExecutor",
     "VersionedVector",
     "async_iterate",
     "available_backends",
     "get_executor",
+    "serve_worker",
 ]
 
 _BACKENDS: dict[str, type[Executor]] = {
     "inline": InlineExecutor,
     "threads": ThreadExecutor,
     "processes": ProcessExecutor,
+    "sockets": SocketExecutor,
 }
 
 

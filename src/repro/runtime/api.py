@@ -74,6 +74,7 @@ class Executor(abc.ABC):
         solver,
         *,
         cache: FactorizationCache | None = None,
+        placement=None,
     ) -> None:
         """Bind the per-block systems for subsequent :meth:`solve_blocks`.
 
@@ -81,7 +82,27 @@ class Executor(abc.ABC):
         factors each block (through ``cache`` when given).  A process
         backend ships ``(A, b, sets, solver)`` to its workers here --
         exactly once per binding.
+
+        ``placement`` (a :class:`repro.schedule.Placement`) pins blocks
+        to workers: backends with per-worker state honour
+        ``placement.assignment`` as *sticky affinity* -- block ``l``
+        always solves on worker ``assignment[l]``, so that worker's
+        factor cache stays hot across rounds and re-attaches.  Backends
+        without worker identity (inline) record and ignore it.
+        Iterates never depend on the placement: a block solve is a pure
+        function of ``(block, z)`` wherever it runs.
         """
+
+    @staticmethod
+    def _check_placement(placement, nblocks: int) -> None:
+        """Validate a plan against the binding (shared by the backends)."""
+        if placement is None:
+            return
+        if len(placement.assignment) != nblocks:
+            raise ValueError(
+                f"placement schedules {len(placement.assignment)} blocks "
+                f"but the binding has {nblocks}"
+            )
 
     @abc.abstractmethod
     def detach(self) -> None:
@@ -163,9 +184,12 @@ class InProcessExecutor(Executor):
         self._cache: FactorizationCache | None = None
         self._cache_before: CacheStats | None = None
         self._block_seconds: dict[int, float] = {}
+        self._placement = None
 
-    def attach(self, A, b, sets, solver, *, cache=None) -> None:
+    def attach(self, A, b, sets, solver, *, cache=None, placement=None) -> None:
         self.detach()
+        self._check_placement(placement, len(sets))
+        self._placement = placement
         self._cache = cache
         self._cache_before = cache.stats.snapshot() if cache is not None else None
         self._systems = build_local_systems(
@@ -181,6 +205,7 @@ class InProcessExecutor(Executor):
         self._systems = None
         self._cache = None
         self._cache_before = None
+        self._placement = None
 
     @property
     def systems(self) -> list[LocalSystem]:

@@ -19,9 +19,13 @@ laptop scale):
 * completion tickets carry the worker-side wall-clock of each solve, so
   ``block_seconds`` reports where the time actually went.
 
-Blocks are assigned round-robin (``owner(l) = l mod W``).  Worker caches
-mean cache *counters* live in the workers; ``run_cache_stats`` aggregates
-them over the binding's workers.
+Blocks are assigned round-robin (``owner(l) = l mod W``) unless the
+binding carries a :class:`repro.schedule.Placement`, in which case the
+plan's block-to-worker assignment is honoured exactly (sticky affinity:
+a block's factors live in the per-process cache of the worker the plan
+pinned it to, and re-attaching the same matrix with the same plan finds
+them there).  Worker caches mean cache *counters* live in the workers;
+``run_cache_stats`` aggregates them over the binding's workers.
 
 Trade-offs vs :class:`~repro.runtime.ThreadExecutor`: true core-level
 parallelism independent of any GIL-releasing discipline in the kernels,
@@ -148,7 +152,11 @@ class ProcessExecutor(Executor):
     max_workers:
         Worker-process count cap; defaults to ``os.cpu_count()``.  The
         pool grows lazily up to ``min(nblocks, max_workers)`` and
-        persists across ``attach``/``detach`` cycles.
+        persists across ``attach``/``detach`` cycles.  An explicit
+        :class:`repro.schedule.Placement` overrides the cap: the plan
+        names its worker slots, so attach spawns exactly
+        ``placement.nworkers`` processes (size the plan, not the cap,
+        when pinning).
     start_method:
         ``multiprocessing`` start method; by default ``"fork"`` when the
         parent is still single-threaded at first spawn (cheapest), else
@@ -247,7 +255,7 @@ class ProcessExecutor(Executor):
         return replies
 
     # -- binding ---------------------------------------------------------
-    def attach(self, A, b, sets, solver, *, cache=None) -> None:
+    def attach(self, A, b, sets, solver, *, cache=None, placement=None) -> None:
         from repro.linalg.sparse import as_csr
 
         self.detach()
@@ -256,6 +264,7 @@ class ProcessExecutor(Executor):
         L = len(sets)
         if L == 0:
             raise ValueError("at least one block required")
+        self._check_placement(placement, L)
         if isinstance(solver, (list, tuple)):
             solvers = list(solver)
             if len(solvers) != L:
@@ -263,13 +272,20 @@ class ProcessExecutor(Executor):
         else:
             solvers = [solver] * L
         sets_list = [np.asarray(rows, dtype=np.int64) for rows in sets]
-        W = max(1, min(L, self.max_workers or os.cpu_count() or 1))
+        if placement is not None:
+            # Honour the plan exactly: one worker process per plan slot,
+            # blocks pinned where the plan put them.
+            W = placement.nworkers
+            owner = {l: int(placement.assignment[l]) for l in range(L)}
+        else:
+            W = max(1, min(L, self.max_workers or os.cpu_count() or 1))
+            owner = {l: l % W for l in range(L)}
         self._ensure_workers(W)
         z_shapes = [b.shape] * L
         piece_shapes = [(rows.size,) + tuple(b.shape[1:]) for rows in sets_list]
         self._z_plane = SharedVectorPlane(z_shapes)
         self._piece_plane = SharedVectorPlane(piece_shapes)
-        self._owner = {l: l % W for l in range(L)}
+        self._owner = owner
         self._active = W
         self._use_cache = cache is not None
         self._epoch += 1
@@ -280,7 +296,7 @@ class ProcessExecutor(Executor):
                     "b": b,
                     "sets": sets_list,
                     "solvers": solvers,
-                    "owned": [l for l in range(L) if l % W == w],
+                    "owned": [l for l in range(L) if owner[l] == w],
                     "use_cache": self._use_cache,
                     "z_name": self._z_plane.name,
                     "z_shapes": z_shapes,
@@ -311,10 +327,15 @@ class ProcessExecutor(Executor):
             # straggler filter drop them instead of tripping the
             # detached-reply check (which would mask the original error).
             self._epoch += 1
-            for w in range(self._active):
-                self._task_qs[w].put(("detach", self._epoch))
-            self._collect("detached", self._active)
-            self._attached = False
+            try:
+                for w in range(self._active):
+                    self._task_qs[w].put(("detach", self._epoch))
+                self._collect("detached", self._active)
+            finally:
+                self._attached = False
+                self._release_planes()
+
+    def _release_planes(self) -> None:
         for plane in (self._z_plane, self._piece_plane):
             if plane is not None:
                 plane.close()
@@ -359,32 +380,50 @@ class ProcessExecutor(Executor):
             self._task_qs[w].put(("stats", self._epoch))
         merged = CacheStats()
         for _, _, _, delta in self._collect("stats", self._active):
-            if delta is None:
-                continue
-            merged.hits += delta.hits
-            merged.misses += delta.misses
-            merged.evictions += delta.evictions
-            merged.invalidations += delta.invalidations
-            merged.factor_seconds_spent += delta.factor_seconds_spent
-            merged.factor_seconds_saved += delta.factor_seconds_saved
+            merged.merge_in(delta)
         return merged
 
     # -- lifecycle -------------------------------------------------------
     def close(self) -> None:
-        self.detach()
+        """Tear down the worker pool: idempotent, and safe after a crash.
+
+        A worker that died mid-binding makes the polite shutdown path
+        impossible (its detach reply never comes and a blocking join
+        would hang), so everything here is best-effort and time-bounded:
+        detach failures are swallowed, exit tickets are sent without
+        waiting, and stragglers are terminated then killed.  ``close``
+        never raises and may be called any number of times.
+        """
+        try:
+            self.detach()
+        except Exception:
+            # A dead/hung worker cannot acknowledge the detach; the
+            # planes were already reclaimed by detach's finally clause.
+            pass
         for task_q, proc in zip(self._task_qs, self._workers):
             if proc.is_alive():
-                task_q.put(("exit",))
+                try:
+                    task_q.put_nowait(("exit",))
+                except Exception:  # pragma: no cover - feeder already gone
+                    pass
         for proc in self._workers:
             proc.join(timeout=10.0)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
                 proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - unkillable worker
+                proc.kill()
+                proc.join(timeout=5.0)
         for task_q in self._task_qs:
+            # cancel_join_thread: a queue whose reader died may hold
+            # buffered tickets; joining its feeder thread would block.
+            task_q.cancel_join_thread()
             task_q.close()
         if self._result_q is not None:
+            self._result_q.cancel_join_thread()
             self._result_q.close()
             self._result_q = None
         self._workers = []
         self._task_qs = []
         self._active = 0
+        self._attached = False

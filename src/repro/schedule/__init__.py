@@ -1,0 +1,45 @@
+"""``repro.schedule`` -- topology-aware placement and scheduling plans.
+
+One :class:`Placement` object answers, for a whole run, the questions
+the paper's Section 6 experiments turn on: how big is each band, which
+worker (host) owns it, and which workers sit close enough for cheap
+exchanges.  The *same* plan configures both worlds:
+
+* the grid **simulator** maps rank ``l`` onto the plan's worker's host
+  (``run_synchronous(..., placement=plan)``);
+* the real **runtime** executors honour the plan's block-to-worker
+  assignment as sticky affinity
+  (``executor.attach(..., placement=plan)``), keeping per-worker factor
+  caches hot.
+
+Plans are built from a cluster preset (:func:`cluster_placement`), from
+explicit speeds (:func:`uniform_placement`,
+:func:`proportional_placement`, :func:`cost_model_placement`), or from
+live micro-benchmarks of the actual workers
+(:func:`measure_worker_speeds` / :func:`calibrated_placement`).
+"""
+
+from __future__ import annotations
+
+from repro.schedule.calibrate import calibrated_placement, measure_worker_speeds
+from repro.schedule.plan import (
+    Placement,
+    WorkerSlot,
+    cluster_placement,
+    cost_model_placement,
+    iteration_cost_model,
+    proportional_placement,
+    uniform_placement,
+)
+
+__all__ = [
+    "Placement",
+    "WorkerSlot",
+    "calibrated_placement",
+    "cluster_placement",
+    "cost_model_placement",
+    "iteration_cost_model",
+    "measure_worker_speeds",
+    "proportional_placement",
+    "uniform_placement",
+]

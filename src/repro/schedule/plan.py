@@ -1,0 +1,368 @@
+"""The :class:`Placement` plan: one scheduling object shared by both worlds.
+
+The paper's Section 6 results hinge on *where* bands live: the
+homogeneous cluster1, the heterogeneous cluster2 and the two-site
+cluster3 behave differently because block sizes and communication paths
+must match host speeds and link capacities.  A :class:`Placement`
+captures that decision once -- band sizes, block-to-worker assignment,
+and co-location groups -- and both consumers read the same plan:
+
+* the **simulated** drivers (:func:`repro.core.sync.run_synchronous`,
+  :func:`repro.core.asynchronous.run_asynchronous`) map rank ``l`` onto
+  the plan's worker's host, so the simulator charges the band exactly
+  where the plan put it;
+* the **real** executors (:mod:`repro.runtime`) honour the plan's
+  block-to-worker assignment as sticky affinity, so a block's factors
+  stay in the worker that owns them across rounds and re-attaches.
+
+Plans come from three sources, matching the ``--placement`` flag of
+``repro-experiments``:
+
+* :func:`uniform_placement` -- equal bands, round-robin-free identity
+  assignment (the baseline every schedule is measured against);
+* :func:`proportional_placement` -- bands sized to raw speed ratios
+  (the paper's heterogeneous load balance);
+* :func:`cost_model_placement` / :func:`cluster_placement` (strategy
+  ``"calibrated"``) -- bands sized so *estimated per-iteration time* is
+  equal, using flop costs from :mod:`repro.direct.costs` and per-band
+  message-volume terms from the link model -- a WAN-facing band shrinks
+  to absorb the slow link it sits behind.
+
+For live calibration of real workers (measured speeds instead of
+modeled ones) see :mod:`repro.schedule.calibrate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partition import (
+    BandPartition,
+    cost_balanced_bands,
+    proportional_bands,
+    uniform_bands,
+)
+from repro.direct.costs import sparse_factor_cost
+from repro.grid.comm import vector_bytes
+
+__all__ = [
+    "WorkerSlot",
+    "Placement",
+    "uniform_placement",
+    "proportional_placement",
+    "cost_model_placement",
+    "cluster_placement",
+    "iteration_cost_model",
+]
+
+#: Strategy names accepted by the builders and the ``--placement`` flag.
+STRATEGIES = ("uniform", "proportional", "calibrated")
+
+
+@dataclass(frozen=True)
+class WorkerSlot:
+    """One execution slot a block can be pinned to.
+
+    In the simulated world a slot is a grid host (``name`` matches
+    ``Host.name``, ``group`` its site); in the real runtime it is a
+    worker thread / process / socket peer.  ``speed`` is a *relative*
+    rate -- only ratios matter to the planners.
+    """
+
+    name: str
+    speed: float = 1.0
+    group: str = "local"
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"worker {self.name!r}: speed must be positive")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A complete scheduling plan for one decomposition.
+
+    Attributes
+    ----------
+    strategy:
+        How the plan was produced (``"uniform"``, ``"proportional"``,
+        ``"calibrated"``, or a free-form label for hand-built plans).
+    n:
+        Number of unknowns the bands cover.
+    workers:
+        The execution slots, in placement order.
+    sizes:
+        ``sizes[l]`` is the core size of band ``l`` (sums to ``n``).
+    assignment:
+        ``assignment[l]`` is the worker index block ``l`` runs on.  One
+        block per worker (the identity) is the paper's deployment; many
+        blocks per worker oversubscribes.
+    overlap:
+        Overlap baked into :meth:`partition`.
+    """
+
+    strategy: str
+    n: int
+    workers: tuple[WorkerSlot, ...]
+    sizes: tuple[int, ...]
+    assignment: tuple[int, ...]
+    overlap: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            raise ValueError("a placement needs at least one worker")
+        if not self.sizes:
+            raise ValueError("a placement needs at least one block")
+        if any(s < 1 for s in self.sizes):
+            raise ValueError("every block needs at least one row")
+        if sum(self.sizes) != self.n:
+            raise ValueError(
+                f"block sizes cover {sum(self.sizes)} rows but n={self.n}"
+            )
+        if len(self.assignment) != len(self.sizes):
+            raise ValueError(
+                f"{len(self.assignment)} assignments for {len(self.sizes)} blocks"
+            )
+        if any(not (0 <= w < len(self.workers)) for w in self.assignment):
+            raise ValueError("assignment references an unknown worker")
+        if self.overlap < 0:
+            raise ValueError("overlap must be non-negative")
+
+    @property
+    def nblocks(self) -> int:
+        """Number of blocks the plan schedules."""
+        return len(self.sizes)
+
+    @property
+    def nworkers(self) -> int:
+        """Number of execution slots."""
+        return len(self.workers)
+
+    def partition(self, *, overlap: int | None = None) -> BandPartition:
+        """The band partition this plan prescribes."""
+        bounds = []
+        start = 0
+        for s in self.sizes:
+            bounds.append((start, start + s))
+            start += s
+        return BandPartition(
+            n=self.n,
+            bounds=tuple(bounds),
+            overlap=self.overlap if overlap is None else overlap,
+        )
+
+    def worker_of(self, block: int) -> WorkerSlot:
+        """The slot block ``block`` is pinned to."""
+        return self.workers[self.assignment[block]]
+
+    def colocation_groups(self) -> dict[str, list[int]]:
+        """Worker indices per co-location group (site), in worker order.
+
+        Blocks whose workers share a group exchange pieces over the
+        cheap local links; a group boundary between *adjacent* bands is
+        where WAN traffic happens.
+        """
+        groups: dict[str, list[int]] = {}
+        for i, w in enumerate(self.workers):
+            groups.setdefault(w.group, []).append(i)
+        return groups
+
+    def summary(self) -> dict:
+        """Compact JSON-able description surfaced on result records."""
+        return {
+            "strategy": self.strategy,
+            "n": self.n,
+            "sizes": list(self.sizes),
+            "assignment": list(self.assignment),
+            "workers": [
+                {"name": w.name, "speed": w.speed, "group": w.group}
+                for w in self.workers
+            ],
+            "overlap": self.overlap,
+        }
+
+
+def _from_bands(
+    strategy: str,
+    band: BandPartition,
+    workers: tuple[WorkerSlot, ...],
+) -> Placement:
+    sizes = tuple(stop - start for start, stop in band.bounds)
+    return Placement(
+        strategy=strategy,
+        n=band.n,
+        workers=workers,
+        sizes=sizes,
+        assignment=tuple(range(len(sizes))),
+        overlap=band.overlap,
+    )
+
+
+def _default_workers(count: int, speeds=None, groups=None) -> tuple[WorkerSlot, ...]:
+    return tuple(
+        WorkerSlot(
+            name=f"worker-{i:02d}",
+            speed=1.0 if speeds is None else float(speeds[i]),
+            group="local" if groups is None else str(groups[i]),
+        )
+        for i in range(count)
+    )
+
+
+def uniform_placement(
+    n: int, nworkers: int, *, overlap: int = 0, workers=None
+) -> Placement:
+    """Equal bands, identity assignment -- the paper's homogeneous layout."""
+    ws = tuple(workers) if workers is not None else _default_workers(nworkers)
+    if len(ws) != nworkers:
+        raise ValueError(f"{len(ws)} workers for nworkers={nworkers}")
+    return _from_bands("uniform", uniform_bands(n, nworkers, overlap=overlap), ws)
+
+
+def proportional_placement(
+    n: int, speeds: list[float], *, overlap: int = 0, workers=None
+) -> Placement:
+    """Bands sized to raw speed ratios (cluster2/cluster3 load balance)."""
+    ws = tuple(workers) if workers is not None else _default_workers(
+        len(speeds), speeds=speeds
+    )
+    if len(ws) != len(speeds):
+        raise ValueError(f"{len(ws)} workers for {len(speeds)} speeds")
+    return _from_bands(
+        "proportional", proportional_bands(n, list(speeds), overlap=overlap), ws
+    )
+
+
+def iteration_cost_model(density: float, *, fill_ratio: float = 8.0, k: int = 1):
+    """Per-iteration work of a band of ``s`` rows, as a ``cost(s)`` callable.
+
+    A band's outer iteration is one coupling mat-vec plus the two
+    triangular sweeps through its factors; with ``density`` non-zeros
+    per row the triangular cost comes from
+    :func:`repro.direct.costs.sparse_factor_cost` and the mat-vec adds
+    ``2 * density * s``.  Batched right-hand sides multiply everything
+    by the batch width ``k``.
+    """
+    if density <= 0:
+        raise ValueError("density must be positive")
+
+    def cost(s: int) -> float:
+        nnz = density * s
+        solve = sparse_factor_cost(max(int(s), 1), int(nnz), fill_ratio=fill_ratio)
+        return k * (solve.solve_flops + 2.0 * nnz)
+
+    return cost
+
+
+def cost_model_placement(
+    n: int,
+    speeds: list[float],
+    *,
+    cost=None,
+    fixed: list[float] | None = None,
+    overlap: int = 0,
+    workers=None,
+    strategy: str = "calibrated",
+) -> Placement:
+    """Bands sized so estimated per-iteration *time* is equal.
+
+    ``speeds`` may be modeled (host flop rates) or measured (from
+    :func:`repro.schedule.calibrate.measure_worker_speeds`); ``cost``
+    maps band size to work (default linear) and ``fixed`` charges each
+    band a size-independent per-iteration term (its message latency and
+    volume).  See :func:`repro.core.partition.cost_balanced_bands` for
+    the balancing rule.
+    """
+    ws = tuple(workers) if workers is not None else _default_workers(
+        len(speeds), speeds=speeds
+    )
+    if len(ws) != len(speeds):
+        raise ValueError(f"{len(ws)} workers for {len(speeds)} speeds")
+    band = cost_balanced_bands(
+        n, list(speeds), cost=cost, fixed=fixed, overlap=overlap
+    )
+    return _from_bands(strategy, band, ws)
+
+
+def _comm_fixed_costs(hosts, cluster, n: int, k: int) -> list[float]:
+    """Per-band per-iteration communication seconds from the link model.
+
+    Band ``l`` exchanges its piece (roughly ``n / L`` rows plus overlap)
+    with its adjacent bands each outer iteration; a message to a
+    neighbour on another site crosses the shared WAN link.  The estimate
+    charges each neighbour message's latency plus its volume over the
+    narrowest link on the route -- exactly the quantities
+    :mod:`repro.grid.network` prices, read a-priori.
+    """
+    L = len(hosts)
+    piece_bytes = vector_bytes(max(1, n // max(L, 1)), k)
+    fixed = []
+    for l, host in enumerate(hosts):
+        seconds = 0.0
+        for nb in (l - 1, l + 1):
+            if not (0 <= nb < L):
+                continue
+            route = cluster.route(host, hosts[nb])
+            if not route:
+                continue
+            latency = sum(link.latency for link in route)
+            bandwidth = min(link.bandwidth for link in route)
+            seconds += latency + piece_bytes / bandwidth
+        fixed.append(seconds)
+    return fixed
+
+
+def cluster_placement(
+    cluster,
+    nprocs: int | None = None,
+    *,
+    strategy: str = "proportional",
+    overlap: int = 0,
+    density: float = 5.0,
+    k: int = 1,
+    n: int | None = None,
+) -> Placement:
+    """Build a plan from a :class:`repro.grid.topology.Cluster` preset.
+
+    One worker slot per host (in host order), speeds from the host flop
+    rates, co-location groups from the sites.  ``strategy`` picks the
+    sizing rule:
+
+    * ``"uniform"`` -- equal bands regardless of speed;
+    * ``"proportional"`` -- sizes proportional to host speed (what
+      ``MultisplittingSolver(proportional=True)`` always did);
+    * ``"calibrated"`` -- cost-model balanced: per-iteration flops from
+      :func:`iteration_cost_model` (``density`` non-zeros per row,
+      batch width ``k``) plus per-band message costs priced over the
+      actual LAN/WAN routes, so a band behind the inter-site link
+      shrinks to absorb it.
+
+    ``n`` sizes the bands; builders that defer sizing (the solver
+    facade knows ``n`` only at :meth:`solve` time) pass it here.
+    """
+    hosts = cluster.hosts if nprocs is None else cluster.hosts[:nprocs]
+    if nprocs is not None and nprocs > len(cluster.hosts):
+        raise ValueError(
+            f"{nprocs} workers requested but cluster {cluster.name!r} has "
+            f"{len(cluster.hosts)} hosts"
+        )
+    if n is None:
+        raise ValueError("cluster_placement needs the problem size n")
+    if strategy not in STRATEGIES:
+        raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+    workers = tuple(
+        WorkerSlot(name=h.name, speed=h.speed, group=h.site) for h in hosts
+    )
+    speeds = [h.speed for h in hosts]
+    if strategy == "uniform":
+        return uniform_placement(n, len(hosts), overlap=overlap, workers=workers)
+    if strategy == "proportional":
+        return proportional_placement(n, speeds, overlap=overlap, workers=workers)
+    return cost_model_placement(
+        n,
+        speeds,
+        cost=iteration_cost_model(density, k=k),
+        fixed=_comm_fixed_costs(list(hosts), cluster, n, k),
+        overlap=overlap,
+        workers=workers,
+    )

@@ -17,7 +17,6 @@ import threading
 import time
 
 import numpy as np
-import pytest
 
 from repro.direct.base import DirectSolver, Factorization
 from repro.direct.cache import FactorizationCache

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import BandPartition, GeneralPartition, proportional_bands, uniform_bands
+from repro.core import GeneralPartition, proportional_bands, uniform_bands
 from repro.matrices import poisson_1d, diagonally_dominant
 
 

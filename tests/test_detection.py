@@ -1,6 +1,5 @@
 """Tests for the convergence detection protocols."""
 
-import numpy as np
 import pytest
 
 from repro.detection import (

@@ -1,6 +1,5 @@
 """Tests for the experiment harness (small scales for speed)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -1,6 +1,5 @@
 """Tests for the discrete-event engine (repro.grid.engine)."""
 
-import numpy as np
 import pytest
 
 from repro.grid import (

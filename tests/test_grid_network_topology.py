@@ -1,6 +1,5 @@
 """Tests for the network model, fair sharing, and the cluster presets."""
 
-import numpy as np
 import pytest
 
 from repro.grid import (

@@ -19,6 +19,8 @@ PACKAGES = [
     "repro.grid",
     "repro.linalg",
     "repro.matrices",
+    "repro.runtime",
+    "repro.schedule",
 ]
 
 

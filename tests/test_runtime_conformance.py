@@ -1,0 +1,275 @@
+"""One contract, four backends: the Executor conformance suite.
+
+Every execution backend -- inline, threads, processes, and the TCP
+``sockets`` backend -- must honour the same observable contract:
+
+* ``attach`` / ``solve_blocks`` / ``detach`` / ``close`` lifecycle,
+  with idempotent ``detach``/``close`` and a reusable executor after
+  ``close``;
+* **bit-identical** synchronous iterates vs :class:`InlineExecutor`
+  (a block solve is a pure function of ``(block, z)``, results in
+  request order);
+* factor-once cache accounting wherever the counters physically live
+  (the caller's cache for in-process backends, per-worker caches
+  aggregated by ``run_cache_stats`` for process/socket backends);
+* sticky placement affinity (a :class:`repro.schedule.Placement` pins
+  block ``l`` to worker ``assignment[l]``) without changing iterates;
+* crash-safe teardown: ``close`` completes, never raises, and stays
+  idempotent even after a worker process died mid-binding.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import make_weighting, multisplitting_iterate, uniform_bands
+from repro.core.stopping import StoppingCriterion
+from repro.direct import get_solver
+from repro.direct.cache import FactorizationCache
+from repro.matrices import diagonally_dominant, rhs_for_solution
+from repro.runtime import ProcessExecutor, SocketExecutor, get_executor
+from repro.schedule import Placement, WorkerSlot
+
+BACKENDS = ("inline", "threads", "processes", "sockets")
+
+#: Constructor kwargs keeping worker pools small and spawns cheap.
+_KWARGS = {
+    "inline": {},
+    "threads": {"max_workers": 2},
+    "processes": {"max_workers": 2},
+    "sockets": {"workers": 2},
+}
+
+
+def _make_executor(name):
+    return get_executor(name, **_KWARGS[name])
+
+
+def _problem(n=96, L=4, seed=5):
+    A = diagonally_dominant(n, dominance=1.5, bandwidth=4, seed=seed)
+    b, _ = rhs_for_solution(A, seed=seed + 1)
+    part = uniform_bands(n, L).to_general()
+    scheme = make_weighting("ownership", part)
+    return A, b, part, scheme
+
+
+def _identity_plan(n, L, sizes=None):
+    return Placement(
+        strategy="test",
+        n=n,
+        workers=tuple(WorkerSlot(name=f"w{i}") for i in range(L)),
+        sizes=tuple(sizes) if sizes is not None else (n // L,) * L,
+        assignment=tuple(range(L)),
+    )
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+@pytest.fixture()
+def executor(backend):
+    ex = _make_executor(backend)
+    yield ex
+    ex.close()
+
+
+class TestLifecycleConformance:
+    def test_attach_solve_detach(self, executor):
+        A, b, part, _ = _problem()
+        executor.attach(A, b, part.sets, get_solver("scipy"))
+        assert executor.nblocks == part.nprocs
+        z = np.ones(b.shape)
+        full = executor.solve_round([z] * part.nprocs)
+        assert len(full) == part.nprocs
+        some = executor.solve_blocks([(3, z), (1, z)])
+        np.testing.assert_array_equal(some[0], full[3])
+        np.testing.assert_array_equal(some[1], full[1])
+        executor.detach()
+        assert executor.nblocks == 0
+
+    def test_detach_idempotent(self, executor):
+        A, b, part, _ = _problem()
+        executor.attach(A, b, part.sets, get_solver("scipy"))
+        executor.detach()
+        executor.detach()
+        assert executor.nblocks == 0
+
+    def test_solve_after_detach_raises(self, executor):
+        A, b, part, _ = _problem()
+        executor.attach(A, b, part.sets, get_solver("scipy"))
+        executor.detach()
+        with pytest.raises(RuntimeError):
+            executor.solve_blocks([(0, np.zeros(b.shape))])
+
+    def test_close_idempotent_and_reusable(self, backend):
+        """close() twice is a no-op; attach after close rebuilds workers."""
+        A, b, part, scheme = _problem()
+        ex = _make_executor(backend)
+        try:
+            r1 = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"), executor=ex
+            )
+            ex.close()
+            ex.close()
+            r2 = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"), executor=ex
+            )
+            assert r1.converged and r2.converged
+            np.testing.assert_array_equal(r1.x, r2.x)
+        finally:
+            ex.close()
+
+    def test_placement_length_mismatch_rejected(self, executor):
+        A, b, part, _ = _problem()
+        bad = _identity_plan(96, 2, sizes=(48, 48))
+        with pytest.raises(ValueError, match="placement"):
+            executor.attach(A, b, part.sets, get_solver("scipy"), placement=bad)
+
+
+class TestDeterminismConformance:
+    def test_bit_identical_vs_inline(self, backend):
+        A, b, part, scheme = _problem()
+        stopping = StoppingCriterion(tolerance=1e-300, max_iterations=8)
+        with _make_executor("inline") as ref_ex, _make_executor(backend) as ex:
+            ref = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"),
+                stopping=stopping, executor=ref_ex,
+            )
+            res = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"),
+                stopping=stopping, executor=ex,
+            )
+        assert res.backend == backend
+        assert res.history == ref.history
+        np.testing.assert_array_equal(res.x, ref.x)
+
+    def test_placement_does_not_change_iterates(self, executor, backend):
+        """Pinning blocks to workers moves solves, never values."""
+        A, b, part, scheme = _problem()
+        # Two worker slots, four blocks: (0, 1, 0, 1) round-robin pinning
+        # matches every backend's two-worker pool from _KWARGS.
+        plan = Placement(
+            strategy="test",
+            n=96,
+            workers=(WorkerSlot(name="w0"), WorkerSlot(name="w1")),
+            sizes=(24, 24, 24, 24),
+            assignment=(0, 1, 0, 1),
+        )
+        stopping = StoppingCriterion(tolerance=1e-300, max_iterations=6)
+        ref = multisplitting_iterate(
+            A, b, part, scheme, get_solver("scipy"), stopping=stopping
+        )
+        res = multisplitting_iterate(
+            A, b, part, scheme, get_solver("scipy"),
+            stopping=stopping, executor=executor, placement=plan,
+        )
+        assert res.placement == plan.summary()
+        np.testing.assert_array_equal(res.x, ref.x)
+        assert set(res.block_seconds) == set(range(4))
+
+
+class TestCacheConformance:
+    def test_factor_once_accounting(self, backend):
+        """Fresh workers + fresh cache: misses == blocks, one hit per
+        block per iteration -- wherever the counters physically live."""
+        A, b, part, scheme = _problem()
+        cache = FactorizationCache()
+        with _make_executor(backend) as ex:
+            res = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"), cache=cache, executor=ex
+            )
+        stats = res.cache_stats
+        assert stats is not None
+        assert stats.misses == part.nprocs
+        assert stats.hits == res.iterations * part.nprocs
+
+    def test_reattach_hits_worker_caches(self, backend):
+        """Re-attaching the same matrix skips every factorization."""
+        A, b, part, scheme = _problem()
+        cache = FactorizationCache()
+        with _make_executor(backend) as ex:
+            first = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"), cache=cache, executor=ex
+            )
+            second = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"), cache=cache, executor=ex
+            )
+        assert first.cache_stats.misses == part.nprocs
+        assert second.cache_stats.misses == 0
+
+
+class TestCrashSafety:
+    """Satellite regression: a dead worker must not hang (or fail) close."""
+
+    def test_process_close_survives_worker_crash(self):
+        A, b, part, _ = _problem()
+        ex = ProcessExecutor(max_workers=2)
+        ex.attach(A, b, part.sets, get_solver("scipy"))
+        victim = ex._workers[0]
+        victim.kill()
+        victim.join(timeout=10.0)
+        t0 = time.monotonic()
+        ex.close()  # must neither raise nor hang on the dead worker
+        assert time.monotonic() - t0 < 60.0
+        ex.close()  # and stays idempotent
+        assert ex.nblocks == 0
+
+    def test_socket_close_survives_worker_crash(self):
+        A, b, part, _ = _problem()
+        ex = SocketExecutor(workers=2)
+        ex.attach(A, b, part.sets, get_solver("scipy"))
+        victim = ex._procs[0]
+        victim.kill()
+        victim.join(timeout=10.0)
+        t0 = time.monotonic()
+        ex.close()
+        assert time.monotonic() - t0 < 60.0
+        ex.close()
+        assert ex.nblocks == 0
+
+    def test_external_workers_survive_close(self):
+        """close() must only exit OWNED workers: an external fleet
+        (addresses=) is disconnected, not killed, and serves the next
+        driver."""
+        import multiprocessing as mp
+
+        from repro.runtime.sockets import _local_worker_entry
+
+        ctx = mp.get_context()
+        port_q = ctx.Queue()
+        proc = ctx.Process(target=_local_worker_entry, args=(port_q,), daemon=True)
+        proc.start()
+        try:
+            port = port_q.get(timeout=20.0)
+            A, b, part, _ = _problem(n=96, L=2)
+            for _ in range(2):  # two successive drivers against one fleet
+                ex = SocketExecutor(addresses=[("127.0.0.1", port)])
+                ex.attach(A, b, part.sets, get_solver("scipy"))
+                pieces = ex.solve_round([np.zeros(b.shape)] * part.nprocs)
+                assert len(pieces) == part.nprocs
+                ex.close()
+                assert proc.is_alive()
+        finally:
+            proc.kill()
+            proc.join(timeout=10.0)
+
+    def test_socket_worker_error_keeps_executor_usable(self):
+        """A failing kernel surfaces as RuntimeError; the workers survive."""
+        A, b, part, _ = _problem()
+        bad = A.tolil()
+        bad[0, :] = 0.0  # singular first block
+        ex = SocketExecutor(workers=2)
+        try:
+            with pytest.raises(RuntimeError, match="worker"):
+                ex.attach(bad.tocsr(), b, part.sets, get_solver("scipy"))
+            A2, b2, part2, _ = _problem(seed=9)
+            ex.attach(A2, b2, part2.sets, get_solver("scipy"))
+            pieces = ex.solve_round([np.zeros(b2.shape)] * part2.nprocs)
+            assert len(pieces) == part2.nprocs
+        finally:
+            ex.close()

@@ -26,7 +26,6 @@ from repro.core import (
     uniform_bands,
 )
 from repro.core.solver import MultisplittingSolver
-from repro.core.stopping import StoppingCriterion
 from repro.direct import get_solver
 from repro.direct.cache import FactorizationCache
 from repro.grid import cluster1
@@ -63,7 +62,7 @@ def executors():
 
 class TestRegistry:
     def test_available_backends(self):
-        assert available_backends() == ["inline", "processes", "threads"]
+        assert available_backends() == ["inline", "processes", "sockets", "threads"]
 
     def test_get_executor_by_name(self):
         assert type(get_executor("inline")) is InlineExecutor
@@ -323,8 +322,54 @@ class TestBatchedSynchronousDistributed:
         for s1, s6 in zip(singles, batched):
             assert band_memory_bytes(s6) > band_memory_bytes(s1)
 
-    def test_async_still_rejects_batched(self):
+    def test_async_batched_matches_column_runs(self):
+        """(n, k) asynchronous runs converge each column like its solo run."""
         A, b, part, scheme = _problem(n=90, L=3)
-        B = np.stack([b, b], axis=1)
-        with pytest.raises(ValueError, match="one right-hand side"):
-            run_asynchronous(A, B, part, scheme, get_solver("scipy"), cluster1(3))
+        cols = [b, 2.0 * b, b - 3.0]
+        B = np.stack(cols, axis=1)
+        batched = run_asynchronous(
+            A, B, part, scheme, get_solver("scipy"), cluster1(3)
+        )
+        assert batched.converged
+        assert batched.x.shape == (90, 3)
+        for j, col in enumerate(cols):
+            single = run_asynchronous(
+                A, col, part, scheme, get_solver("scipy"), cluster1(3)
+            )
+            assert single.converged
+            np.testing.assert_allclose(batched.x[:, j], single.x, atol=1e-6)
+
+    def test_async_batched_bytes_scale_with_k(self):
+        """Identical columns: same iterate path, ~k-fold xsub payload bytes."""
+        A, b, part, scheme = _problem(n=90, L=3)
+        single = run_asynchronous(
+            A, b, part, scheme, get_solver("scipy"), cluster1(3)
+        )
+        B = np.stack([b, b, b, b], axis=1)
+        batched = run_asynchronous(
+            A, B, part, scheme, get_solver("scipy"), cluster1(3)
+        )
+        assert batched.converged and single.converged
+        assert batched.stats.bytes_sent > 2 * single.stats.bytes_sent
+        np.testing.assert_allclose(batched.x[:, 0], single.x, atol=1e-10)
+
+    def test_async_batched_per_column_accounting(self):
+        """A hard column keeps iterating even when an easy one settles.
+
+        Column 0 starts at the exact solution (its diffs are tiny from
+        the first iteration); column 1 starts from zero.  Per-column
+        accounting must keep the run going until BOTH have converged.
+        """
+        A, b, part, scheme = _problem(n=90, L=3)
+        single = run_asynchronous(
+            A, b, part, scheme, get_solver("scipy"), cluster1(3)
+        )
+        assert single.converged
+        B = np.stack([b, -3.0 * b], axis=1)
+        x0 = np.zeros((90, 2))
+        x0[:, 0] = single.x  # column 0 pre-solved
+        batched = run_asynchronous(
+            A, B, part, scheme, get_solver("scipy"), cluster1(3), x0=x0
+        )
+        assert batched.converged
+        np.testing.assert_allclose(batched.x[:, 1], -3.0 * single.x, atol=1e-6)
