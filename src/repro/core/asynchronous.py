@@ -273,6 +273,8 @@ def run_asynchronous(
     recorder.record_runtime(
         executor.name if executor is not None else "inline", block_wall
     )
+    if executor is not None:
+        recorder.record_faults(executor.fault_stats())
     if placement is not None:
         # Provenance includes the *actual* host mapping (by-name when the
         # plan was built from this cluster, positional for generic plans).

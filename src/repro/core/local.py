@@ -147,13 +147,15 @@ class LocalSystem:
 
 
 def build_local_system(
-    csr: sp.csr_matrix,
-    b: np.ndarray,
+    csr: sp.csr_matrix | None,
+    b: np.ndarray | None,
     rows: np.ndarray,
     index: int,
     solver: DirectSolver,
     *,
     cache: FactorizationCache | None = None,
+    band: sp.spmatrix | None = None,
+    b_sub: np.ndarray | None = None,
 ) -> LocalSystem:
     """Slice, prune and factor one processor's band (``csr`` is the full A).
 
@@ -161,9 +163,26 @@ def build_local_system(
     the parallel runtime backends can build each block where it will be
     solved (a worker thread, or a worker *process* that received the
     matrix exactly once).
+
+    The block only ever reads its own ``J_l`` *rows* of ``A`` and ``b``,
+    so a distributed backend need not ship the full matrix: pass the
+    pre-sliced ``band`` (``A[J_l, :]``, shape ``(|J_l|, n)``) and
+    ``b_sub`` (``b[J_l]``) instead and leave ``csr``/``b`` as ``None``.
+    Both construction paths produce identical systems (and identical
+    cache keys, so factor reuse across re-attaches is preserved).
     """
     rows = np.asarray(rows, dtype=np.int64)
-    band = csr[rows, :].tocsr()
+    if band is None:
+        band = csr[rows, :].tocsr()
+    else:
+        band = band.tocsr()
+        if band.shape[0] != rows.size:
+            raise ValueError(
+                f"band has {band.shape[0]} rows for an index set of {rows.size}"
+            )
+    if b_sub is None:
+        b_sub = b[rows]
+    b_sub = np.asarray(b_sub, dtype=float).copy()
     a_sub = band[:, rows].tocsc()
     dep = band.tolil(copy=True)
     dep[:, rows] = 0.0
@@ -180,7 +199,7 @@ def build_local_system(
         rows=rows,
         factorization=fact,
         dep=dep,
-        b_sub=b[rows].copy(),
+        b_sub=b_sub,
         rhs_flops=2.0 * dep.nnz,
         factor_flops=fact.stats.factor_flops,
         solve_flops=fact.stats.solve_flops,

@@ -66,6 +66,11 @@ class SequentialResult:
     cache_stats:
         Factorization-cache counters attributable to this run (``None``
         when no cache was supplied).
+    fault_stats:
+        Fault-tolerance counters of the run
+        (:class:`repro.runtime.resilience.FaultStats`: workers lost,
+        blocks requeued, refactor seconds, injected chaos); ``None``
+        when the backend tracks no faults (inline, threads).
     backend:
         Name of the :mod:`repro.runtime` backend the block solves ran on.
     block_seconds:
@@ -82,6 +87,7 @@ class SequentialResult:
     history: list[float] = field(default_factory=list)
     residual: float = np.nan
     cache_stats: CacheStats | None = None
+    fault_stats: "object | None" = None
     backend: str = "inline"
     block_seconds: dict[int, float] = field(default_factory=dict)
     placement: dict | None = None
@@ -122,6 +128,7 @@ def multisplitting_iterate(
     cache: FactorizationCache | None = None,
     executor=None,
     placement=None,
+    fault_policy=None,
 ) -> SequentialResult:
     """Run the synchronous multisplitting-direct iteration in-process.
 
@@ -150,6 +157,13 @@ def multisplitting_iterate(
         executor's workers (sticky affinity); the plan summary lands on
         the result.  The partition should normally be the plan's own
         (``placement.partition().to_general()``).
+    fault_policy:
+        Optional :class:`repro.runtime.resilience.FaultPolicy` arming
+        mid-solve worker recovery on backends with real workers: a
+        worker that dies (or breaches the policy's reply deadline) has
+        its blocks requeued onto survivors or a respawned replacement,
+        and the run continues bit-identically.  Counters land on
+        ``fault_stats``.
     """
     stopping = stopping or StoppingCriterion()
     L = partition.nprocs
@@ -159,7 +173,10 @@ def multisplitting_iterate(
     if z0.shape != b.shape:
         raise ValueError(f"x0 must have shape {b.shape}")
     try:
-        ex.attach(A, b, partition.sets, solver, cache=cache, placement=placement)
+        ex.attach(
+            A, b, partition.sets, solver,
+            cache=cache, placement=placement, fault_policy=fault_policy,
+        )
         Z = [z0.copy() for _ in range(L)]
         weights = [weighting.update_weights(l) for l in range(L)]
         state = stopping.new_state()
@@ -196,6 +213,7 @@ def multisplitting_iterate(
             history=history,
             residual=residual_norm(A, x_prev, b),
             cache_stats=ex.run_cache_stats(),
+            fault_stats=ex.fault_stats(),
             backend=ex.name,
             block_seconds=ex.block_seconds(),
             placement=placement.summary() if placement is not None else None,
@@ -222,6 +240,7 @@ def chaotic_iterate(
     cache: FactorizationCache | None = None,
     executor=None,
     placement=None,
+    fault_policy=None,
 ) -> SequentialResult:
     """Emulate an asynchronous execution with bounded delays.
 
@@ -270,7 +289,10 @@ def chaotic_iterate(
     weights = [weighting.update_weights(l) for l in range(L)]
     batched = b.ndim == 2
     try:
-        ex.attach(A, b, partition.sets, solver, cache=cache, placement=placement)
+        ex.attach(
+            A, b, partition.sets, solver,
+            cache=cache, placement=placement, fault_policy=fault_policy,
+        )
         # ring buffer of historical pieces for stale reads
         pieces = [z0[partition.sets[l]].copy() for l in range(L)]
         piece_history: list[list[np.ndarray]] = [[p.copy() for p in pieces]]
@@ -339,6 +361,7 @@ def chaotic_iterate(
             history=history,
             residual=residual_norm(A, x_prev, b),
             cache_stats=ex.run_cache_stats(),
+            fault_stats=ex.fault_stats(),
             backend=ex.name,
             block_seconds=ex.block_seconds(),
             placement=placement.summary() if placement is not None else None,

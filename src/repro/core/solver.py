@@ -77,6 +77,10 @@ class SolveResult:
         Summary of the :class:`repro.schedule.Placement` the run was
         configured from (strategy, band sizes, block-to-worker
         assignment), or ``None`` for the legacy implicit layout.
+    fault_stats:
+        Fault-tolerance counters of the run
+        (:class:`repro.runtime.resilience.FaultStats`), ``None`` when
+        the backend tracks no faults or the mode never attaches one.
     """
 
     x: np.ndarray | None
@@ -92,6 +96,7 @@ class SolveResult:
     detection_messages: int = 0
     stats: RunStats | None = None
     cache_stats: CacheStats | None = None
+    fault_stats: "object | None" = None
     backend: str = "inline"
     block_seconds: dict[int, float] = field(default_factory=dict)
     placement: dict | None = None
@@ -181,6 +186,15 @@ class MultisplittingSolver:
         solver and reused across :meth:`solve` calls -- call
         :meth:`close` (or use the solver as a context manager) to tear
         down its workers; a passed-in instance is never closed.
+    fault_policy:
+        Optional :class:`repro.runtime.resilience.FaultPolicy` arming
+        mid-solve worker recovery on the execution backend: a worker
+        that dies (or breaches the policy's reply deadline) has its
+        blocks requeued onto survivors -- or a respawned replacement --
+        and the solve completes with identical iterates.  Counters land
+        on :attr:`SolveResult.fault_stats` (and, for the simulated
+        modes, on ``stats.workers_lost`` etc. when the real backend lost
+        workers during setup).
     """
 
     def __init__(
@@ -199,6 +213,7 @@ class MultisplittingSolver:
         cache: "FactorizationCache | bool" = True,
         backend: str = "inline",
         placement=None,
+        fault_policy=None,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -234,6 +249,7 @@ class MultisplittingSolver:
         else:
             self.cache = cache
         self.backend = backend
+        self.fault_policy = fault_policy
         self._executor = None
         self._owns_executor = False
         # Live-calibration memo: measuring the backend's workers is a
@@ -380,7 +396,7 @@ class MultisplittingSolver:
             seq = multisplitting_iterate(
                 A, b, part, scheme, self.direct_solver, stopping=self.stopping,
                 x0=x0, cache=self.cache, executor=self._get_executor(),
-                placement=plan,
+                placement=plan, fault_policy=self.fault_policy,
             )
             return SolveResult(
                 x=seq.x,
@@ -391,6 +407,7 @@ class MultisplittingSolver:
                 mode="sequential",
                 nprocs=part.nprocs,
                 cache_stats=seq.cache_stats,
+                fault_stats=seq.fault_stats,
                 backend=seq.backend,
                 block_seconds=seq.block_seconds,
                 placement=seq.placement,
@@ -437,9 +454,23 @@ class MultisplittingSolver:
             cache_stats=(
                 self.cache.stats.since(cache_before) if self.cache is not None else None
             ),
+            fault_stats=self._fault_stats_from(run.stats),
             backend=run.stats.backend if run.stats is not None else "inline",
             block_seconds=dict(run.stats.block_seconds) if run.stats is not None else {},
             placement=run.stats.placement if run.stats is not None else None,
+        )
+
+    @staticmethod
+    def _fault_stats_from(stats: RunStats | None):
+        """Rehydrate a FaultStats from a simulated run's counters (or None)."""
+        if stats is None or not (stats.workers_lost or stats.blocks_requeued):
+            return None
+        from repro.runtime.resilience import FaultStats
+
+        return FaultStats(
+            workers_lost=stats.workers_lost,
+            blocks_requeued=stats.blocks_requeued,
+            refactor_seconds=stats.refactor_seconds,
         )
 
     def _normalize_partition(

@@ -54,6 +54,11 @@ class RunStats:
     (the :meth:`repro.schedule.Placement.summary` dictionary: strategy,
     band sizes, block-to-worker assignment, worker speeds/groups), or
     ``None`` when the run used the legacy implicit layout.
+
+    The ``workers_lost`` / ``blocks_requeued`` / ``refactor_seconds``
+    fields mirror :class:`repro.runtime.resilience.FaultStats` for runs
+    whose real execution backend lost (and recovered) workers; they stay
+    at their zero defaults for fault-free runs.
     """
 
     makespan: float = 0.0
@@ -70,6 +75,9 @@ class RunStats:
     backend: str = "inline"
     block_seconds: dict[int, float] = field(default_factory=dict)
     placement: dict | None = None
+    workers_lost: int = 0
+    blocks_requeued: int = 0
+    refactor_seconds: float = 0.0
 
 
 class TraceRecorder:
@@ -97,6 +105,7 @@ class TraceRecorder:
         self._backend = "inline"
         self._block_seconds: dict[int, float] = {}
         self._placement: dict | None = None
+        self._fault_stats = None
 
     def __call__(self, kind: str, time: float, **fields) -> None:
         self._counter[kind] += 1
@@ -132,9 +141,19 @@ class TraceRecorder:
         """Attach the scheduling plan the run was configured from."""
         self._placement = summary
 
+    def record_faults(self, fault_stats) -> None:
+        """Attach the execution backend's fault-tolerance counters.
+
+        ``fault_stats`` is any object exposing the
+        :class:`repro.runtime.resilience.FaultStats` counter attributes
+        (or ``None`` for a backend that tracks no faults).
+        """
+        self._fault_stats = fault_stats
+
     def stats(self) -> RunStats:
         """Summarise everything recorded so far."""
         c = self._cache_stats
+        f = self._fault_stats
         return RunStats(
             makespan=self._last_time,
             total_compute_time=sum(self._compute_by_pid.values()),
@@ -150,6 +169,9 @@ class TraceRecorder:
             backend=self._backend,
             block_seconds=dict(self._block_seconds),
             placement=self._placement,
+            workers_lost=f.workers_lost if f is not None else 0,
+            blocks_requeued=f.blocks_requeued if f is not None else 0,
+            refactor_seconds=f.refactor_seconds if f is not None else 0.0,
         )
 
     def events_of_kind(self, kind: str) -> list[TraceEvent]:

@@ -33,17 +33,31 @@ from repro.runtime.api import Executor
 from repro.runtime.asynchronous import async_iterate
 from repro.runtime.inline import InlineExecutor
 from repro.runtime.processes import ProcessExecutor
+from repro.runtime.resilience import (
+    ChaosExecutor,
+    FaultInjector,
+    FaultPolicy,
+    FaultStats,
+    FlakySolver,
+    StragglerSolver,
+)
 from repro.runtime.seqlock import VersionedVector
 from repro.runtime.shm import SharedVectorPlane
 from repro.runtime.sockets import SocketExecutor, serve_worker
 from repro.runtime.threads import ThreadExecutor
 
 __all__ = [
+    "ChaosExecutor",
     "Executor",
+    "FaultInjector",
+    "FaultPolicy",
+    "FaultStats",
+    "FlakySolver",
     "InlineExecutor",
     "ProcessExecutor",
     "SharedVectorPlane",
     "SocketExecutor",
+    "StragglerSolver",
     "ThreadExecutor",
     "VersionedVector",
     "async_iterate",

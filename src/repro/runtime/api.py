@@ -75,6 +75,7 @@ class Executor(abc.ABC):
         *,
         cache: FactorizationCache | None = None,
         placement=None,
+        fault_policy=None,
     ) -> None:
         """Bind the per-block systems for subsequent :meth:`solve_blocks`.
 
@@ -91,6 +92,13 @@ class Executor(abc.ABC):
         without worker identity (inline) record and ignore it.
         Iterates never depend on the placement: a block solve is a pure
         function of ``(block, z)`` wherever it runs.
+
+        ``fault_policy`` (a :class:`repro.runtime.resilience.FaultPolicy`)
+        arms mid-solve recovery on backends with real workers: a worker
+        that dies (or misses the policy's reply deadline) has its blocks
+        requeued onto survivors -- or a respawned replacement -- instead
+        of failing the run.  Backends without separate workers record
+        and ignore it (there is nothing to lose).
         """
 
     @staticmethod
@@ -150,6 +158,15 @@ class Executor(abc.ABC):
         """
         return None
 
+    def fault_stats(self):
+        """Fault-tolerance counters since :meth:`attach`.
+
+        A :class:`repro.runtime.resilience.FaultStats` for backends that
+        track worker loss and recovery (processes, sockets, the chaos
+        wrapper); ``None`` for backends with nothing to lose.
+        """
+        return None
+
     @property
     def nblocks(self) -> int:
         """Number of blocks in the current binding (0 when detached)."""
@@ -185,11 +202,15 @@ class InProcessExecutor(Executor):
         self._cache_before: CacheStats | None = None
         self._block_seconds: dict[int, float] = {}
         self._placement = None
+        self._fault_policy = None
 
-    def attach(self, A, b, sets, solver, *, cache=None, placement=None) -> None:
+    def attach(
+        self, A, b, sets, solver, *, cache=None, placement=None, fault_policy=None
+    ) -> None:
         self.detach()
         self._check_placement(placement, len(sets))
         self._placement = placement
+        self._fault_policy = fault_policy  # recorded; in-process blocks cannot be lost
         self._cache = cache
         self._cache_before = cache.stats.snapshot() if cache is not None else None
         self._systems = build_local_systems(
@@ -206,6 +227,7 @@ class InProcessExecutor(Executor):
         self._cache = None
         self._cache_before = None
         self._placement = None
+        self._fault_policy = None
 
     @property
     def systems(self) -> list[LocalSystem]:

@@ -64,6 +64,7 @@ def async_iterate(
     poll_interval: float = 1e-4,
     monitor_interval: float = 1e-3,
     quiescence_timeout: float = 0.5,
+    fault_policy=None,
 ) -> SequentialResult:
     """Solve ``A x = b`` with one free-running thread per block.
 
@@ -88,6 +89,20 @@ def async_iterate(
     cache:
         Shared (thread-safe) factorization cache; blocks factor once and
         concurrently during setup.
+    fault_policy:
+        Optional :class:`repro.runtime.resilience.FaultPolicy`.  Without
+        one, a block thread dying (kernel failure, injected fault)
+        aborts the whole run; with one, the dead thread is *respawned*
+        and resumes from the latest published pieces -- exactly the
+        slack the asynchronous model guarantees (a restarted processor
+        is indistinguishable from a very stale one).  Each death counts
+        on the result's ``fault_stats`` (``workers_lost``; the respawn
+        as ``respawns``), and ``max_worker_losses`` bounds the total
+        before the run aborts with the original error.  A block that
+        fails repeatedly with *no successful solve in between* is a
+        permanent fault, not a transient: after 3 consecutive failures
+        the run aborts regardless of the budget (respawning into the
+        same wall forever would otherwise hang the run).
     """
     stopping = stopping or StoppingCriterion(consecutive=3)
     b = np.asarray(b, dtype=float)
@@ -109,49 +124,86 @@ def async_iterate(
     counts = [0] * L
     solving = [False] * L
     errors: list[BaseException] = []
+    from repro.runtime.resilience import FaultStats
+
+    fault = FaultStats()
+    fault_lock = threading.Lock()
 
     row_sums = np.abs(A).sum(axis=1)
     norm_A = float(np.max(np.asarray(row_sums))) if partition.n else 0.0
     residual_tolerance = stopping.tolerance * max(1.0, norm_A)
 
+    #: Consecutive failures (no successful solve in between) after which
+    #: a block is declared permanently broken and the run aborts with the
+    #: original error -- otherwise a deterministic kernel fault (e.g. a
+    #: singular sub-block) would respawn-and-fail in a tight loop forever.
+    _MAX_CONSECUTIVE_FAILURES = 3
+
     def worker(l: int) -> None:
         my_weights = weights[l]
-        last_seen = {k: -1 for k in my_weights}
-        prev_piece: np.ndarray | None = None
         it = 0
-        try:
-            while not stop_event.is_set() and it < stopping.max_iterations:
-                z = np.zeros(b.shape)
-                changed = False
-                for k, w in my_weights.items():
-                    piece_k, version = slots[k].read()
-                    if version != last_seen[k]:
-                        changed = True
-                        last_seen[k] = version
-                    z[partition.sets[k]] += w * piece_k
-                if not changed and prev_piece is not None:
-                    # Identical inputs reproduce the piece bit-for-bit;
-                    # skip the no-op solve and poll again.
-                    time.sleep(poll_interval)
-                    continue
-                solving[l] = True
-                try:
-                    piece = systems[l].solve_with(z)
-                finally:
-                    solving[l] = False
-                it += 1
+        consecutive_failures = 0
+        while True:  # supervisor: one lap per (re)spawned incarnation
+            last_seen = {k: -1 for k in my_weights}
+            prev_piece: np.ndarray | None = None
+            try:
+                while not stop_event.is_set() and it < stopping.max_iterations:
+                    z = np.zeros(b.shape)
+                    changed = False
+                    for k, w in my_weights.items():
+                        piece_k, version = slots[k].read()
+                        if version != last_seen[k]:
+                            changed = True
+                            last_seen[k] = version
+                        z[partition.sets[k]] += w * piece_k
+                    if not changed and prev_piece is not None:
+                        # Identical inputs reproduce the piece bit-for-bit;
+                        # skip the no-op solve and poll again.
+                        time.sleep(poll_interval)
+                        continue
+                    solving[l] = True
+                    try:
+                        piece = systems[l].solve_with(z)
+                    finally:
+                        solving[l] = False
+                    consecutive_failures = 0
+                    it += 1
+                    counts[l] = it
+                    if prev_piece is None or not np.array_equal(piece, prev_piece):
+                        slots[l].write(piece)
+                        prev_piece = piece
+                    # An unchanged piece is not re-published: at the fixed
+                    # point every thread stops publishing and the system
+                    # goes globally quiet.
                 counts[l] = it
-                if prev_piece is None or not np.array_equal(piece, prev_piece):
-                    slots[l].write(piece)
-                    prev_piece = piece
-                # An unchanged piece is not re-published: at the fixed
-                # point every thread stops publishing and the system
-                # goes globally quiet.
-        except BaseException as exc:  # pragma: no cover - kernel failure
-            errors.append(exc)
-            stop_event.set()
-        finally:
-            counts[l] = it
+                return
+            except BaseException as exc:
+                counts[l] = it
+                consecutive_failures += 1
+                with fault_lock:
+                    fault.workers_lost += 1
+                    losses = fault.workers_lost
+                if fault_policy is None or (
+                    fault_policy.max_worker_losses is not None
+                    and losses > fault_policy.max_worker_losses
+                ) or consecutive_failures >= _MAX_CONSECUTIVE_FAILURES:
+                    # No recovery contract, budget exhausted, or a
+                    # *permanent* fault (it fails every time, with no
+                    # successful solve in between): surface the error
+                    # instead of respawning into the same wall.
+                    errors.append(exc)
+                    stop_event.set()
+                    return
+                # Respawn: restart the block from the latest *published*
+                # pieces.  A restarted processor is indistinguishable
+                # from a very stale one, which is exactly the slack the
+                # asynchronous convergence theory grants.  The short
+                # sleep keeps a fast-failing block from spinning a core.
+                with fault_lock:
+                    fault.respawns += 1
+                    fault.blocks_requeued += 1
+                time.sleep(poll_interval)
+                continue
 
     core_sel = [
         np.isin(partition.sets[l], partition.core[l]) for l in range(L)
@@ -213,5 +265,6 @@ def async_iterate(
         history=history,
         residual=residual_norm(A, x, b),
         cache_stats=cache.stats.since(cache_before) if cache is not None else None,
+        fault_stats=fault if (fault_policy is not None or fault.any_faults) else None,
         backend="threads",
     )

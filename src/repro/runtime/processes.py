@@ -27,6 +27,20 @@ pinned it to, and re-attaching the same matrix with the same plan finds
 them there).  Worker caches mean cache *counters* live in the workers;
 ``run_cache_stats`` aggregates them over the binding's workers.
 
+**Fault tolerance** (:mod:`repro.runtime.resilience`): attaching with a
+:class:`~repro.runtime.resilience.FaultPolicy` arms mid-solve recovery.
+The driver's reply loop doubles as a heartbeat -- every
+``heartbeat_interval`` it checks worker liveness, and the policy's
+``deadline`` additionally bounds how long any one solve round may go
+unanswered (a hung worker is killed and treated like a crashed one).  A
+lost worker's blocks are *requeued*: surviving workers (least-loaded
+first, deterministically) -- or, under ``respawn=True``, a freshly
+spawned replacement -- receive an ``adopt`` ticket carrying the orphaned
+blocks' slice of the binding, re-factor them through their local cache
+(the measured cost lands in ``fault_stats().refactor_seconds``), and the
+still-missing solve tickets are re-dispatched.  Iterates are unaffected:
+a block solve is a pure function of ``(block, z)`` wherever it runs.
+
 Trade-offs vs :class:`~repro.runtime.ThreadExecutor`: true core-level
 parallelism independent of any GIL-releasing discipline in the kernels,
 at the price of one queue round-trip (~0.1 ms) plus two vector copies per
@@ -38,8 +52,8 @@ when a shared cache across blocks matters.
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.connection as mp_connection
 import os
-import queue as queue_mod
 import threading
 import time
 import traceback
@@ -49,6 +63,7 @@ import numpy as np
 
 from repro.direct.cache import CacheStats, FactorizationCache
 from repro.runtime.api import Executor
+from repro.runtime.resilience import FaultPolicy, FaultStats, reassign_orphans
 from repro.runtime.shm import SharedVectorPlane
 
 __all__ = ["ProcessExecutor"]
@@ -57,13 +72,20 @@ __all__ = ["ProcessExecutor"]
 _REPLY_TIMEOUT = 300.0
 
 
-def _worker_main(rank: int, task_q, result_q) -> None:
+def _worker_main(rank: int, task_q, reply_conn) -> None:
     """Verb loop of one worker process.
 
-    Workers execute a fixed verb set (attach / solve / stats / detach /
-    exit) rather than arbitrary closures -- that keeps every message
-    picklable under any start method and makes the hot-path messages
-    constant-size.
+    Workers execute a fixed verb set (attach / adopt / solve / stats /
+    detach / exit) rather than arbitrary closures -- that keeps every
+    message picklable under any start method and makes the hot-path
+    messages constant-size.
+
+    Replies travel over a **private pipe per worker** (``reply_conn``),
+    not a shared queue: a shared queue's write-lock is a cross-process
+    semaphore, and a worker SIGKILLed while holding it would deadlock
+    every survivor's replies -- precisely the fault this backend must
+    recover from.  Private pipes have no shared state, and the hot-path
+    reply frames are far below ``PIPE_BUF`` so their writes are atomic.
     """
     # Imports happen here (not at module import) so a "spawn" child only
     # pays for what it uses.
@@ -87,6 +109,17 @@ def _worker_main(rank: int, task_q, result_q) -> None:
             piece_plane.close()
             piece_plane = None
 
+    def _open_planes(spec) -> None:
+        nonlocal z_plane, piece_plane
+        if z_plane is None:
+            z_plane = SharedVectorPlane(
+                spec["z_shapes"], name=spec["z_name"], create=False
+            )
+        if piece_plane is None:
+            piece_plane = SharedVectorPlane(
+                spec["piece_shapes"], name=spec["piece_name"], create=False
+            )
+
     # Every message after the verb carries the binding epoch; replies echo
     # it so the driver can discard stragglers from an aborted binding.
     while True:
@@ -104,12 +137,7 @@ def _worker_main(rank: int, task_q, result_q) -> None:
                 cache_before = cache.stats.snapshot() if use_cache else None
                 csr = as_csr(spec["A"])
                 b = spec["b"]
-                z_plane = SharedVectorPlane(
-                    spec["z_shapes"], name=spec["z_name"], create=False
-                )
-                piece_plane = SharedVectorPlane(
-                    spec["piece_shapes"], name=spec["piece_name"], create=False
-                )
+                _open_planes(spec)
                 for l in spec["owned"]:
                     systems[l] = build_local_system(
                         csr,
@@ -119,7 +147,30 @@ def _worker_main(rank: int, task_q, result_q) -> None:
                         spec["solvers"][l],
                         cache=cache if use_cache else None,
                     )
-                result_q.put(("attached", epoch, rank))
+                reply_conn.send(("attached", epoch, rank))
+            elif kind == "adopt":
+                # Recovery: take over a dead worker's blocks *in addition*
+                # to anything already owned.  A respawned replacement gets
+                # the full plane/cap context in the spec and starts from a
+                # clean binding.
+                spec = msg[2]
+                use_cache = spec["use_cache"]
+                if use_cache and cache_before is None:
+                    cache_before = cache.stats.snapshot()
+                csr = as_csr(spec["A"])
+                b = spec["b"]
+                _open_planes(spec)
+                t0 = time.perf_counter()
+                for l in spec["owned"]:
+                    systems[l] = build_local_system(
+                        csr,
+                        b,
+                        spec["sets"][l],
+                        l,
+                        spec["solvers"][l],
+                        cache=cache if use_cache else None,
+                    )
+                reply_conn.send(("adopted", epoch, rank, time.perf_counter() - t0))
             elif kind == "solve":
                 l = msg[2]
                 z = z_plane.read(l)
@@ -127,21 +178,21 @@ def _worker_main(rank: int, task_q, result_q) -> None:
                 piece = systems[l].solve_with(z)
                 dt = time.perf_counter() - t0
                 piece_plane.write(l, np.asarray(piece, dtype=float))
-                result_q.put(("done", epoch, l, dt))
+                reply_conn.send(("done", epoch, l, dt))
             elif kind == "stats":
                 delta = (
                     cache.stats.since(cache_before)
                     if use_cache and cache_before is not None
                     else None
                 )
-                result_q.put(("stats", epoch, rank, delta))
+                reply_conn.send(("stats", epoch, rank, delta))
             elif kind == "detach":
                 _release_binding()
-                result_q.put(("detached", epoch, rank))
+                reply_conn.send(("detached", epoch, rank))
             else:  # pragma: no cover - protocol violation
-                result_q.put(("error", epoch, rank, f"unknown verb {kind!r}"))
+                reply_conn.send(("error", epoch, rank, f"unknown verb {kind!r}"))
         except BaseException:
-            result_q.put(("error", epoch, rank, traceback.format_exc()))
+            reply_conn.send(("error", epoch, rank, traceback.format_exc()))
 
 
 class ProcessExecutor(Executor):
@@ -172,8 +223,8 @@ class ProcessExecutor(Executor):
         self._ctx = None
         self._workers: list = []
         self._task_qs: list = []
-        self._result_q = None
-        self._active = 0
+        self._reply_conns: list = []
+        self._live: list[int] = []
         self._owner: dict[int, int] = {}
         self._z_plane: SharedVectorPlane | None = None
         self._piece_plane: SharedVectorPlane | None = None
@@ -181,6 +232,9 @@ class ProcessExecutor(Executor):
         self._attached = False
         self._use_cache = False
         self._epoch = 0
+        self._policy: FaultPolicy | None = None
+        self._fault = FaultStats()
+        self._spec_ctx: dict | None = None
 
     # -- worker pool -----------------------------------------------------
     def _context(self):
@@ -206,37 +260,83 @@ class ProcessExecutor(Executor):
             self._ctx = mp.get_context(method)
         return self._ctx
 
-    def _ensure_workers(self, count: int) -> None:
+    def _spawn_at(self, rank: int) -> None:
+        """Start (or restart) the worker process serving ``rank``."""
         ctx = self._context()
-        if self._result_q is None:
-            self._result_q = ctx.Queue()
-        while len(self._workers) < count:
-            rank = len(self._workers)
-            task_q = ctx.Queue()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(rank, task_q, self._result_q),
-                daemon=True,
-                name=f"repro-runtime-{rank}",
-            )
-            proc.start()
+        task_q = ctx.Queue()
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(rank, task_q, send_conn),
+            daemon=True,
+            name=f"repro-runtime-{rank}",
+        )
+        proc.start()
+        # The parent keeps only the read end; closing the write end here
+        # makes a dead worker's pipe report EOF instead of blocking.
+        send_conn.close()
+        if rank < len(self._workers):
+            # Replacing a dead worker: abandon its queue (stale tickets
+            # die with it) and slot the fresh process in at the same rank.
+            self._task_qs[rank].cancel_join_thread()
+            self._task_qs[rank].close()
+            self._reply_conns[rank].close()
+            self._task_qs[rank] = task_q
+            self._reply_conns[rank] = recv_conn
+            self._workers[rank] = proc
+        else:
             self._task_qs.append(task_q)
+            self._reply_conns.append(recv_conn)
             self._workers.append(proc)
 
+    def _ensure_workers(self, count: int) -> None:
+        """Grow the pool to ``count`` workers, reviving any dead ranks."""
+        for rank in range(count):
+            if rank >= len(self._workers) or not self._workers[rank].is_alive():
+                self._spawn_at(rank)
+
+    def _poll_replies(self, timeout: float) -> list[tuple]:
+        """Drain every reply ready on the live workers' pipes.
+
+        Blocks up to ``timeout`` for the *first* reply; an empty return
+        is the heartbeat signal (nobody had anything to say).  A pipe at
+        EOF (its worker died) is skipped -- the caller's liveness check
+        owns that diagnosis.
+        """
+        conns = {self._reply_conns[w]: w for w in self._live}
+        if not conns:
+            time.sleep(timeout)
+            return []
+        out: list[tuple] = []
+        for conn in mp_connection.wait(list(conns), timeout=timeout):
+            try:
+                while True:
+                    out.append(conn.recv())
+                    if not conn.poll():
+                        break
+            except (EOFError, OSError):
+                continue
+        return out
+
     def _collect(self, expected_kind: str, count: int) -> list[tuple]:
-        """Gather ``count`` current-epoch replies.
+        """Gather ``count`` current-epoch replies (control-verb path).
 
         Replies from older epochs (left over when a binding aborted on a
         worker error) are discarded; worker tracebacks and worker deaths
-        surface as ``RuntimeError``.
+        surface as ``RuntimeError``.  Recovery never happens here -- the
+        attach/stats/detach verbs fail fast; only the solve path
+        (:meth:`solve_blocks`) recovers.
         """
         replies = []
         deadline = time.monotonic() + _REPLY_TIMEOUT
         while len(replies) < count:
-            try:
-                msg = self._result_q.get(timeout=1.0)
-            except queue_mod.Empty:
-                dead = [p.name for p in self._workers[: self._active] if not p.is_alive()]
+            batch = self._poll_replies(timeout=1.0)
+            if not batch:
+                dead = [
+                    self._workers[w].name
+                    for w in self._live
+                    if not self._workers[w].is_alive()
+                ]
                 if dead:
                     raise RuntimeError(f"runtime workers died: {dead}")
                 if time.monotonic() > deadline:
@@ -245,17 +345,22 @@ class ProcessExecutor(Executor):
                         f"({len(replies)}/{count} received)"
                     )
                 continue
-            if msg[1] != self._epoch:
-                continue  # straggler from an aborted binding
-            if msg[0] == "error":
-                raise RuntimeError(f"runtime worker {msg[2]} failed:\n{msg[3]}")
-            if msg[0] != expected_kind:  # pragma: no cover - protocol violation
-                raise RuntimeError(f"expected {expected_kind!r} reply, got {msg[0]!r}")
-            replies.append(msg)
+            for msg in batch:
+                if msg[1] != self._epoch:
+                    continue  # straggler from an aborted binding
+                if msg[0] == "error":
+                    raise RuntimeError(f"runtime worker {msg[2]} failed:\n{msg[3]}")
+                if msg[0] != expected_kind:  # pragma: no cover - protocol violation
+                    raise RuntimeError(
+                        f"expected {expected_kind!r} reply, got {msg[0]!r}"
+                    )
+                replies.append(msg)
         return replies
 
     # -- binding ---------------------------------------------------------
-    def attach(self, A, b, sets, solver, *, cache=None, placement=None) -> None:
+    def attach(
+        self, A, b, sets, solver, *, cache=None, placement=None, fault_policy=None
+    ) -> None:
         from repro.linalg.sparse import as_csr
 
         self.detach()
@@ -286,23 +391,28 @@ class ProcessExecutor(Executor):
         self._z_plane = SharedVectorPlane(z_shapes)
         self._piece_plane = SharedVectorPlane(piece_shapes)
         self._owner = owner
-        self._active = W
+        self._live = list(range(W))
         self._use_cache = cache is not None
+        self._policy = fault_policy
+        self._fault = FaultStats()
         self._epoch += 1
+        # Retained for recovery: an adoption re-ships exactly this context
+        # (trimmed to the orphaned blocks) to the new owner.
+        self._spec_ctx = {
+            "A": csr,
+            "b": b,
+            "sets": sets_list,
+            "solvers": solvers,
+            "use_cache": self._use_cache,
+            "z_name": self._z_plane.name,
+            "z_shapes": z_shapes,
+            "piece_name": self._piece_plane.name,
+            "piece_shapes": piece_shapes,
+        }
         try:
             for w in range(W):
-                spec = {
-                    "A": csr,
-                    "b": b,
-                    "sets": sets_list,
-                    "solvers": solvers,
-                    "owned": [l for l in range(L) if owner[l] == w],
-                    "use_cache": self._use_cache,
-                    "z_name": self._z_plane.name,
-                    "z_shapes": z_shapes,
-                    "piece_name": self._piece_plane.name,
-                    "piece_shapes": piece_shapes,
-                }
+                spec = dict(self._spec_ctx)
+                spec["owned"] = [l for l in range(L) if owner[l] == w]
                 self._task_qs[w].put(("attach", self._epoch, spec))
             self._collect("attached", W)
         except BaseException:
@@ -315,6 +425,7 @@ class ProcessExecutor(Executor):
                     plane.unlink()
             self._z_plane = None
             self._piece_plane = None
+            self._live = []
             raise
         self._block_seconds = {l: 0.0 for l in range(L)}
         self._attached = True
@@ -327,12 +438,16 @@ class ProcessExecutor(Executor):
             # straggler filter drop them instead of tripping the
             # detached-reply check (which would mask the original error).
             self._epoch += 1
+            live = [w for w in self._live if self._workers[w].is_alive()]
             try:
-                for w in range(self._active):
+                self._live = live
+                for w in live:
                     self._task_qs[w].put(("detach", self._epoch))
-                self._collect("detached", self._active)
+                self._collect("detached", len(live))
             finally:
                 self._attached = False
+                self._live = []
+                self._spec_ctx = None
                 self._release_planes()
 
     def _release_planes(self) -> None:
@@ -347,6 +462,120 @@ class ProcessExecutor(Executor):
     def nblocks(self) -> int:
         return len(self._owner) if self._attached else 0
 
+    # -- fault injection / recovery --------------------------------------
+    def alive_workers(self) -> list[int]:
+        """Ranks of this binding's workers whose processes are alive."""
+        return [w for w in self._live if self._workers[w].is_alive()]
+
+    def kill_worker(self, rank: int) -> bool:
+        """Hard-kill worker ``rank`` (SIGKILL).  The chaos hook.
+
+        Returns True when a live worker was killed.  Recovery is *not*
+        triggered here -- the next :meth:`solve_blocks` heartbeat finds
+        the corpse, exactly as a real mid-run crash would surface.
+        """
+        if not (0 <= rank < len(self._workers)):
+            return False
+        proc = self._workers[rank]
+        if not proc.is_alive():
+            return False
+        proc.kill()
+        proc.join(timeout=10.0)
+        return True
+
+    def fault_stats(self) -> FaultStats:
+        return self._fault.snapshot()
+
+    def _kill_silently(self, rank: int) -> None:
+        proc = self._workers[rank]
+        if proc.is_alive():  # a hung (deadline-breaching) worker
+            proc.kill()
+            proc.join(timeout=10.0)
+
+    def _recover(
+        self, dead: list[int], remaining: set[int], pending: dict[int, int]
+    ) -> None:
+        """Reassign the dead workers' blocks and re-dispatch lost solves.
+
+        ``remaining``/``pending`` describe the in-flight round: blocks
+        whose ticket sat with a dead worker are re-enqueued on their new
+        owner (the z slot still holds the round's local copy, so the
+        retried solve is bit-identical).
+        """
+        dead_set = set(dead)
+        for w in dead:
+            self._kill_silently(w)
+            self._live.remove(w)
+            self._fault.workers_lost += 1
+        if (
+            self._policy.max_worker_losses is not None
+            and self._fault.workers_lost > self._policy.max_worker_losses
+        ):
+            raise RuntimeError(
+                f"fault policy exhausted: {self._fault.workers_lost} workers "
+                f"lost (max {self._policy.max_worker_losses})"
+            )
+        orphans = sorted(l for l, w in self._owner.items() if w in dead_set)
+        new_owner: dict[int, int] = {}
+        if self._policy.respawn:
+            replacement: dict[int, int] = {}
+            for w in dead:
+                rank = len(self._workers)
+                self._spawn_at(rank)
+                self._live.append(rank)
+                replacement[w] = rank
+                self._fault.respawns += 1
+            for l in orphans:
+                new_owner[l] = replacement[self._owner[l]]
+        else:
+            # Deterministic requeue: the shared least-loaded/lowest-rank
+            # rule (repro.runtime.resilience.reassign_orphans).
+            new_owner = reassign_orphans(orphans, self._owner, self._live)
+        self._fault.blocks_requeued += len(orphans)
+        # Ship the orphaned slice of the binding to each adopter and wait
+        # for the refactor acks (surviving workers keep answering solves
+        # meanwhile; those replies are folded in as they arrive).
+        by_adopter: dict[int, list[int]] = {}
+        for l in orphans:
+            by_adopter.setdefault(new_owner[l], []).append(l)
+        for w, owned in sorted(by_adopter.items()):
+            spec = dict(self._spec_ctx)
+            spec["owned"] = owned
+            self._task_qs[w].put(("adopt", self._epoch, spec))
+        acks = 0
+        hb = self._policy.heartbeat_interval
+        deadline = time.monotonic() + _REPLY_TIMEOUT
+        while acks < len(by_adopter):
+            batch = self._poll_replies(timeout=hb)
+            if not batch:
+                gone = [w for w in by_adopter if not self._workers[w].is_alive()]
+                if gone:
+                    raise RuntimeError(
+                        f"workers {gone} died while adopting orphaned blocks"
+                    )
+                if time.monotonic() > deadline:
+                    raise RuntimeError("timed out waiting for adoption acks")
+                continue
+            for msg in batch:
+                if msg[1] != self._epoch:
+                    continue
+                if msg[0] == "error":
+                    raise RuntimeError(f"runtime worker {msg[2]} failed:\n{msg[3]}")
+                if msg[0] == "adopted":
+                    self._fault.refactor_seconds += msg[3]
+                    acks += 1
+                elif msg[0] == "done":
+                    _, _, l, dt = msg
+                    if l in remaining:
+                        remaining.discard(l)
+                        pending.pop(l, None)
+                        self._block_seconds[l] += dt
+        self._owner.update(new_owner)
+        for l in sorted(remaining):
+            if pending.get(l) in dead_set:
+                self._task_qs[self._owner[l]].put(("solve", self._epoch, l))
+                pending[l] = self._owner[l]
+
     # -- solving ---------------------------------------------------------
     def solve_blocks(
         self, tasks: Sequence[tuple[int, np.ndarray]]
@@ -356,11 +585,64 @@ class ProcessExecutor(Executor):
         blocks = [l for l, _ in tasks]
         if len(set(blocks)) != len(blocks):
             raise ValueError("duplicate block in one solve_blocks call")
+        pending: dict[int, int] = {}
         for l, z in tasks:
             self._z_plane.write(l, np.asarray(z, dtype=float))
-            self._task_qs[self._owner[l]].put(("solve", self._epoch, l))
-        for _, _, l, dt in self._collect("done", len(tasks)):
-            self._block_seconds[l] += dt
+        for l, _ in tasks:
+            w = self._owner[l]
+            self._task_qs[w].put(("solve", self._epoch, l))
+            pending[l] = w
+        remaining = set(blocks)
+        policy = self._policy
+        hb = policy.heartbeat_interval if policy is not None else 1.0
+        round_start = time.monotonic()
+        hard_deadline = round_start + _REPLY_TIMEOUT
+        while remaining:
+            batch = self._poll_replies(timeout=hb)
+            if batch:
+                for msg in batch:
+                    if msg[1] != self._epoch:
+                        continue  # straggler from an aborted binding
+                    if msg[0] == "error":
+                        raise RuntimeError(
+                            f"runtime worker {msg[2]} failed:\n{msg[3]}"
+                        )
+                    if msg[0] != "done":  # pragma: no cover - protocol violation
+                        raise RuntimeError(f"expected 'done' reply, got {msg[0]!r}")
+                    _, _, l, dt = msg
+                    if l in remaining:  # a requeued block may answer twice
+                        remaining.discard(l)
+                        pending.pop(l, None)
+                        self._block_seconds[l] += dt
+                continue
+            # Heartbeat: no reply this interval -- check for corpses, then
+            # for deadline breaches (hung/slow workers count as lost).
+            now = time.monotonic()
+            dead = sorted(
+                {w for w in self._live if not self._workers[w].is_alive()}
+            )
+            if policy is None:
+                if dead:
+                    names = [self._workers[w].name for w in dead]
+                    raise RuntimeError(f"runtime workers died: {names}")
+                if now > hard_deadline:
+                    raise RuntimeError(
+                        f"timed out waiting for 'done' replies "
+                        f"({len(blocks) - len(remaining)}/{len(blocks)} received)"
+                    )
+                continue
+            if not dead and policy.deadline is not None:
+                if now - round_start > policy.deadline:
+                    dead = sorted({pending[l] for l in remaining if l in pending})
+            if not dead:
+                if now > hard_deadline:
+                    raise RuntimeError(
+                        f"timed out waiting for 'done' replies "
+                        f"({len(blocks) - len(remaining)}/{len(blocks)} received)"
+                    )
+                continue
+            self._recover(dead, remaining, pending)
+            round_start = time.monotonic()  # a fresh deadline after recovery
         return [self._piece_plane.read(l) for l in blocks]
 
     def map(self, fn: Callable, items: Iterable) -> list:
@@ -376,10 +658,11 @@ class ProcessExecutor(Executor):
     def run_cache_stats(self) -> CacheStats | None:
         if not self._attached or not self._use_cache:
             return None
-        for w in range(self._active):
+        live = [w for w in self._live if self._workers[w].is_alive()]
+        for w in live:
             self._task_qs[w].put(("stats", self._epoch))
         merged = CacheStats()
-        for _, _, _, delta in self._collect("stats", self._active):
+        for _, _, _, delta in self._collect("stats", len(live)):
             merged.merge_in(delta)
         return merged
 
@@ -419,11 +702,10 @@ class ProcessExecutor(Executor):
             # buffered tickets; joining its feeder thread would block.
             task_q.cancel_join_thread()
             task_q.close()
-        if self._result_q is not None:
-            self._result_q.cancel_join_thread()
-            self._result_q.close()
-            self._result_q = None
+        for conn in self._reply_conns:
+            conn.close()
         self._workers = []
         self._task_qs = []
-        self._active = 0
+        self._reply_conns = []
+        self._live = []
         self._attached = False

@@ -1,0 +1,687 @@
+"""Fault tolerance: the chaos harness and the recovery policy objects.
+
+The paper's whole premise is running direct-method multisplitting on
+*grid* environments -- volatile, heterogeneous nodes where workers slow
+down, drop messages, or die mid-computation -- and its asynchronous
+variant exists precisely because lost or late updates must not stall
+convergence.  The structural slack that makes this cheap is the same one
+the runtime exploits everywhere else: per outer iteration every block
+solve is an independent pure function of ``(block, z)``, so a lost solve
+can simply be *re-run somewhere else* and the iterates cannot tell the
+difference.
+
+This module provides the pieces that turn that observation into a tested
+subsystem:
+
+* :class:`FaultPolicy` -- the recovery contract a binding is attached
+  with (``executor.attach(..., fault_policy=...)``, or ``fault_policy=``
+  on the drivers and :class:`~repro.core.solver.MultisplittingSolver`):
+  per-round reply deadlines, heartbeat cadence, automatic requeue of a
+  dead worker's blocks onto survivors, and optional respawn of owned
+  workers.  The real recovery machinery lives in
+  :class:`~repro.runtime.ProcessExecutor` and
+  :class:`~repro.runtime.SocketExecutor`.
+* :class:`FaultStats` -- observable counters (``workers_lost``,
+  ``blocks_requeued``, ``respawns``, ``refactor_seconds``, ...) surfaced
+  on ``SequentialResult``/``SolveResult``/``RunStats`` exactly like the
+  factor-cache counters.
+* :class:`FaultInjector` / :class:`ChaosExecutor` -- a deterministic
+  (seeded) fault-injection wrapper that conforms to the
+  :class:`~repro.runtime.api.Executor` contract and injects crashes,
+  delays, and dropped replies into *any* backend.  Backends with real
+  worker processes (processes, sockets) get their workers actually
+  killed and recover through their own machinery; in-process backends
+  (inline, threads) get the same fault schedule *emulated* at the
+  contract boundary, so one conformance suite exercises all four
+  backends with identical expected counters.
+* :class:`FlakySolver` -- a kernel wrapper that fails scheduled solves,
+  for injecting faults below the executor layer (used to exercise the
+  free-running :func:`~repro.runtime.async_iterate` driver's thread
+  respawn).
+
+Determinism: a seeded injector replayed against the same binding
+produces the same fault schedule, hence the same ``workers_lost`` /
+``blocks_requeued`` / ``replies_dropped`` counters -- and, because a
+block solve is deterministic, *synchronous iterates stay bit-identical
+to the fault-free run* (asserted by the conformance suite).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.direct.base import DirectSolver, Factorization
+from repro.runtime.api import Executor
+
+__all__ = [
+    "ChaosExecutor",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPolicy",
+    "FaultStats",
+    "FlakySolver",
+    "InjectedFault",
+    "StragglerSolver",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by the chaos harness where a real fault would surface."""
+
+
+@dataclass
+class FaultStats:
+    """Observable fault-tolerance counters of one binding.
+
+    Attributes
+    ----------
+    workers_lost:
+        Workers declared dead (crashed, hung past the deadline, or
+        injected).  For :func:`~repro.runtime.async_iterate` this counts
+        block threads that died and were respawned.
+    blocks_requeued:
+        Block ownerships reassigned because their worker was lost.  This
+        counts *reassignments*, not retried messages, so it is
+        deterministic under a seeded fault schedule regardless of how
+        far the dead worker got.
+    respawns:
+        Replacement workers started under ``FaultPolicy(respawn=True)``.
+    refactor_seconds:
+        Wall-clock spent re-factoring orphaned blocks on their new
+        owners (measured where the refactor ran, worker-side).
+    delays_injected / replies_dropped:
+        Chaos-harness counters: artificial stalls and solve replies
+        discarded (and re-requested) by :class:`ChaosExecutor`.
+    """
+
+    workers_lost: int = 0
+    blocks_requeued: int = 0
+    respawns: int = 0
+    refactor_seconds: float = 0.0
+    delays_injected: int = 0
+    replies_dropped: int = 0
+
+    def merge_in(self, delta: "FaultStats | None") -> None:
+        """Accumulate another counter set into this one (in place)."""
+        if delta is None:
+            return
+        self.workers_lost += delta.workers_lost
+        self.blocks_requeued += delta.blocks_requeued
+        self.respawns += delta.respawns
+        self.refactor_seconds += delta.refactor_seconds
+        self.delays_injected += delta.delays_injected
+        self.replies_dropped += delta.replies_dropped
+
+    def snapshot(self) -> "FaultStats":
+        """An independent copy of the current counters."""
+        return replace(self)
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether anything at all went wrong (or was injected)."""
+        return bool(
+            self.workers_lost
+            or self.blocks_requeued
+            or self.respawns
+            or self.delays_injected
+            or self.replies_dropped
+        )
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How a binding reacts to worker failure.
+
+    Passing a policy (``attach(..., fault_policy=...)`` or
+    ``fault_policy=`` on the drivers / facade) switches the process and
+    socket backends from fail-fast (a dead worker raises) to recovery:
+    orphaned block solves are requeued onto surviving workers (their
+    factors re-derived there, through the worker's cache) and the run
+    continues with bit-identical iterates.
+
+    Attributes
+    ----------
+    deadline:
+        Per-round reply deadline in seconds.  A worker that has not
+        answered an outstanding solve after this long is declared lost
+        (killed if owned) and its blocks are requeued -- this is what
+        turns a *hung or silently dropped* reply into a recoverable
+        fault rather than a stall.  ``None`` keeps the backend's long
+        protocol timeout (dead workers are still detected via the
+        heartbeat/connection check, just not slow ones).
+    heartbeat_interval:
+        Cadence of the driver's liveness polls while waiting on replies
+        (process backend; the socket backend's TCP errors are
+        immediate).
+    respawn:
+        Spawn a replacement for each lost *owned* worker (worker
+        processes the executor started itself) instead of packing its
+        blocks onto the survivors.  External socket fleets
+        (``addresses=``) cannot be respawned and always fall back to
+        requeue-on-survivors.
+    max_worker_losses:
+        Abort (raise) once this many workers have been lost in one
+        binding; ``None`` tolerates any number while at least one
+        worker survives.
+    """
+
+    deadline: float | None = None
+    heartbeat_interval: float = 0.2
+    respawn: bool = False
+    max_worker_losses: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.max_worker_losses is not None and self.max_worker_losses < 0:
+            raise ValueError("max_worker_losses must be non-negative")
+
+
+def reassign_orphans(
+    orphans: Sequence[int],
+    owner: dict[int, int],
+    live: Sequence[int],
+    *,
+    candidates_for: Callable[[int], Sequence[int]] | None = None,
+) -> dict[int, int]:
+    """The requeue rule every backend shares: least-loaded, lowest rank.
+
+    Returns the new owner for each orphaned block, assigning in block
+    order against a running load count (so a burst of orphans spreads
+    over the survivors instead of piling onto one).  ``candidates_for``
+    narrows the candidate ranks per block (the socket backend prefers
+    the dead worker's co-location group).  This single definition is
+    what makes the recovery counters -- and the conformance suite's
+    exact cross-backend asserts -- deterministic: real and emulated
+    crashes route through the same rule.
+    """
+    live = list(live)
+    if not live:
+        raise RuntimeError("no live workers left; nothing to requeue onto")
+    load = {w: 0 for w in live}
+    for w in owner.values():
+        if w in load:
+            load[w] += 1
+    out: dict[int, int] = {}
+    for l in orphans:
+        candidates = candidates_for(l) if candidates_for is not None else live
+        w = min(candidates, key=lambda r: (load[r], r))
+        out[l] = w
+        load[w] += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# deterministic fault schedules
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault (also the injector's log record)."""
+
+    kind: str  #: ``"crash"`` | ``"delay"`` | ``"drop"``
+    round: int
+    worker: int | None = None
+    block: int | None = None
+    seconds: float = 0.0
+
+
+class FaultInjector:
+    """Seeded, replayable schedule of crashes, delays, and drops.
+
+    Faults fire per solve round, either on an explicit round list
+    (``crash_rounds=(2,)``: kill one worker when round 2 is dispatched)
+    or stochastically (``crash_rate=0.05``: 5% of rounds).  Victim
+    workers and blocks are drawn from the seeded generator, so the same
+    seed against the same binding replays the same schedule --
+    :meth:`reset` (called by :class:`ChaosExecutor` at every attach)
+    rewinds the generator, and :attr:`log` records every event actually
+    injected for tests to assert against.
+
+    A crash is never scheduled against the *last* live worker: without a
+    survivor (or a respawn policy, which the injector cannot see) the
+    binding would be unrecoverable by construction rather than by bad
+    luck.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        crash_rounds: Sequence[int] = (),
+        delay_rounds: Sequence[int] = (),
+        drop_rounds: Sequence[int] = (),
+        crash_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        delay_seconds: float = 0.005,
+        max_crashes: int = 1,
+    ):
+        for name, rate in (
+            ("crash_rate", crash_rate),
+            ("delay_rate", delay_rate),
+            ("drop_rate", drop_rate),
+        ):
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"{name} must lie in [0, 1]")
+        if delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+        if max_crashes < 0:
+            raise ValueError("max_crashes must be non-negative")
+        self.seed = seed
+        self.crash_rounds = frozenset(int(r) for r in crash_rounds)
+        self.delay_rounds = frozenset(int(r) for r in delay_rounds)
+        self.drop_rounds = frozenset(int(r) for r in drop_rounds)
+        self.crash_rate = crash_rate
+        self.delay_rate = delay_rate
+        self.drop_rate = drop_rate
+        self.delay_seconds = delay_seconds
+        self.max_crashes = max_crashes
+        self.log: list[FaultEvent] = []
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind the schedule (fresh generator, empty log)."""
+        self._rng = np.random.default_rng(self.seed)
+        self._crashes = 0
+        self.log = []
+
+    def crashes_injected(self) -> int:
+        """Crash events injected since the last :meth:`reset`."""
+        return self._crashes
+
+    def events_for(
+        self, round_index: int, live_workers: Sequence[int], blocks: Sequence[int]
+    ) -> list[FaultEvent]:
+        """Faults to inject while dispatching this solve round.
+
+        ``live_workers`` are the ranks a crash may target;
+        ``blocks`` the round's block ids a delay/drop may target.
+        """
+        events: list[FaultEvent] = []
+        if (
+            (round_index in self.crash_rounds
+             or (self.crash_rate and self._rng.random() < self.crash_rate))
+            and self._crashes < self.max_crashes
+            and len(live_workers) > 1
+        ):
+            victim = live_workers[int(self._rng.integers(len(live_workers)))]
+            events.append(FaultEvent("crash", round_index, worker=victim))
+            self._crashes += 1
+        if blocks and (
+            round_index in self.delay_rounds
+            or (self.delay_rate and self._rng.random() < self.delay_rate)
+        ):
+            block = blocks[int(self._rng.integers(len(blocks)))]
+            events.append(
+                FaultEvent(
+                    "delay", round_index, block=block, seconds=self.delay_seconds
+                )
+            )
+        if blocks and (
+            round_index in self.drop_rounds
+            or (self.drop_rate and self._rng.random() < self.drop_rate)
+        ):
+            block = blocks[int(self._rng.integers(len(blocks)))]
+            events.append(FaultEvent("drop", round_index, block=block))
+        self.log.extend(events)
+        return events
+
+
+# ---------------------------------------------------------------------------
+# the chaos wrapper
+# ---------------------------------------------------------------------------
+
+
+class ChaosExecutor(Executor):
+    """Inject a :class:`FaultInjector` schedule into any backend.
+
+    Conforms to the full :class:`~repro.runtime.api.Executor` contract,
+    so it drops into ``executor=`` anywhere an executor goes.  Per solve
+    round it asks the injector which faults fire:
+
+    * **crash** -- backends exposing real workers (``kill_worker`` /
+      ``alive_workers``: processes, sockets) get the victim actually
+      killed, and their own :class:`FaultPolicy` recovery requeues the
+      orphaned blocks; in-process backends get the crash *emulated*:
+      the wrapper keeps its own virtual block-to-worker map, discards
+      the victim's round results, reassigns its blocks, and re-requests
+      the solves (bit-identical by purity).  Both paths report the same
+      counters for the same schedule.
+    * **delay** -- a bounded artificial stall before dispatch.
+    * **drop** -- one block's reply is discarded and re-requested, the
+      "lost message" of the paper's asynchronous setting.
+
+    ``fault_stats()`` merges the wrapper's own counters with the inner
+    backend's, so the drivers see one coherent record.  ``close()``
+    closes the wrapped backend (the wrapper owns the handle it is given).
+    """
+
+    def __init__(
+        self,
+        inner: Executor,
+        injector: FaultInjector | None = None,
+        *,
+        policy: FaultPolicy | None = None,
+        virtual_workers: int = 2,
+        mid_round_kill_delay: float | None = None,
+    ):
+        if virtual_workers < 1:
+            raise ValueError("virtual_workers must be positive")
+        self.inner = inner
+        self.injector = injector if injector is not None else FaultInjector()
+        self.policy = policy
+        self.virtual_workers = virtual_workers
+        #: ``None``: kill synchronously before dispatch (deterministic
+        #: counters); a float: arm a timer so the kill lands truly
+        #: mid-computation (used by the resilience benchmark).
+        self.mid_round_kill_delay = mid_round_kill_delay
+        self.name = f"chaos:{inner.name}"
+        self._round = 0
+        self._fault = FaultStats()
+        self._virtual = not self._inner_killable()
+        self._vowner: dict[int, int] = {}
+        self._vlive: list[int] = []
+        self._timers: list[threading.Timer] = []
+
+    def _inner_killable(self) -> bool:
+        return hasattr(self.inner, "kill_worker") and hasattr(
+            self.inner, "alive_workers"
+        )
+
+    # -- binding ---------------------------------------------------------
+    def attach(
+        self, A, b, sets, solver, *, cache=None, placement=None, fault_policy=None
+    ) -> None:
+        policy = fault_policy if fault_policy is not None else self.policy
+        if policy is None:
+            # Injecting faults without a recovery contract would just
+            # crash the run; default to plain requeue-on-survivors.
+            policy = FaultPolicy()
+        self.inner.attach(
+            A, b, sets, solver, cache=cache, placement=placement, fault_policy=policy
+        )
+        self._policy = policy
+        self._round = 0
+        self._fault = FaultStats()
+        self.injector.reset()
+        self._virtual = not self._inner_killable()
+        if self._virtual:
+            L = len(sets)
+            if placement is not None:
+                self._vlive = list(range(placement.nworkers))
+                self._vowner = {l: int(placement.assignment[l]) for l in range(L)}
+            else:
+                W = max(1, min(self.virtual_workers, L))
+                self._vlive = list(range(W))
+                self._vowner = {l: l % W for l in range(L)}
+
+    def detach(self) -> None:
+        self._cancel_timers()
+        self.inner.detach()
+
+    # -- fault application ----------------------------------------------
+    def _live_workers(self) -> list[int]:
+        if self._virtual:
+            return list(self._vlive)
+        return list(self.inner.alive_workers())
+
+    def _cancel_timers(self) -> None:
+        for t in self._timers:
+            t.cancel()
+        self._timers = []
+
+    def _kill(self, worker: int) -> None:
+        if self.mid_round_kill_delay:
+            timer = threading.Timer(
+                self.mid_round_kill_delay, self.inner.kill_worker, args=(worker,)
+            )
+            timer.daemon = True
+            timer.start()
+            self._timers.append(timer)
+        else:
+            self.inner.kill_worker(worker)
+
+    def _virtual_crash(self, worker: int) -> list[int]:
+        """Emulate losing ``worker``: reassign its blocks, count the loss."""
+        self._vlive = [w for w in self._vlive if w != worker]
+        orphans = sorted(l for l, w in self._vowner.items() if w == worker)
+        self._fault.workers_lost += 1
+        if self._policy.respawn:
+            new = max(self._vowner.values(), default=-1) + 1
+            replacement = max(new, max(self._vlive, default=-1) + 1)
+            self._vlive.append(replacement)
+            self._fault.respawns += 1
+            for l in orphans:
+                self._vowner[l] = replacement
+        else:
+            self._vowner.update(reassign_orphans(orphans, self._vowner, self._vlive))
+        self._fault.blocks_requeued += len(orphans)
+        return orphans
+
+    def solve_blocks(
+        self, tasks: Sequence[tuple[int, np.ndarray]]
+    ) -> list[np.ndarray]:
+        self._round += 1
+        blocks = [l for l, _ in tasks]
+        events = self.injector.events_for(self._round, self._live_workers(), blocks)
+        for ev in events:
+            if ev.kind == "delay":
+                time.sleep(ev.seconds)
+                self._fault.delays_injected += 1
+        orphaned: set[int] = set()
+        for ev in events:
+            if ev.kind != "crash":
+                continue
+            if self._virtual:
+                orphaned.update(self._virtual_crash(ev.worker))
+            else:
+                self._kill(ev.worker)
+        pieces = list(self.inner.solve_blocks(tasks))
+        index_of = {l: i for i, (l, _) in enumerate(tasks)}
+        # Emulated crash: the victim's round replies are "lost" -- discard
+        # and re-request them (purity makes the rerun bit-identical).
+        redo = sorted(orphaned & set(blocks))
+        if redo:
+            reruns = self.inner.solve_blocks([tasks[index_of[l]] for l in redo])
+            for l, piece in zip(redo, reruns):
+                pieces[index_of[l]] = piece
+        for ev in events:
+            if ev.kind == "drop" and ev.block in index_of:
+                i = index_of[ev.block]
+                pieces[i] = self.inner.solve_blocks([tasks[i]])[0]
+                self._fault.replies_dropped += 1
+        return pieces
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return self.inner.map(fn, items)
+
+    # -- observability ---------------------------------------------------
+    def block_seconds(self) -> dict[int, float]:
+        return self.inner.block_seconds()
+
+    def run_cache_stats(self):
+        return self.inner.run_cache_stats()
+
+    def fault_stats(self) -> FaultStats:
+        merged = self._fault.snapshot()
+        merged.merge_in(self.inner.fault_stats())
+        return merged
+
+    @property
+    def nblocks(self) -> int:
+        return self.inner.nblocks
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        self._cancel_timers()
+        self.inner.close()
+
+
+# ---------------------------------------------------------------------------
+# sub-executor fault injection: a kernel that fails on schedule
+# ---------------------------------------------------------------------------
+
+
+class _FlakyFactorization(Factorization):
+    """Factors that fail scheduled solves (delegating everything else)."""
+
+    def __init__(self, inner: Factorization, owner: "FlakySolver"):
+        self._inner = inner
+        self._owner = owner
+        self.stats = inner.stats
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        self._owner._maybe_fail()
+        return self._inner.solve(b)
+
+    def solve_many(self, B: np.ndarray) -> np.ndarray:
+        self._owner._maybe_fail()
+        return self._inner.solve_many(B)
+
+
+class FlakySolver(DirectSolver):
+    """Wrap a kernel so chosen solve calls raise :class:`InjectedFault`.
+
+    Injects faults *below* the executor layer -- where a numerical
+    library segfault or an OOM kill would strike -- which is how the
+    free-running :func:`~repro.runtime.async_iterate` driver's
+    per-thread respawn is exercised.  ``fail_solves`` names the 1-based
+    global solve-call numbers that fail (counted across all factors of
+    this wrapper, under a lock); ``fail_rate`` adds seeded random
+    failures; ``max_failures`` bounds the total so a run always
+    eventually succeeds.
+    """
+
+    name = "flaky"
+
+    def __init__(
+        self,
+        inner: DirectSolver,
+        *,
+        fail_solves: Sequence[int] = (),
+        fail_rate: float = 0.0,
+        seed: int = 0,
+        max_failures: int | None = None,
+    ):
+        if not (0.0 <= fail_rate <= 1.0):
+            raise ValueError("fail_rate must lie in [0, 1]")
+        self.inner = inner
+        self.fail_solves = frozenset(int(s) for s in fail_solves)
+        self.fail_rate = fail_rate
+        self.seed = seed
+        self.max_failures = max_failures
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        self._calls = 0
+        self._failures = 0
+
+    @property
+    def failures(self) -> int:
+        """Faults injected so far."""
+        return self._failures
+
+    def __getstate__(self):
+        # Shippable to worker processes: the lock is process-local state.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def _maybe_fail(self) -> None:
+        with self._lock:
+            self._calls += 1
+            call = self._calls
+            budget_left = (
+                self.max_failures is None or self._failures < self.max_failures
+            )
+            fail = budget_left and (
+                call in self.fail_solves
+                or (self.fail_rate and self._rng.random() < self.fail_rate)
+            )
+            if fail:
+                self._failures += 1
+        if fail:
+            raise InjectedFault(f"injected kernel failure on solve call {call}")
+
+    def factor(self, A) -> Factorization:
+        return _FlakyFactorization(self.inner.factor(A), self)
+
+
+class _StragglerFactorization(Factorization):
+    """Factors that stall scheduled solves (delegating everything else)."""
+
+    def __init__(self, inner: Factorization, owner: "StragglerSolver"):
+        self._inner = inner
+        self._owner = owner
+        self.stats = inner.stats
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        self._owner._maybe_stall()
+        return self._inner.solve(b)
+
+    def solve_many(self, B: np.ndarray) -> np.ndarray:
+        self._owner._maybe_stall()
+        return self._inner.solve_many(B)
+
+
+class StragglerSolver(DirectSolver):
+    """Wrap a kernel so chosen solve calls *stall* for ``seconds``.
+
+    The hung-not-dead failure mode: the worker process stays alive but a
+    solve takes pathologically long (swap storm, overheated node, a
+    BLAS call wedged on a NUMA migration).  Only a
+    :class:`FaultPolicy` ``deadline`` can turn this into a recoverable
+    fault -- which is exactly what the deadline tests use it for.  Calls
+    are counted per process (each runtime worker counts its own), and
+    the 1-based numbers in ``slow_calls`` sleep ``seconds`` before
+    solving.
+    """
+
+    name = "straggler"
+
+    def __init__(
+        self,
+        inner: DirectSolver,
+        *,
+        seconds: float = 1.0,
+        slow_calls: Sequence[int] = (),
+    ):
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.inner = inner
+        self.seconds = seconds
+        self.slow_calls = frozenset(int(s) for s in slow_calls)
+        self._lock = threading.Lock()
+        self._calls = 0
+
+    def _maybe_stall(self) -> None:
+        with self._lock:
+            self._calls += 1
+            stall = self._calls in self.slow_calls
+        if stall:
+            time.sleep(self.seconds)
+
+    def __getstate__(self):
+        # Shippable to worker processes: the lock is process-local state.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def factor(self, A) -> Factorization:
+        return _StragglerFactorization(self.inner.factor(A), self)

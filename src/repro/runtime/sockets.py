@@ -10,18 +10,30 @@ spoken over real sockets so worker processes may live anywhere:
   a strict send-one/recv-one pairing per worker needs no epochs on the
   hot path (epochs still tag frames so stragglers from an aborted
   binding are discarded, exactly like the process backend);
-* **matrices cross the wire once per attach**: each active worker's
-  spec frame carries ``A``, ``b``, and the index sets / kernels of its
-  *owned* blocks only; afterwards only vectors move -- one local copy
-  ``z`` per solve request, one piece per reply (the paper's
-  coarse-grained exchange, verbatim).  Shipping each worker only its
-  band *rows* of ``A`` is a known further cut (see ROADMAP);
+* **only the owned band rows cross the wire at attach**: each active
+  worker's spec frame carries ``A[J_l, :]`` and ``b[J_l]`` for its
+  *owned* blocks only -- never the full matrix -- so total attach
+  traffic is ~``1/W`` of the ship-everything scheme per worker (the
+  ROADMAP's W-fold cut; asserted in the resilience test suite).
+  Afterwards only vectors move: one local copy ``z`` per solve request,
+  one piece per reply (the paper's coarse-grained exchange, verbatim);
 * **per-worker factor caches**: each worker keeps a process-local
   :class:`~repro.direct.cache.FactorizationCache`, so re-attaching the
   same matrix skips the factorization; ``run_cache_stats`` aggregates
   the worker counters;
 * **placement-aware**: a :class:`repro.schedule.Placement` pins block
-  ``l`` to the plan's worker slot, keeping that worker's cache hot.
+  ``l`` to the plan's worker slot, keeping that worker's cache hot;
+* **fault-tolerant** (:mod:`repro.runtime.resilience`): attaching with
+  a :class:`~repro.runtime.resilience.FaultPolicy` arms mid-solve
+  recovery.  A broken connection (peer death is immediate on TCP) or a
+  breached per-request deadline (the policy's ``deadline`` becomes the
+  socket timeout) marks the worker lost; its blocks are re-derived from
+  the placement plan onto survivors -- same co-location group first,
+  then least-loaded -- or onto a respawned replacement (owned loopback
+  workers only), the adopters re-factor them through their local caches
+  (``fault_stats().refactor_seconds``), and the lost round's solves are
+  re-dispatched.  Iterates are unaffected: a block solve is a pure
+  function of ``(block, z)`` wherever it runs.
 
 Deployment shapes:
 
@@ -29,7 +41,9 @@ Deployment shapes:
   local worker processes on ephemeral 127.0.0.1 ports and connects;
 * distributed: start ``python -m repro.runtime.sockets --port 5555`` on
   each machine, then ``SocketExecutor(addresses=[("hostA", 5555),
-  ("hostB", 5555)])`` from the driver.
+  ("hostB", 5555)])`` from the driver.  ``--crash-after N`` makes a
+  worker kill itself after ``N`` solves -- chaos-testing a real fleet's
+  recovery path from the worker side.
 
 ``close`` is idempotent and safe after a worker crash: exits are
 fire-and-forget, sockets are torn down unconditionally, and spawned
@@ -54,6 +68,7 @@ import numpy as np
 
 from repro.direct.cache import CacheStats, FactorizationCache
 from repro.runtime.api import Executor
+from repro.runtime.resilience import FaultPolicy, FaultStats, reassign_orphans
 
 __all__ = ["SocketExecutor", "serve_worker", "send_msg", "recv_msg"]
 
@@ -65,10 +80,11 @@ _REPLY_TIMEOUT = 300.0
 _CONNECT_TIMEOUT = 20.0
 
 
-def send_msg(sock: socket.socket, obj) -> None:
-    """Write one length-prefixed pickled frame."""
+def send_msg(sock: socket.socket, obj) -> int:
+    """Write one length-prefixed pickled frame; returns its payload bytes."""
     data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     sock.sendall(_HEADER.pack(len(data)) + data)
+    return len(data)
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -87,25 +103,36 @@ def recv_msg(sock: socket.socket):
     return pickle.loads(_recv_exact(sock, length))
 
 
+class _WorkerGone(RuntimeError):
+    """A worker's stream broke (peer death, reset, or deadline breach)."""
+
+    def __init__(self, rank: int, cause: BaseException):
+        super().__init__(f"socket worker {rank} died: {cause}")
+        self.rank = rank
+
+
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
 
 
-def _serve_connection(conn: socket.socket, cache: FactorizationCache) -> bool:
+def _serve_connection(
+    conn: socket.socket, cache: FactorizationCache, *, crash_after: int | None = None
+) -> bool:
     """Speak the verb protocol on one driver connection.
 
     Returns True when the driver asked the worker process to exit, False
     when the connection simply ended (the accept loop then waits for the
     next driver).  The factor cache outlives connections -- that is the
-    re-attach economy.
+    re-attach economy.  ``crash_after`` hard-exits the whole process
+    after that many solve replies (the worker-side chaos knob).
     """
     from repro.core.local import build_local_system
-    from repro.linalg.sparse import as_csr
 
     systems: dict[int, object] = {}
     use_cache = False
     cache_before: CacheStats | None = None
+    solves = 0
     while True:
         try:
             msg = recv_msg(conn)
@@ -118,29 +145,46 @@ def _serve_connection(conn: socket.socket, cache: FactorizationCache) -> bool:
         try:
             # Exception (not BaseException): a Ctrl-C on a CLI worker
             # must still kill it, not be serialized back to the driver.
-            if kind == "attach":
+            if kind in ("attach", "adopt"):
                 spec = msg[2]
-                systems = {}
-                use_cache = spec["use_cache"]
-                cache_before = cache.stats.snapshot() if use_cache else None
-                csr = as_csr(spec["A"])
-                b = spec["b"]
+                if kind == "attach":
+                    systems = {}
+                    use_cache = spec["use_cache"]
+                    cache_before = cache.stats.snapshot() if use_cache else None
+                else:
+                    use_cache = spec["use_cache"]
+                    if use_cache and cache_before is None:
+                        cache_before = cache.stats.snapshot()
+                # Only the owned band rows ever arrive -- never the full
+                # matrix (see the module docstring).
+                t0 = time.perf_counter()
                 for l in spec["owned"]:
                     systems[l] = build_local_system(
-                        csr,
-                        b,
+                        None,
+                        None,
                         spec["sets"][l],
                         l,
                         spec["solvers"][l],
                         cache=cache if use_cache else None,
+                        band=spec["bands"][l],
+                        b_sub=spec["b_subs"][l],
                     )
-                send_msg(conn, ("attached", epoch))
+                dt = time.perf_counter() - t0
+                if kind == "attach":
+                    send_msg(conn, ("attached", epoch))
+                else:
+                    send_msg(conn, ("adopted", epoch, dt))
             elif kind == "solve":
                 l, z = msg[2], msg[3]
                 t0 = time.perf_counter()
                 piece = systems[l].solve_with(z)
                 dt = time.perf_counter() - t0
                 send_msg(conn, ("done", epoch, l, np.asarray(piece, dtype=float), dt))
+                solves += 1
+                if crash_after is not None and solves >= crash_after:
+                    # Simulate a mid-run node failure: no goodbye frame,
+                    # no cleanup -- the driver sees a broken stream.
+                    os._exit(1)
             elif kind == "stats":
                 delta = (
                     cache.stats.since(cache_before)
@@ -167,13 +211,15 @@ def serve_worker(
     host: str = "127.0.0.1",
     *,
     on_bound: Callable[[int], None] | None = None,
+    crash_after: int | None = None,
 ) -> None:
     """Run one socket worker: bind, accept drivers, speak the protocol.
 
     Serves one driver connection at a time; when a driver disconnects
     the worker waits for the next one (its factor cache intact).  An
     ``exit`` verb shuts the worker down.  ``on_bound`` receives the
-    actual port (useful with ``port=0``).
+    actual port (useful with ``port=0``).  ``crash_after`` makes the
+    worker hard-exit after that many solves (chaos testing).
     """
     listener = socket.create_server((host, port))
     if on_bound is not None:
@@ -184,7 +230,7 @@ def serve_worker(
             conn, _ = listener.accept()
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             try:
-                should_exit = _serve_connection(conn, cache)
+                should_exit = _serve_connection(conn, cache, crash_after=crash_after)
             finally:
                 conn.close()
             if should_exit:
@@ -194,8 +240,14 @@ def serve_worker(
 
 
 def _local_worker_entry(port_queue) -> None:
-    """Spawn target for loopback workers (must be import-resolvable)."""
-    serve_worker(0, "127.0.0.1", on_bound=port_queue.put)
+    """Spawn target for loopback workers (must be import-resolvable).
+
+    Reports ``(port, pid)`` so the driver can map each connection back
+    to the process it owns (the fault-injection kill path needs it).
+    """
+    serve_worker(
+        0, "127.0.0.1", on_bound=lambda p: port_queue.put((p, os.getpid()))
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -220,7 +272,8 @@ class SocketExecutor(Executor):
         clamped at first attach to the binding's block count.
     reply_timeout:
         Seconds to wait on any single worker reply before declaring the
-        worker dead.
+        worker dead (a binding's :class:`FaultPolicy` ``deadline``
+        overrides this for its duration).
     start_method:
         ``multiprocessing`` start method for spawned loopback workers
         (same auto-pick rules as :class:`~repro.runtime.ProcessExecutor`).
@@ -250,13 +303,24 @@ class SocketExecutor(Executor):
         self.start_method = start_method
         self._procs: list = []
         self._socks: list[socket.socket] = []
+        self._sock_pids: list[int | None] = []
         self._io_pool: ThreadPoolExecutor | None = None
         self._owner: dict[int, int] = {}
         self._active_workers: list[int] = []
+        self._lost: set[int] = set()
         self._block_seconds: dict[int, float] = {}
         self._attached = False
         self._use_cache = False
         self._epoch = 0
+        self._policy: FaultPolicy | None = None
+        self._fault = FaultStats()
+        self._ctx: dict | None = None
+        self._placement = None
+        self._slot_of: dict[int, int] = {}
+        self._pending_pids: list[int] | None = None
+        #: Pickled payload bytes of the last attach, per worker rank --
+        #: the observable for the band-rows-only shipping guarantee.
+        self.attach_payload_bytes: dict[int, int] = {}
 
     # -- connection management -------------------------------------------
     def _context(self):
@@ -285,26 +349,32 @@ class SocketExecutor(Executor):
             )
             proc.start()
             self._procs.append(proc)
-        ports = []
+        reports = []
         deadline = time.monotonic() + _CONNECT_TIMEOUT
-        while len(ports) < count:
+        while len(reports) < count:
             timeout = max(0.1, deadline - time.monotonic())
             try:
-                ports.append(port_q.get(timeout=timeout))
+                reports.append(port_q.get(timeout=timeout))
             except Exception:
                 self.close()
                 raise RuntimeError(
                     "loopback socket workers failed to report their ports"
                 ) from None
-        return [("127.0.0.1", port) for port in sorted(ports)]
+        reports.sort()
+        self._pending_pids = [pid for _, pid in reports]
+        return [("127.0.0.1", port) for port, _ in reports]
 
-    def _connect(self, addresses) -> None:
+    def _connect(self, addresses, *, pids: list[int | None] | None = None) -> None:
+        if pids is None:
+            pids = getattr(self, "_pending_pids", None) or [None] * len(addresses)
+        self._pending_pids = None
         try:
-            for addr in addresses:
+            for addr, pid in zip(addresses, pids):
                 sock = socket.create_connection(addr, timeout=_CONNECT_TIMEOUT)
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 sock.settimeout(self.reply_timeout)
                 self._socks.append(sock)
+                self._sock_pids.append(pid)
         except OSError as exc:
             self.close()
             raise RuntimeError(f"cannot connect to socket worker {addr}: {exc}")
@@ -314,25 +384,39 @@ class SocketExecutor(Executor):
             max_workers=len(self._socks), thread_name_prefix="repro-socket-io"
         )
 
-    def _ensure_connected(self, min_workers: int = 1, useful: int | None = None) -> int:
-        """Spawn/connect the worker set; returns the worker count.
+    def _solve_timeout(self) -> float:
+        """Per-request deadline -- for *solve* replies only.
+
+        Attach/adopt refactors and stats exchanges may legitimately take
+        longer than a tight solve deadline, so they always run under the
+        long protocol ``reply_timeout``; only the hot path converts a
+        slow reply into a recoverable fault.
+        """
+        if self._policy is not None and self._policy.deadline is not None:
+            return self._policy.deadline
+        return self.reply_timeout
+
+    def _live_ranks(self) -> list[int]:
+        return [w for w in range(len(self._socks)) if w not in self._lost]
+
+    def _ensure_connected(self, min_workers: int = 1, useful: int | None = None) -> list[int]:
+        """Spawn/connect the worker set; returns the live worker ranks.
 
         ``useful`` caps the *default* owned-loopback spawn (there is no
         point paying for more worker processes than there are blocks to
-        pin on them).  A placement may schedule more worker slots than
-        are currently connected: an owned loopback set grows to fit
-        (matching how the process backend spawns to the plan); a fixed
-        ``addresses`` set cannot, and the caller's plan check raises.
+        pin on them).  Lost workers (from an earlier faulty binding) are
+        replaced for owned loopback sets; a fixed ``addresses`` set
+        cannot grow, and the caller's plan check raises.
         """
-        if not self._socks:
-            if self.addresses is not None:
-                self._connect(self.addresses)
-            else:
-                count = self.workers if useful is None else min(self.workers, useful)
-                self._connect(self._spawn_loopback(max(count, min_workers, 1)))
-        if len(self._socks) < min_workers and self.addresses is None:
-            self._connect(self._spawn_loopback(min_workers - len(self._socks)))
-        return len(self._socks)
+        if not self._socks and self.addresses is not None:
+            self._connect(self.addresses)
+        if self.addresses is None:
+            target = self.workers if useful is None else min(self.workers, useful)
+            target = max(target, min_workers, 1)
+            missing = target - len(self._live_ranks())
+            if missing > 0:
+                self._connect(self._spawn_loopback(missing))
+        return self._live_ranks()
 
     def _recv_reply(self, w: int, expected_kind: str) -> tuple:
         """Next current-epoch frame from worker ``w`` (stragglers dropped)."""
@@ -340,7 +424,7 @@ class SocketExecutor(Executor):
             try:
                 msg = recv_msg(self._socks[w])
             except (ConnectionError, OSError) as exc:
-                raise RuntimeError(f"socket worker {w} died: {exc}") from None
+                raise _WorkerGone(w, exc) from None
             if msg[1] != self._epoch:
                 continue  # straggler from an aborted binding
             if msg[0] == "error":
@@ -352,7 +436,23 @@ class SocketExecutor(Executor):
             return msg
 
     # -- binding ---------------------------------------------------------
-    def attach(self, A, b, sets, solver, *, cache=None, placement=None) -> None:
+    def _worker_spec(self, owned: list[int]) -> dict:
+        """The attach/adopt payload for one worker: owned band rows only."""
+        ctx = self._ctx
+        csr = ctx["A"]
+        b = ctx["b"]
+        return {
+            "bands": {l: csr[ctx["sets"][l], :].tocsr() for l in owned},
+            "b_subs": {l: b[ctx["sets"][l]] for l in owned},
+            "sets": {l: ctx["sets"][l] for l in owned},
+            "solvers": {l: ctx["solvers"][l] for l in owned},
+            "owned": owned,
+            "use_cache": ctx["use_cache"],
+        }
+
+    def attach(
+        self, A, b, sets, solver, *, cache=None, placement=None, fault_policy=None
+    ) -> None:
         from repro.linalg.sparse import as_csr
 
         self.detach()
@@ -369,40 +469,68 @@ class SocketExecutor(Executor):
         else:
             solvers = [solver] * L
         sets_list = [np.asarray(rows, dtype=np.int64) for rows in sets]
-        W = self._ensure_connected(
+        self._policy = fault_policy
+        self._fault = FaultStats()
+        self._placement = placement
+        live = self._ensure_connected(
             min_workers=placement.nworkers if placement is not None else 1,
             useful=L,
         )
+        if not live:
+            raise RuntimeError(
+                "no live socket workers to attach to (the whole fixed "
+                "address set was lost); recreate the executor"
+            )
+        for w in live:
+            self._socks[w].settimeout(self.reply_timeout)
         if placement is not None:
-            if placement.nworkers > W:
+            if placement.nworkers > len(live):
                 raise ValueError(
                     f"placement schedules {placement.nworkers} workers but "
-                    f"only {W} socket workers are connected (fixed address "
-                    "sets cannot grow)"
+                    f"only {len(live)} socket workers are connected (fixed "
+                    "address sets cannot grow)"
                 )
-            owner = {l: int(placement.assignment[l]) for l in range(L)}
+            # Plan slot i is served by the i-th live connection.
+            slot_rank = {i: live[i] for i in range(placement.nworkers)}
+            owner = {l: slot_rank[int(placement.assignment[l])] for l in range(L)}
+            self._slot_of = {rank: slot for slot, rank in slot_rank.items()}
         else:
-            owner = {l: l % W for l in range(L)}
+            owner = {l: live[l % len(live)] for l in range(L)}
+            self._slot_of = {}
         self._owner = owner
         self._use_cache = cache is not None
         self._epoch += 1
-        # The matrix crosses the wire once per attach -- and only to the
-        # workers that actually own a block of it, with the index sets
-        # and kernels trimmed to their owned blocks.
+        self._ctx = {
+            "A": csr,
+            "b": b,
+            "sets": sets_list,
+            "solvers": solvers,
+            "use_cache": self._use_cache,
+        }
+        # Each active worker receives only its owned band rows (and the
+        # matching b entries) -- attach traffic is ~1/W of the matrix per
+        # worker instead of W full copies.
         active = sorted({owner[l] for l in range(L)})
-        for w in active:
-            owned = [l for l in range(L) if owner[l] == w]
-            spec = {
-                "A": csr,
-                "b": b,
-                "sets": {l: sets_list[l] for l in owned},
-                "solvers": {l: solvers[l] for l in owned},
-                "owned": owned,
-                "use_cache": self._use_cache,
-            }
-            send_msg(self._socks[w], ("attach", self._epoch, spec))
-        for w in active:
-            self._recv_reply(w, "attached")
+        self.attach_payload_bytes = {}
+        try:
+            for w in active:
+                owned = [l for l in range(L) if owner[l] == w]
+                spec = self._worker_spec(owned)
+                self.attach_payload_bytes[w] = send_msg(
+                    self._socks[w], ("attach", self._epoch, spec)
+                )
+            for w in active:
+                self._recv_reply(w, "attached")
+        except _WorkerGone as exc:
+            # Mark the corpse so the *next* attach replaces it (owned
+            # loopback sets) or maps around it instead of re-sending to
+            # a broken socket forever.  Attach itself still fails fast:
+            # there is no half-bound binding to recover into.
+            self._mark_lost_at_attach(exc.rank)
+            raise
+        except OSError as exc:  # the send side of the same failure
+            self._mark_lost_at_attach(w)
+            raise RuntimeError(f"socket worker {w} died during attach: {exc}")
         self._active_workers = active
         self._block_seconds = {l: 0.0 for l in range(L)}
         self._attached = True
@@ -418,8 +546,9 @@ class SocketExecutor(Executor):
             # blocks, so a dead peer must not raise here and replace the
             # informative original failure (the broken connection will
             # surface on the next attach anyway).
-            for w in range(len(self._socks)):
+            for w in self._live_ranks():
                 try:
+                    self._socks[w].settimeout(self.reply_timeout)
                     send_msg(self._socks[w], ("detach", self._epoch))
                     self._recv_reply(w, "detached")
                 except (OSError, RuntimeError):
@@ -427,27 +556,161 @@ class SocketExecutor(Executor):
         finally:
             self._attached = False
             self._active_workers = []
+            self._ctx = None
+            self._placement = None
 
     @property
     def nblocks(self) -> int:
         return len(self._owner) if self._attached else 0
 
+    def _mark_lost_at_attach(self, rank: int) -> None:
+        self._lost.add(rank)
+        try:
+            self._socks[rank].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    # -- fault injection / recovery --------------------------------------
+    def alive_workers(self) -> list[int]:
+        """Ranks not yet declared lost.  The chaos victim pool."""
+        return self._live_ranks()
+
+    def kill_worker(self, rank: int) -> bool:
+        """Hard-kill worker ``rank``.  The chaos hook.
+
+        An owned loopback worker's process is SIGKILLed; an external
+        worker cannot be killed remotely, so its *connection* is severed
+        instead (the observable failure is identical driver-side).
+        Recovery is not triggered here -- the next solve round finds the
+        broken stream, exactly as a real mid-run crash would surface.
+        """
+        if not (0 <= rank < len(self._socks)) or rank in self._lost:
+            return False
+        pid = self._sock_pids[rank]
+        proc = next((p for p in self._procs if p.pid == pid), None) if pid else None
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(timeout=10.0)
+            return True
+        try:
+            self._socks[rank].shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._socks[rank].close()
+        return True
+
+    def fault_stats(self) -> FaultStats:
+        return self._fault.snapshot()
+
+    def _adoption_candidates(self, dead_rank: int, live: list[int]) -> list[int]:
+        """Candidate adopters, re-derived from the placement plan.
+
+        With a plan, survivors in the dead worker's co-location group are
+        preferred (the orphan's exchanges stay on the cheap local links);
+        the shared least-loaded/lowest-rank rule then picks within them.
+        """
+        if self._placement is not None:
+            plan = self._placement
+            slot_of = self._slot_of  # attach-time rank -> plan slot
+            dead_slot = slot_of.get(dead_rank)
+            if dead_slot is not None:
+                group = plan.workers[dead_slot].group
+                same = [
+                    r for r in live
+                    if slot_of.get(r) is not None
+                    and plan.workers[slot_of[r]].group == group
+                ]
+                if same:
+                    return same
+        return live
+
+    def _recover(self, failures: dict[int, list]) -> None:
+        """Mark the failed workers lost and re-home their blocks."""
+        policy = self._policy
+        for w in sorted(failures):
+            if w in self._lost:
+                continue
+            self._lost.add(w)
+            self._fault.workers_lost += 1
+            pid = self._sock_pids[w]
+            proc = next((p for p in self._procs if p.pid == pid), None) if pid else None
+            if proc is not None and proc.is_alive():
+                proc.kill()  # a deadline breach: the worker is hung, not dead
+                proc.join(timeout=10.0)
+            try:
+                self._socks[w].shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._socks[w].close()
+        if (
+            policy.max_worker_losses is not None
+            and self._fault.workers_lost > policy.max_worker_losses
+        ):
+            raise RuntimeError(
+                f"fault policy exhausted: {self._fault.workers_lost} workers "
+                f"lost (max {policy.max_worker_losses})"
+            )
+        dead_set = set(failures)
+        orphans = sorted(l for l, w in self._owner.items() if w in dead_set)
+        new_owner: dict[int, int] = {}
+        if policy.respawn and self.addresses is None:
+            first_new = len(self._socks)
+            self._connect(self._spawn_loopback(len(dead_set)))
+            replacement = dict(zip(sorted(dead_set), range(first_new, len(self._socks))))
+            self._fault.respawns += len(dead_set)
+            for l in orphans:
+                new_owner[l] = replacement[self._owner[l]]
+        else:
+            live = self._live_ranks()
+            new_owner = reassign_orphans(
+                orphans, self._owner, live,
+                candidates_for=lambda l: self._adoption_candidates(
+                    self._owner[l], live
+                ),
+            )
+        self._fault.blocks_requeued += len(orphans)
+        by_adopter: dict[int, list[int]] = {}
+        for l in orphans:
+            by_adopter.setdefault(new_owner[l], []).append(l)
+        for w, owned in sorted(by_adopter.items()):
+            # The adoption refactor may legitimately exceed a tight solve
+            # deadline: run it under the long protocol timeout.
+            self._socks[w].settimeout(self.reply_timeout)
+            send_msg(self._socks[w], ("adopt", self._epoch, self._worker_spec(owned)))
+        for w in sorted(by_adopter):
+            msg = self._recv_reply(w, "adopted")
+            self._fault.refactor_seconds += msg[2]
+        self._owner.update(new_owner)
+        self._active_workers = sorted(set(self._owner.values()))
+
     # -- solving ---------------------------------------------------------
     def _run_worker_tasks(
         self, w: int, tasks: list[tuple[int, np.ndarray]]
-    ) -> list[tuple[int, np.ndarray, float]]:
+    ) -> tuple[list[tuple[int, np.ndarray, float]], list, _WorkerGone | None]:
         """Strict send-one/recv-one pairing on worker ``w``'s stream.
 
         The pairing can never deadlock (at most one request and one
         reply in flight per stream) and keeps the per-worker solve order
-        deterministic.
+        deterministic.  Returns ``(done, undone, error)``: a broken
+        stream ends the batch early instead of raising, so the caller
+        can recover the undone tail elsewhere.  Worker-reported kernel
+        errors still raise.
         """
-        out = []
-        for l, z in tasks:
-            send_msg(self._socks[w], ("solve", self._epoch, l, np.asarray(z, float)))
-            _, _, rl, piece, dt = self._recv_reply(w, "done")
-            out.append((rl, piece, dt))
-        return out
+        done: list[tuple[int, np.ndarray, float]] = []
+        try:
+            self._socks[w].settimeout(self._solve_timeout())
+        except OSError:
+            pass  # already broken; the first send below reports it
+        for i, (l, z) in enumerate(tasks):
+            try:
+                send_msg(
+                    self._socks[w], ("solve", self._epoch, l, np.asarray(z, float))
+                )
+                _, _, rl, piece, dt = self._recv_reply(w, "done")
+            except _WorkerGone as exc:
+                return done, tasks[i:], exc
+            done.append((rl, piece, dt))
+        return done, [], None
 
     def solve_blocks(
         self, tasks: Sequence[tuple[int, np.ndarray]]
@@ -457,24 +720,40 @@ class SocketExecutor(Executor):
         blocks = [l for l, _ in tasks]
         if len(set(blocks)) != len(blocks):
             raise ValueError("duplicate block in one solve_blocks call")
-        by_worker: dict[int, list[tuple[int, np.ndarray]]] = {}
-        for l, z in tasks:
-            by_worker.setdefault(self._owner[l], []).append((l, z))
-        futures = {
-            w: self._io_pool.submit(self._run_worker_tasks, w, wtasks)
-            for w, wtasks in by_worker.items()
-        }
         pieces: dict[int, np.ndarray] = {}
-        errors = []
-        for w, fut in futures.items():
-            try:
-                for l, piece, dt in fut.result():
+        todo = list(tasks)
+        while todo:
+            by_worker: dict[int, list[tuple[int, np.ndarray]]] = {}
+            for l, z in todo:
+                by_worker.setdefault(self._owner[l], []).append((l, z))
+            futures = {
+                w: self._io_pool.submit(self._run_worker_tasks, w, wtasks)
+                for w, wtasks in by_worker.items()
+            }
+            failures: dict[int, list] = {}
+            errors: list[Exception] = []
+            for w, fut in futures.items():
+                try:
+                    done, undone, gone = fut.result()
+                except Exception as exc:  # kernel error frames raise through
+                    errors.append(exc)
+                    continue
+                for l, piece, dt in done:
                     pieces[l] = piece
                     self._block_seconds[l] += dt
-            except Exception as exc:
-                errors.append(exc)
-        if errors:
-            raise errors[0]
+                if gone is not None:
+                    failures[w] = undone
+            if errors:
+                raise errors[0]
+            if not failures:
+                break
+            if self._policy is None:
+                raise RuntimeError(
+                    f"socket workers died mid-solve: {sorted(failures)} "
+                    "(attach with a FaultPolicy to recover)"
+                )
+            self._recover(failures)
+            todo = [t for _, undone in sorted(failures.items()) for t in undone]
         return [pieces[l] for l in blocks]
 
     def map(self, fn: Callable, items: Iterable) -> list:
@@ -492,10 +771,12 @@ class SocketExecutor(Executor):
             return None
         # Only the binding's active workers hold current-epoch counters;
         # an idle worker's delta would describe some older binding.
-        for w in self._active_workers:
+        active = [w for w in self._active_workers if w not in self._lost]
+        for w in active:
+            self._socks[w].settimeout(self.reply_timeout)
             send_msg(self._socks[w], ("stats", self._epoch))
         merged = CacheStats()
-        for w in self._active_workers:
+        for w in active:
             _, _, delta = self._recv_reply(w, "stats")
             merged.merge_in(delta)
         return merged
@@ -516,8 +797,8 @@ class SocketExecutor(Executor):
         """
         self._attached = False
         owned = self.addresses is None
-        for sock in self._socks:
-            if owned:
+        for w, sock in enumerate(self._socks):
+            if owned and w not in self._lost:
                 try:
                     sock.settimeout(2.0)
                     send_msg(sock, ("exit",))
@@ -529,6 +810,7 @@ class SocketExecutor(Executor):
                 pass
             sock.close()
         self._socks = []
+        self._sock_pids = []
         if self._io_pool is not None:
             self._io_pool.shutdown(wait=True)
             self._io_pool = None
@@ -543,7 +825,10 @@ class SocketExecutor(Executor):
         self._procs = []
         self._owner = {}
         self._active_workers = []
+        self._lost = set()
         self._block_seconds = {}
+        self._ctx = None
+        self._placement = None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -554,10 +839,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--host", default="0.0.0.0", help="bind address")
     parser.add_argument("--port", type=int, default=5555, help="bind port")
+    parser.add_argument(
+        "--crash-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="chaos knob: hard-exit the worker after N solve replies, "
+        "simulating a mid-run node failure (for drills against a real "
+        "fleet's FaultPolicy recovery)",
+    )
     args = parser.parse_args(argv)
+    chaos = (
+        f" (chaos: crash after {args.crash_after} solves)"
+        if args.crash_after is not None
+        else ""
+    )
     print(f"[pid {os.getpid()}] serving multisplitting worker on "
-          f"{args.host}:{args.port}", flush=True)
-    serve_worker(args.port, args.host, on_bound=lambda p: None)
+          f"{args.host}:{args.port}{chaos}", flush=True)
+    serve_worker(
+        args.port, args.host, on_bound=lambda p: None, crash_after=args.crash_after
+    )
     return 0
 
 

@@ -53,6 +53,7 @@ def measure_worker_speeds(
     probe_size: int = 256,
     repeats: int = 5,
     solver: str = "dense",
+    outlier_factor: float = 4.0,
 ) -> list[float]:
     """Measure relative worker speeds with an identity-pinned probe.
 
@@ -60,6 +61,15 @@ def measure_worker_speeds(
     1.0 (only ratios matter to the planners).  The executor is attached
     to a throwaway probe system for the duration and detached after --
     worker pools survive, so calibrating a long-lived executor is cheap.
+
+    Robustness: each of the ``repeats`` rounds is timed *individually*
+    (per-worker deltas of ``block_seconds``), and a worker's estimate is
+    the mean of its rounds after an outlier guard -- rounds slower than
+    ``outlier_factor`` times the worker's median round are discarded.
+    One round poisoned by a transient (a cron job, a page-cache stall, a
+    CPU-frequency excursion on a loaded grid host) therefore cannot bend
+    the plan: the median is untouched by a single outlier, and the guard
+    keeps the poisoned sample out of the final average.
 
     ``solver`` names the probe kernel (default ``"dense"``: its
     ``O(probe_size^2)`` triangular sweeps give a measurable, identical
@@ -73,6 +83,8 @@ def measure_worker_speeds(
         raise ValueError("probe_size must be at least 2")
     if repeats < 1:
         raise ValueError("repeats must be positive")
+    if outlier_factor <= 1.0:
+        raise ValueError("outlier_factor must exceed 1.0")
     A, b, sets = _probe_system(nworkers, probe_size)
     plan = Placement(
         strategy="probe",
@@ -85,15 +97,23 @@ def measure_worker_speeds(
     try:
         z = np.zeros(A.shape[0])
         executor.solve_round([z] * nworkers)  # warm-up, not timed
-        before = executor.block_seconds()
+        samples: list[list[float]] = [[] for _ in range(nworkers)]
+        prev = executor.block_seconds()
         for _ in range(repeats):
             executor.solve_round([z] * nworkers)
-        after = executor.block_seconds()
+            cur = executor.block_seconds()
+            for w in range(nworkers):
+                samples[w].append(
+                    max(cur.get(w, 0.0) - prev.get(w, 0.0), 1e-9)
+                )
+            prev = cur
     finally:
         executor.detach()
-    seconds = [
-        max(after.get(w, 0.0) - before.get(w, 0.0), 1e-9) for w in range(nworkers)
-    ]
+    seconds = []
+    for rounds in samples:
+        med = float(np.median(rounds))
+        kept = [s for s in rounds if s <= outlier_factor * med]
+        seconds.append(sum(kept) / len(kept))
     raw = [1.0 / s for s in seconds]
     mean = sum(raw) / len(raw)
     return [r / mean for r in raw]

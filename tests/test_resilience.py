@@ -1,0 +1,504 @@
+"""Unit tests of the fault-tolerance subsystem (repro.runtime.resilience).
+
+The conformance suite (tests/test_runtime_conformance.py) proves all
+four backends behave identically under one injected schedule; this file
+drills into the machinery itself: direct worker kills without the chaos
+wrapper, deadline-based hung-worker recovery, respawn, loss budgets, the
+injector's determinism, the flaky/straggler kernels, the socket
+backend's band-rows-only attach payloads, and the calibrate satellite's
+outlier guard.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import make_weighting, multisplitting_iterate, uniform_bands
+from repro.core.stopping import StoppingCriterion
+from repro.direct import get_solver
+from repro.linalg.sparse import as_csr
+from repro.matrices import diagonally_dominant, rhs_for_solution
+from repro.runtime import (
+    ChaosExecutor,
+    FaultInjector,
+    FaultPolicy,
+    FaultStats,
+    FlakySolver,
+    InlineExecutor,
+    ProcessExecutor,
+    SocketExecutor,
+    StragglerSolver,
+    async_iterate,
+)
+from repro.runtime.resilience import InjectedFault
+from repro.schedule import Placement, WorkerSlot, measure_worker_speeds
+
+pytestmark = pytest.mark.filterwarnings(
+    # A SIGKILLed worker cannot close its shared-memory handles; the
+    # resource tracker's shutdown sweep reclaims them and warns.
+    "ignore:resource_tracker:UserWarning"
+)
+
+_POLICY = FaultPolicy(heartbeat_interval=0.1)
+
+
+def _problem(n=96, L=4, seed=5):
+    A = diagonally_dominant(n, dominance=1.5, bandwidth=4, seed=seed)
+    b, _ = rhs_for_solution(A, seed=seed + 1)
+    part = uniform_bands(n, L).to_general()
+    scheme = make_weighting("ownership", part)
+    return A, b, part, scheme
+
+
+def _reference(A, b, part, scheme, iters=6):
+    stopping = StoppingCriterion(tolerance=1e-300, max_iterations=iters)
+    return multisplitting_iterate(
+        A, b, part, scheme, get_solver("scipy"), stopping=stopping
+    )
+
+
+def _serve_entry(port_q, crash_after):
+    """Spawn target for external-fleet tests (module-level: picklable)."""
+    from repro.runtime.sockets import serve_worker
+
+    serve_worker(0, "127.0.0.1", on_bound=port_q.put, crash_after=crash_after)
+
+
+class TestPolicyAndStats:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(deadline=0.0)
+        with pytest.raises(ValueError):
+            FaultPolicy(heartbeat_interval=-1.0)
+        with pytest.raises(ValueError):
+            FaultPolicy(max_worker_losses=-1)
+
+    def test_stats_merge_and_snapshot(self):
+        a = FaultStats(workers_lost=1, blocks_requeued=2, refactor_seconds=0.5)
+        b = a.snapshot()
+        b.merge_in(FaultStats(workers_lost=2, replies_dropped=3))
+        assert (b.workers_lost, b.blocks_requeued, b.replies_dropped) == (3, 2, 3)
+        assert a.workers_lost == 1  # snapshot is independent
+        b.merge_in(None)  # tolerated, like CacheStats
+        assert b.workers_lost == 3
+        assert b.any_faults and not FaultStats().any_faults
+
+    def test_injector_determinism_and_guards(self):
+        inj = FaultInjector(seed=4, crash_rounds=(2,), drop_rate=0.5, max_crashes=1)
+        seq1 = [inj.events_for(r, [0, 1, 2], [0, 1, 2, 3]) for r in range(1, 8)]
+        inj.reset()
+        seq2 = [inj.events_for(r, [0, 1, 2], [0, 1, 2, 3]) for r in range(1, 8)]
+        assert seq1 == seq2
+        assert inj.crashes_injected() == 1
+        # Never schedules a crash against the last live worker.
+        inj2 = FaultInjector(seed=0, crash_rounds=(1,))
+        assert inj2.events_for(1, [0], [0, 1]) == []
+        with pytest.raises(ValueError):
+            FaultInjector(crash_rate=1.5)
+
+
+class TestProcessRecovery:
+    """Direct kills against ProcessExecutor, no chaos wrapper involved."""
+
+    def test_requeue_after_direct_kill(self):
+        A, b, part, scheme = _problem()
+        ref = _reference(A, b, part, scheme)
+        ex = ProcessExecutor(max_workers=2)
+        try:
+            ex.attach(A, b, part.sets, get_solver("scipy"), fault_policy=_POLICY)
+            z = np.zeros(b.shape)
+            first = ex.solve_round([z] * part.nprocs)
+            assert ex.kill_worker(0)
+            second = ex.solve_round([z] * part.nprocs)  # recovers mid-call
+            for x, y in zip(first, second):
+                np.testing.assert_array_equal(x, y)
+            fault = ex.fault_stats()
+            assert fault.workers_lost == 1
+            assert fault.blocks_requeued == 2
+            assert fault.refactor_seconds > 0.0
+            assert ex.alive_workers() == [1]
+        finally:
+            ex.close()
+        # The executor-driven run still matches the serial reference.
+        ex2 = ProcessExecutor(max_workers=2)
+        try:
+            res = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"),
+                stopping=StoppingCriterion(tolerance=1e-300, max_iterations=6),
+                executor=ex2, fault_policy=_POLICY,
+            )
+            np.testing.assert_array_equal(res.x, ref.x)
+        finally:
+            ex2.close()
+
+    def test_dead_worker_without_policy_still_raises(self):
+        A, b, part, _ = _problem()
+        ex = ProcessExecutor(max_workers=2)
+        try:
+            ex.attach(A, b, part.sets, get_solver("scipy"))
+            ex.kill_worker(0)
+            with pytest.raises(RuntimeError, match="died"):
+                ex.solve_round([np.zeros(b.shape)] * part.nprocs)
+        finally:
+            ex.close()
+
+    def test_reattach_revives_dead_ranks(self):
+        """A fresh attach replaces corpses left by an earlier binding."""
+        A, b, part, _ = _problem()
+        ex = ProcessExecutor(max_workers=2)
+        try:
+            ex.attach(A, b, part.sets, get_solver("scipy"), fault_policy=_POLICY)
+            ex.kill_worker(1)
+            ex.detach()
+            ex.attach(A, b, part.sets, get_solver("scipy"))
+            pieces = ex.solve_round([np.zeros(b.shape)] * part.nprocs)
+            assert len(pieces) == part.nprocs
+        finally:
+            ex.close()
+
+    def test_max_worker_losses_budget(self):
+        A, b, part, _ = _problem()
+        ex = ProcessExecutor(max_workers=2)
+        try:
+            ex.attach(
+                A, b, part.sets, get_solver("scipy"),
+                fault_policy=FaultPolicy(
+                    heartbeat_interval=0.1, max_worker_losses=0
+                ),
+            )
+            ex.kill_worker(0)
+            with pytest.raises(RuntimeError, match="fault policy exhausted"):
+                ex.solve_round([np.zeros(b.shape)] * part.nprocs)
+        finally:
+            ex.close()
+
+    def test_deadline_reaps_hung_worker(self):
+        """A live-but-stalled worker breaches the deadline and is
+        replaced; the round still completes with correct values."""
+        A, b, part, scheme = _problem()
+        ref = _reference(A, b, part, scheme, iters=2)
+        # Only block 0's kernel straggles, and only on its second solve
+        # (i.e. round 2 on its original owner): one worker hangs 30 s
+        # mid-round while the other finishes normally.
+        kernels = [
+            StragglerSolver(get_solver("scipy"), seconds=30.0, slow_calls=(2,)),
+            get_solver("scipy"),
+            get_solver("scipy"),
+            get_solver("scipy"),
+        ]
+        ex = ProcessExecutor(max_workers=2)
+        try:
+            t0 = time.monotonic()
+            res = multisplitting_iterate(
+                A, b, part, scheme, kernels,
+                stopping=StoppingCriterion(tolerance=1e-300, max_iterations=2),
+                executor=ex,
+                fault_policy=FaultPolicy(heartbeat_interval=0.1, deadline=1.0),
+            )
+            elapsed = time.monotonic() - t0
+            np.testing.assert_array_equal(res.x, ref.x)
+            assert res.fault_stats.workers_lost >= 1
+            assert elapsed < 25.0  # nowhere near the 30 s stall
+        finally:
+            ex.close()
+
+
+class TestSocketRecovery:
+    def test_requeue_after_direct_kill(self):
+        A, b, part, scheme = _problem()
+        ex = SocketExecutor(workers=2)
+        try:
+            ex.attach(A, b, part.sets, get_solver("scipy"), fault_policy=_POLICY)
+            z = np.zeros(b.shape)
+            first = ex.solve_round([z] * part.nprocs)
+            assert ex.kill_worker(1)
+            second = ex.solve_round([z] * part.nprocs)
+            for x, y in zip(first, second):
+                np.testing.assert_array_equal(x, y)
+            fault = ex.fault_stats()
+            assert fault.workers_lost == 1
+            assert fault.blocks_requeued == 2
+            assert ex.alive_workers() == [0]
+        finally:
+            ex.close()
+
+    def test_dead_worker_without_policy_still_raises(self):
+        A, b, part, _ = _problem()
+        ex = SocketExecutor(workers=2)
+        try:
+            ex.attach(A, b, part.sets, get_solver("scipy"))
+            ex.kill_worker(0)
+            with pytest.raises(RuntimeError, match="died"):
+                ex.solve_round([np.zeros(b.shape)] * part.nprocs)
+        finally:
+            ex.close()
+
+    def test_group_aware_requeue_with_placement(self):
+        """Orphans re-derive their home from the plan: a same-site
+        survivor is preferred over a less-loaded remote one."""
+        A, b, part, scheme = _problem()
+        plan = Placement(
+            strategy="test",
+            n=96,
+            workers=(
+                WorkerSlot(name="a0", group="siteA"),
+                WorkerSlot(name="a1", group="siteA"),
+                WorkerSlot(name="b0", group="siteB"),
+            ),
+            sizes=(24, 24, 24, 24),
+            assignment=(0, 1, 2, 1),
+        )
+        ex = SocketExecutor(workers=3)
+        try:
+            ex.attach(
+                A, b, part.sets, get_solver("scipy"),
+                placement=plan, fault_policy=_POLICY,
+            )
+            z = np.zeros(b.shape)
+            ex.solve_round([z] * part.nprocs)
+            assert ex.kill_worker(0)  # siteA worker with block 0
+            ex.solve_round([z] * part.nprocs)
+            # Block 0 must land on the other siteA worker (rank 1, two
+            # blocks already) rather than on siteB's *less loaded* rank
+            # 2 -- co-location beats load in the re-derived assignment.
+            assert ex._owner[0] == 1
+        finally:
+            ex.close()
+
+    def test_external_fleet_crash_after_recovers(self):
+        """A real remote-style fleet: one worker self-destructs after N
+        solves (the --crash-after chaos knob) and the driver requeues
+        onto the surviving external worker."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context()
+        port_q = ctx.Queue()
+        flaky = ctx.Process(
+            target=_serve_entry, args=(port_q, 3), daemon=True
+        )
+        solid = ctx.Process(
+            target=_serve_entry, args=(port_q, None), daemon=True
+        )
+        flaky.start()
+        solid.start()
+        try:
+            ports = sorted([port_q.get(timeout=20.0), port_q.get(timeout=20.0)])
+            A, b, part, scheme = _problem()
+            ref = _reference(A, b, part, scheme)
+            ex = SocketExecutor(addresses=[("127.0.0.1", p) for p in ports])
+            try:
+                res = multisplitting_iterate(
+                    A, b, part, scheme, get_solver("scipy"),
+                    stopping=StoppingCriterion(tolerance=1e-300, max_iterations=6),
+                    executor=ex, fault_policy=_POLICY,
+                )
+                np.testing.assert_array_equal(res.x, ref.x)
+                assert res.fault_stats.workers_lost == 1
+                assert res.fault_stats.blocks_requeued == 2
+            finally:
+                ex.close()
+        finally:
+            for proc in (flaky, solid):
+                proc.kill()
+                proc.join(timeout=10.0)
+
+
+class TestBandRowShipping:
+    """Satellite: attach ships only each worker's owned band rows."""
+
+    def test_attach_payload_shrinks_w_fold(self):
+        n, L = 600, 4
+        A = diagonally_dominant(n, dominance=1.5, bandwidth=8, seed=3)
+        b, _ = rhs_for_solution(A, seed=4)
+        part = uniform_bands(n, L).to_general()
+        full_bytes = len(pickle.dumps(as_csr(A), protocol=pickle.HIGHEST_PROTOCOL))
+        ex = SocketExecutor(workers=L)
+        try:
+            ex.attach(A, b, part.sets, get_solver("scipy"))
+            payloads = ex.attach_payload_bytes
+            assert sorted(payloads) == list(range(L))
+            total = sum(payloads.values())
+            # The old scheme shipped the full matrix to every worker
+            # (W * full_bytes); band rows bring the total down to about
+            # one matrix worth across ALL workers.
+            assert total < 1.5 * full_bytes
+            assert max(payloads.values()) < 0.6 * full_bytes
+            # And the solves are still correct.
+            scheme = make_weighting("ownership", part)
+            stopping = StoppingCriterion(tolerance=1e-300, max_iterations=4)
+            res = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"),
+                stopping=stopping, executor=ex,
+            )
+            ref = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"), stopping=stopping
+            )
+            np.testing.assert_array_equal(res.x, ref.x)
+        finally:
+            ex.close()
+
+    def test_band_built_system_matches_full_build(self):
+        from repro.core.local import build_local_system
+
+        A, b, part, _ = _problem()
+        csr = as_csr(A)
+        rows = part.sets[1]
+        ref = build_local_system(csr, b, rows, 1, get_solver("scipy"))
+        alt = build_local_system(
+            None, None, rows, 1, get_solver("scipy"),
+            band=csr[rows, :], b_sub=b[rows],
+        )
+        z = np.linspace(0.0, 1.0, csr.shape[0])
+        np.testing.assert_array_equal(ref.solve_with(z), alt.solve_with(z))
+        np.testing.assert_array_equal(ref.b_sub, alt.b_sub)
+        assert (ref.dep != alt.dep).nnz == 0
+
+
+class TestAsyncRespawn:
+    def test_flaky_kernel_thread_respawn(self):
+        A, b, part, scheme = _problem()
+        flaky = FlakySolver(get_solver("scipy"), fail_solves=(4, 7))
+        res = async_iterate(
+            A, b, part, scheme, flaky,
+            stopping=StoppingCriterion(tolerance=1e-10, max_iterations=500),
+            fault_policy=FaultPolicy(),
+        )
+        assert res.converged
+        assert flaky.failures == 2
+        assert res.fault_stats.workers_lost == 2
+        assert res.fault_stats.respawns == 2
+
+    def test_without_policy_kernel_failure_raises(self):
+        A, b, part, scheme = _problem()
+        flaky = FlakySolver(get_solver("scipy"), fail_solves=(2,))
+        with pytest.raises(InjectedFault):
+            async_iterate(
+                A, b, part, scheme, flaky,
+                stopping=StoppingCriterion(tolerance=1e-10, max_iterations=200),
+            )
+
+    def test_loss_budget_respected(self):
+        A, b, part, scheme = _problem()
+        flaky = FlakySolver(get_solver("scipy"), fail_solves=(2, 3), max_failures=2)
+        with pytest.raises(InjectedFault):
+            async_iterate(
+                A, b, part, scheme, flaky,
+                stopping=StoppingCriterion(tolerance=1e-10, max_iterations=200),
+                fault_policy=FaultPolicy(max_worker_losses=1),
+            )
+
+    def test_permanent_fault_aborts_instead_of_spinning(self):
+        """A block that fails EVERY solve is a permanent fault: the
+        supervisor must surface the error promptly, not respawn into
+        the same wall forever."""
+        A, b, part, scheme = _problem()
+        always = FlakySolver(get_solver("scipy"), fail_rate=1.0, seed=0)
+        t0 = time.monotonic()
+        with pytest.raises(InjectedFault):
+            async_iterate(
+                A, b, part, scheme, always,
+                stopping=StoppingCriterion(tolerance=1e-10, max_iterations=10_000),
+                fault_policy=FaultPolicy(),  # unlimited loss budget
+            )
+        assert time.monotonic() - t0 < 30.0
+
+
+class _ScriptedExecutor(InlineExecutor):
+    """Inline executor whose per-round block timings follow a script.
+
+    ``script[r][w]`` is the seconds worker ``w`` "spent" in round ``r``
+    (warm-up round 0 included); ``block_seconds`` reports the scripted
+    cumulative sums, letting calibration tests plant exact timings.
+    """
+
+    def __init__(self, script):
+        super().__init__()
+        self._script = script
+        self._rounds = 0
+        self._scripted = {}
+
+    def attach(self, *args, **kwargs):
+        super().attach(*args, **kwargs)
+        self._rounds = 0
+        self._scripted = {w: 0.0 for w in range(len(self._script[0]))}
+
+    def solve_blocks(self, tasks):
+        out = super().solve_blocks(tasks)
+        row = self._script[min(self._rounds, len(self._script) - 1)]
+        for w, dt in enumerate(row):
+            self._scripted[w] += dt
+        self._rounds += 1
+        return out
+
+    def block_seconds(self):
+        return dict(self._scripted)
+
+
+class TestCalibrationOutlierGuard:
+    """Satellite: median-of-rounds timing shrugs off one poisoned round."""
+
+    def test_one_poisoned_round_leaves_plan_unchanged(self):
+        clean_row = [0.10, 0.20]  # worker 1 is half as fast, always
+        script_clean = [clean_row] * 6
+        # Round 3 poisons worker 0 with a 50x transient stall.
+        script_poisoned = [list(clean_row) for _ in range(6)]
+        script_poisoned[3] = [5.0, 0.20]
+
+        speeds_clean = measure_worker_speeds(
+            _ScriptedExecutor(script_clean), 2, repeats=5, probe_size=8
+        )
+        speeds_poisoned = measure_worker_speeds(
+            _ScriptedExecutor(script_poisoned), 2, repeats=5, probe_size=8
+        )
+        assert speeds_clean == pytest.approx(speeds_poisoned, rel=1e-9)
+        assert speeds_clean[0] == pytest.approx(2 * speeds_clean[1], rel=1e-9)
+
+        from repro.schedule import cost_model_placement
+
+        plan_clean = cost_model_placement(1000, speeds_clean)
+        plan_poisoned = cost_model_placement(1000, speeds_poisoned)
+        assert plan_clean.sizes == plan_poisoned.sizes
+
+    def test_naive_mean_would_have_been_fooled(self):
+        """The guard is doing real work: without it (simulated by a
+        plain mean over rounds) the poisoned round flips the ranking."""
+        rounds_w0 = [0.10, 0.10, 0.10, 5.0, 0.10]
+        rounds_w1 = [0.20] * 5
+        naive0 = sum(rounds_w0) / len(rounds_w0)
+        naive1 = sum(rounds_w1) / len(rounds_w1)
+        assert naive0 > naive1  # the mean says w0 is SLOWER -- wrong
+
+    def test_outlier_factor_validation(self):
+        with pytest.raises(ValueError):
+            measure_worker_speeds(InlineExecutor(), 1, outlier_factor=1.0)
+
+
+class TestChaosWrapperContract:
+    """ChaosExecutor honours the full Executor contract."""
+
+    def test_lifecycle_and_passthrough(self):
+        A, b, part, _ = _problem()
+        inner = InlineExecutor()
+        chaos = ChaosExecutor(inner, FaultInjector(seed=0))
+        chaos.attach(A, b, part.sets, get_solver("scipy"))
+        assert chaos.nblocks == part.nprocs
+        z = np.ones(b.shape)
+        full = chaos.solve_round([z] * part.nprocs)
+        some = chaos.solve_blocks([(2, z)])
+        np.testing.assert_array_equal(some[0], full[2])
+        assert set(chaos.block_seconds()) == set(range(part.nprocs))
+        chaos.detach()
+        assert chaos.nblocks == 0
+        chaos.close()
+
+    def test_close_closes_inner(self):
+        inner = InlineExecutor()
+        A, b, part, _ = _problem()
+        chaos = ChaosExecutor(inner, FaultInjector(seed=0))
+        chaos.attach(A, b, part.sets, get_solver("scipy"))
+        chaos.close()
+        assert inner.nblocks == 0

@@ -25,12 +25,24 @@ import time
 import numpy as np
 import pytest
 
-from repro.core import make_weighting, multisplitting_iterate, uniform_bands
+from repro.core import (
+    chaotic_iterate,
+    make_weighting,
+    multisplitting_iterate,
+    uniform_bands,
+)
 from repro.core.stopping import StoppingCriterion
 from repro.direct import get_solver
 from repro.direct.cache import FactorizationCache
 from repro.matrices import diagonally_dominant, rhs_for_solution
-from repro.runtime import ProcessExecutor, SocketExecutor, get_executor
+from repro.runtime import (
+    ChaosExecutor,
+    FaultInjector,
+    FaultPolicy,
+    ProcessExecutor,
+    SocketExecutor,
+    get_executor,
+)
 from repro.schedule import Placement, WorkerSlot
 
 BACKENDS = ("inline", "threads", "processes", "sockets")
@@ -245,7 +257,7 @@ class TestCrashSafety:
         proc = ctx.Process(target=_local_worker_entry, args=(port_q,), daemon=True)
         proc.start()
         try:
-            port = port_q.get(timeout=20.0)
+            port, _pid = port_q.get(timeout=20.0)
             A, b, part, _ = _problem(n=96, L=2)
             for _ in range(2):  # two successive drivers against one fleet
                 ex = SocketExecutor(addresses=[("127.0.0.1", port)])
@@ -273,3 +285,147 @@ class TestCrashSafety:
             assert len(pieces) == part2.nprocs
         finally:
             ex.close()
+
+
+#: Recovery settings used by the fault-conformance suite: a tight
+#: heartbeat keeps corpse detection (and therefore the tests) fast.
+_POLICY = FaultPolicy(heartbeat_interval=0.1)
+
+
+class TestFaultConformance:
+    """One fault schedule, four backends, identical observable outcomes.
+
+    The :class:`ChaosExecutor` kills a worker mid-solve (really, for the
+    process/socket backends; emulated at the contract boundary for the
+    in-process ones), and every backend must (a) complete the run
+    through its recovery path, (b) keep synchronous iterates
+    bit-identical to the fault-free inline baseline, and (c) report the
+    exact counters the injected schedule implies: one worker lost, and
+    -- with 4 blocks round-robined over 2 workers -- exactly 2 blocks
+    requeued, on every backend.
+    """
+
+    def _chaos(self, backend, injector, **chaos_kwargs):
+        inner = _make_executor(backend)
+        return inner, ChaosExecutor(inner, injector, **chaos_kwargs)
+
+    def test_sync_bit_identical_under_worker_crash(self, backend):
+        A, b, part, scheme = _problem()
+        stopping = StoppingCriterion(tolerance=1e-300, max_iterations=8)
+        ref = multisplitting_iterate(
+            A, b, part, scheme, get_solver("scipy"), stopping=stopping
+        )
+        injector = FaultInjector(seed=3, crash_rounds=(2,), drop_rounds=(5,))
+        inner, chaos = self._chaos(backend, injector)
+        try:
+            res = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"),
+                stopping=stopping, executor=chaos, fault_policy=_POLICY,
+            )
+        finally:
+            inner.close()
+        assert res.history == ref.history
+        np.testing.assert_array_equal(res.x, ref.x)
+        assert res.backend == f"chaos:{backend}"
+        fault = res.fault_stats
+        assert fault.workers_lost == 1
+        assert fault.blocks_requeued == 2  # 4 blocks over 2 workers
+        assert fault.replies_dropped == 1
+        crashes = [ev for ev in injector.log if ev.kind == "crash"]
+        assert len(crashes) == 1 and crashes[0].round == 2
+
+    def test_counters_replay_deterministically(self, backend):
+        """Same seed => same fault schedule => same counters."""
+        A, b, part, scheme = _problem()
+        stopping = StoppingCriterion(tolerance=1e-300, max_iterations=8)
+
+        def run(seed):
+            injector = FaultInjector(
+                seed=seed, crash_rounds=(3,), drop_rate=0.3, delay_rate=0.2,
+                delay_seconds=0.001,
+            )
+            inner, chaos = self._chaos(backend, injector)
+            try:
+                res = multisplitting_iterate(
+                    A, b, part, scheme, get_solver("scipy"),
+                    stopping=stopping, executor=chaos, fault_policy=_POLICY,
+                )
+            finally:
+                inner.close()
+            f = res.fault_stats
+            schedule = [(ev.kind, ev.round, ev.worker, ev.block)
+                        for ev in injector.log]
+            return (
+                f.workers_lost, f.blocks_requeued, f.replies_dropped,
+                f.delays_injected, schedule, res.x,
+            )
+
+        first = run(11)
+        second = run(11)
+        assert first[:5] == second[:5]
+        np.testing.assert_array_equal(first[5], second[5])
+
+    def test_respawn_under_worker_crash(self, backend):
+        """respawn=True replaces the corpse instead of packing survivors."""
+        A, b, part, scheme = _problem()
+        stopping = StoppingCriterion(tolerance=1e-300, max_iterations=8)
+        ref = multisplitting_iterate(
+            A, b, part, scheme, get_solver("scipy"), stopping=stopping
+        )
+        policy = FaultPolicy(heartbeat_interval=0.1, respawn=True)
+        inner, chaos = self._chaos(backend, FaultInjector(seed=7, crash_rounds=(3,)))
+        try:
+            res = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"),
+                stopping=stopping, executor=chaos, fault_policy=policy,
+            )
+        finally:
+            inner.close()
+        np.testing.assert_array_equal(res.x, ref.x)
+        assert res.fault_stats.workers_lost == 1
+        assert res.fault_stats.respawns == 1
+
+    def test_chaotic_async_true_residual_under_faults(self, backend):
+        """The async-emulating driver's stop stays sound under faults:
+        a reported convergence is verified against the true residual."""
+        A, b, part, scheme = _problem()
+        tol = 1e-8
+        injector = FaultInjector(seed=5, crash_rounds=(4,), drop_rounds=(7,))
+        inner, chaos = self._chaos(backend, injector)
+        try:
+            res = chaotic_iterate(
+                A, b, part, scheme, get_solver("scipy"),
+                stopping=StoppingCriterion(
+                    tolerance=tol, consecutive=3, max_iterations=2_000
+                ),
+                executor=chaos, fault_policy=_POLICY, seed=1,
+            )
+        finally:
+            inner.close()
+        assert res.converged
+        assert res.fault_stats.workers_lost == 1
+        row_sums = np.abs(A).sum(axis=1)
+        norm_A = float(np.max(np.asarray(row_sums)))
+        assert res.residual <= tol * max(1.0, norm_A)
+
+    def test_cache_counters_survive_recovery(self, backend):
+        """Factor accounting stays coherent when a worker is lost: the
+        adopters' refactors are honest misses, never silent work."""
+        A, b, part, scheme = _problem()
+        cache = FactorizationCache()
+        stopping = StoppingCriterion(tolerance=1e-300, max_iterations=8)
+        inner, chaos = self._chaos(backend, FaultInjector(seed=9, crash_rounds=(2,)))
+        try:
+            res = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"),
+                stopping=stopping, cache=cache, executor=chaos,
+                fault_policy=_POLICY,
+            )
+        finally:
+            inner.close()
+        stats = res.cache_stats
+        assert stats is not None
+        # Every block was factored at least once; the crash may add
+        # refactors (worker-local caches die with their worker) but can
+        # never lose factorizations.
+        assert stats.misses >= part.nprocs or stats.hits > 0

@@ -361,3 +361,90 @@ class TestCostModelHelpers:
     def test_cost_model_placement_validation(self):
         with pytest.raises(ValueError, match="workers"):
             cost_model_placement(100, [1.0, 1.0], workers=(WorkerSlot(name="x"),))
+
+
+# ---------------------------------------------------------------------------
+# hypothesis properties: invariants every plan must satisfy, however built
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_SITES = ("siteA", "siteB", "siteC")
+
+
+@st.composite
+def _plans(draw):
+    """Arbitrary valid plans from the public builders."""
+    nworkers = draw(st.integers(1, 6))
+    n = draw(st.integers(nworkers * 2, 400))
+    speeds = [
+        float(draw(st.floats(0.25, 8.0, allow_nan=False))) for _ in range(nworkers)
+    ]
+    groups = [draw(st.sampled_from(_SITES)) for _ in range(nworkers)]
+    workers = tuple(
+        WorkerSlot(name=f"w{i:02d}", speed=speeds[i], group=groups[i])
+        for i in range(nworkers)
+    )
+    builder = draw(st.sampled_from(("uniform", "proportional", "cost_model")))
+    if builder == "uniform":
+        return uniform_placement(n, nworkers, workers=workers)
+    if builder == "proportional":
+        return proportional_placement(n, speeds, workers=workers)
+    return cost_model_placement(n, speeds, workers=workers)
+
+
+class TestPlacementProperties:
+    """Satellite: plan invariants as hypothesis properties."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(plan=_plans())
+    def test_band_sizes_cover_n_exactly(self, plan):
+        assert sum(plan.sizes) == plan.n
+        assert all(s >= 1 for s in plan.sizes)
+        part = plan.partition()
+        assert part.n == plan.n
+        assert [stop - start for start, stop in part.bounds] == list(plan.sizes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(plan=_plans())
+    def test_every_block_has_exactly_one_worker(self, plan):
+        assert len(plan.assignment) == plan.nblocks
+        for l in range(plan.nblocks):
+            w = plan.assignment[l]
+            assert 0 <= w < plan.nworkers
+            assert plan.worker_of(l) is plan.workers[w]
+
+    @settings(max_examples=60, deadline=None)
+    @given(plan=_plans())
+    def test_colocation_groups_partition_the_workers(self, plan):
+        groups = plan.colocation_groups()
+        seen: list[int] = []
+        for members in groups.values():
+            seen.extend(members)
+        # Disjoint and complete: every worker in exactly one group.
+        assert sorted(seen) == list(range(plan.nworkers))
+        for name, members in groups.items():
+            assert all(plan.workers[i].group == name for i in members)
+
+    @settings(max_examples=40, deadline=None)
+    @given(plan=_plans())
+    def test_summary_round_trips_the_plan(self, plan):
+        s = plan.summary()
+        assert s["sizes"] == list(plan.sizes)
+        assert s["assignment"] == list(plan.assignment)
+        assert [w["name"] for w in s["workers"]] == [w.name for w in plan.workers]
+
+    @settings(max_examples=30, deadline=None)
+    @given(nprocs=st.integers(1, 10), n=st.integers(40, 400))
+    def test_placement_for_round_trips_cluster_hosts(self, nprocs, n):
+        """A plan built FROM a cluster maps every rank back onto the
+        host its worker slot names -- the simulator charges the band
+        exactly where the plan put it."""
+        cluster = cluster3(10)
+        plan = cluster_placement(cluster, nprocs, n=n, strategy="proportional")
+        hosts = placement_for(cluster, plan.nblocks, plan=plan)
+        assert len(hosts) == plan.nblocks
+        for l, host in enumerate(hosts):
+            assert host.name == plan.worker_of(l).name
+            assert host.site == plan.worker_of(l).group
