@@ -1,0 +1,131 @@
+"""Pattern-aware vs pattern-blind calibrated placement on a hub matrix.
+
+The scenario the band formula cannot see: a *hub* block whose rows read
+strided columns across the whole matrix (a coarse-grid coupling, a set
+of dense constraint rows -- any long-range structure), deployed on a
+two-site grid whose second site is one slow machine behind the shared
+WAN link ("handicapped worker set").  Every block exchanges pieces with
+the hub each outer iteration, so wherever the hub lives, its fan-in and
+fan-out cross that host's links.
+
+Both plans come from the same builder
+(:func:`repro.schedule.partition_placement`, strategy ``"calibrated"``)
+over the same fixed uniform band partition, and differ only in what the
+cost model can see:
+
+* **pattern-blind** (no matrix): compute terms only -- with equal block
+  sizes the matching degenerates to identity and the hub block is
+  parked on the WAN-isolated machine, dragging ``2 (L-1)`` piece
+  exchanges through the shared 2.5 MB/s link every iteration;
+* **pattern-aware** (``A=`` given): the matcher prices the hub's
+  exchanges from :func:`repro.schedule.message_bytes_matrix` over the
+  actual routes, keeps the hub (and its partners) on the big site, and
+  exiles a two-edge leaf block instead.
+
+Batched right-hand sides (``k = 8``) make message *volume* dominate the
+WAN, which is where the shared link serialises -- the regime the paper's
+Table 4 perturbs.  The run is fully simulated (deterministic), both
+plans execute identical numerics (same partition, same weighting --
+iterates are bit-identical), and only the simulated wall-clock differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from conftest import run_once
+
+from repro.core import make_weighting, run_synchronous
+from repro.core.partition import uniform_bands
+from repro.core.stopping import StoppingCriterion
+from repro.direct import get_solver
+from repro.grid.topology import custom_cluster
+from repro.matrices import rhs_for_solution
+from repro.schedule import partition_placement
+
+L = 5
+N = 2000
+K = 8  # batch width: volume-dominant WAN traffic
+OUTER_ITERATIONS = 24
+HUB = L - 1  # the block identity assignment parks behind the WAN
+FAST, SLOW = 2e8, 1e8
+
+
+def hub_system(n: int, nblocks: int, hub_block: int) -> sp.csr_matrix:
+    """Tridiagonal base + hub-block rows coupling to strided columns."""
+    main = np.full(n, 4.0)
+    off = np.full(n - 1, -1.0)
+    A = sp.lil_matrix(sp.diags([off, main, off], offsets=(-1, 0, 1)))
+    lo, hi = hub_block * n // nblocks, (hub_block + 1) * n // nblocks
+    stride = max(1, n // 60)
+    cols = [c for c in range(0, n, stride) if not (lo <= c < hi)]
+    rows = list(range(lo, hi, 4))
+    for r in rows:
+        for c in cols:
+            A[r, c] = -0.01
+            A[c, r] = -0.01
+        A[r, r] += 0.02 * len(cols)
+    for c in cols:
+        A[c, c] += 0.02 * len(rows)  # keep the hub columns dominant too
+    return A.tocsr()
+
+
+def placement_experiment():
+    A = hub_system(N, L, HUB)
+    b, _ = rhs_for_solution(A, seed=1)
+    B = np.column_stack([b * (j + 1) for j in range(K)])
+    cluster = custom_cluster(
+        "hub-bench", {"siteA": [FAST] * (L - 1), "siteB": [SLOW]}
+    )
+    part = uniform_bands(N, L).to_general()
+    scheme = make_weighting("ownership", part)
+    stopping = StoppingCriterion(tolerance=1e-300, max_iterations=OUTER_ITERATIONS)
+    plans = {
+        "blind": partition_placement(cluster, part, strategy="calibrated", k=K),
+        "aware": partition_placement(
+            cluster, part, strategy="calibrated", A=A, k=K
+        ),
+    }
+    rows = {}
+    for name, plan in plans.items():
+        res = run_synchronous(
+            A, B, part, scheme, get_solver("scipy"), cluster,
+            placement=plan, stopping=stopping,
+        )
+        rows[name] = {
+            "simulated": res.simulated_time,
+            "assignment": plan.assignment,
+            "x": res.x,
+            "iterations": res.iterations,
+        }
+    return rows
+
+
+def test_pattern_aware_plan_beats_pattern_blind(benchmark):
+    rows = run_once(benchmark, placement_experiment)
+    print()
+    print(f"n={N}, k={K}, L={L}, hub block={HUB}, "
+          f"{OUTER_ITERATIONS} outer iterations, siteB = 1 slow WAN host")
+    for name, row in rows.items():
+        print(
+            f"  {name:6s}: simulated {row['simulated']:7.3f} s  "
+            f"assignment={list(row['assignment'])}"
+        )
+    speedup = rows["blind"]["simulated"] / rows["aware"]["simulated"]
+    print(f"pattern-aware vs pattern-blind simulated speedup: {speedup:.2f}x")
+
+    # Same partition, same weighting: the plans move work, never values.
+    assert rows["blind"]["iterations"] == rows["aware"]["iterations"]
+    np.testing.assert_array_equal(rows["blind"]["x"], rows["aware"]["x"])
+    # The blind matching (equal sizes, no pattern) parks the hub on the
+    # WAN host; the aware matching must move it onto the big site.
+    wan_host = L - 1
+    assert rows["blind"]["assignment"][HUB] == wan_host
+    assert rows["aware"]["assignment"][HUB] != wan_host
+    # The architectural win: ~half the WAN volume per round.  Observed
+    # ~1.8x; assert a conservative slice (the simulator is deterministic).
+    assert speedup >= 1.3, (
+        f"pattern-aware calibrated placement should beat the pattern-blind "
+        f"plan by >= 1.3x on the hub/WAN scenario, got {speedup:.2f}x"
+    )

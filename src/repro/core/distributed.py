@@ -213,15 +213,34 @@ class CommPattern:
     recv_terms: list[dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]]]
 
 
-def communication_pattern(partition, weighting, systems: list[LocalSystem]) -> CommPattern:
-    """Derive who-sends-to-whom and the per-message update terms."""
+def communication_pattern(
+    partition, weighting, systems: list[LocalSystem] | None = None, *, A=None
+) -> CommPattern:
+    """Derive who-sends-to-whom and the per-message update terms.
+
+    The dependency structure may come from the built per-rank systems
+    (``systems``, the drivers' path -- the coupling blocks already
+    exist) or directly from the matrix pattern (``A``, the scheduler's
+    path -- nothing is sliced or factored; see
+    :meth:`~repro.core.partition.GeneralPartition.boundary_columns`).
+    Both derivations yield the same graph, which is what makes the
+    pattern-aware message cost model in :mod:`repro.schedule.pattern`
+    price exactly the exchanges the drivers later perform.
+    """
+    if (systems is None) == (A is None):
+        raise ValueError("pass exactly one of systems= or A=")
     L = partition.nprocs
+    all_needed = (
+        [np.unique(systems[l].dep.indices) for l in range(L)]
+        if systems is not None
+        else partition.boundary_columns(A)
+    )
     needed_cols: list[np.ndarray] = []
     recv_terms: list[dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]]] = []
     deps: list[list[int]] = []
     dependents: list[list[int]] = [[] for _ in range(L)]
     for l in range(L):
-        needed = np.unique(systems[l].dep.indices)
+        needed = all_needed[l]
         needed_cols.append(needed)
         terms: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         my_deps: list[int] = []

@@ -96,6 +96,34 @@ class GeneralPartition:
             m[J] += 1
         return m
 
+    def to_general(self) -> "GeneralPartition":
+        """Already the index-set representation (mirror of
+        :meth:`BandPartition.to_general`, so callers can lower either
+        kind without an isinstance check)."""
+        return self
+
+    def boundary_columns(self, A) -> list[np.ndarray]:
+        """Per-processor sorted columns read *outside* ``J_l``.
+
+        Exactly the non-zero columns of the pruned coupling block each
+        :class:`~repro.core.local.LocalSystem` stores (``A[J_l, :]``
+        with the ``J_l`` columns zeroed and ``eliminate_zeros`` applied)
+        -- explicitly stored zeros are ignored here too, so the
+        pattern-level derivation and the built systems always describe
+        the same dependency graph.  This is the one source of truth
+        shared by :meth:`dependencies` and the scheduler's a-priori path
+        of :func:`repro.core.distributed.communication_pattern`.
+        """
+        csr = as_csr(A)
+        out: list[np.ndarray] = []
+        for J in self.sets:
+            inside = np.zeros(self.n, dtype=bool)
+            inside[J] = True
+            sub = csr[J, :]
+            cols = np.unique(sub.indices[sub.data != 0])
+            out.append(cols[~inside[cols]].astype(np.int64))
+        return out
+
     def dependencies(self, A) -> list[list[int]]:
         """Return ``deps[l]`` = processors whose core values ``l`` reads.
 
@@ -103,20 +131,12 @@ class GeneralPartition:
         ``A[J_l, i]`` has a non-zero; the owner of ``i`` must then send to
         ``l`` (this is the transpose of Algorithm 1's ``DependsOnMe``).
         """
-        csr = as_csr(A)
         owner = self.owner_of()
         deps: list[list[int]] = []
-        for l, J in enumerate(self.sets):
-            inside = np.zeros(self.n, dtype=bool)
-            inside[J] = True
-            cols: set[int] = set()
-            for row in J:
-                seg = csr.indices[csr.indptr[row] : csr.indptr[row + 1]]
-                for c in seg:
-                    if not inside[c]:
-                        cols.add(int(owner[c]))
-            cols.discard(l)
-            deps.append(sorted(cols))
+        for l, cols in enumerate(self.boundary_columns(A)):
+            owners = {int(o) for o in owner[cols]}
+            owners.discard(l)
+            deps.append(sorted(owners))
         return deps
 
     def dependents(self, A) -> list[list[int]]:
@@ -336,29 +356,52 @@ def cost_balanced_bands(
     return BandPartition(n=n, bounds=tuple(bounds), overlap=overlap)
 
 
-def interleaved_partition(n: int, nprocs: int, *, chunk: int = 1) -> GeneralPartition:
+def interleaved_partition(
+    n: int, nprocs: int, *, chunk: int = 1, overlap: int = 0
+) -> GeneralPartition:
     """Round-robin assignment of ``chunk``-sized blocks (Remark 2).
 
     Processor ``l`` owns chunks ``l, l+L, l+2L, ...`` -- several
     non-adjacent bands per processor.  Remark 2 observes that permutation
     matrices reduce this case to the contiguous Figure-1 layout; this
     builder produces it directly so tests can verify the equivalence.
+
+    ``overlap`` annexes that many extra indices on each side of every
+    owned chunk (clipped at the matrix borders) into the extended set
+    ``J_l``, the interleaved analogue of :class:`BandPartition`'s
+    overlap; cores stay disjoint.
     """
     if nprocs <= 0:
         raise ValueError("nprocs must be positive")
     if chunk <= 0:
         raise ValueError("chunk must be positive")
+    if overlap < 0:
+        raise ValueError("overlap must be non-negative")
     if nprocs > n:
         raise ValueError(f"cannot split {n} unknowns over {nprocs} processors")
     assignment = (np.arange(n) // chunk) % nprocs
-    sets = tuple(
+    cores = tuple(
         np.nonzero(assignment == l)[0].astype(np.int64) for l in range(nprocs)
     )
-    if any(s.size == 0 for s in sets):
+    if any(c.size == 0 for c in cores):
         raise ValueError(
             f"chunk={chunk} leaves a processor empty for n={n}, L={nprocs}"
         )
-    return GeneralPartition(n=n, sets=sets, core=sets)
+    if overlap == 0:
+        return GeneralPartition(n=n, sets=cores, core=cores)
+    sets = tuple(
+        np.unique(
+            np.clip(
+                np.concatenate(
+                    [idx + d for d in range(-overlap, overlap + 1)]
+                ),
+                0,
+                n - 1,
+            )
+        ).astype(np.int64)
+        for idx in cores
+    )
+    return GeneralPartition(n=n, sets=sets, core=cores)
 
 
 def permuted_bands(

@@ -27,7 +27,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.asynchronous import run_asynchronous
-from repro.core.partition import BandPartition, GeneralPartition, proportional_bands, uniform_bands
+from repro.core.partition import (
+    BandPartition,
+    GeneralPartition,
+    interleaved_partition,
+    permuted_bands,
+    proportional_bands,
+    uniform_bands,
+)
 from repro.core.sequential import multisplitting_iterate
 from repro.core.stopping import StoppingCriterion
 from repro.core.sync import run_synchronous
@@ -41,6 +48,7 @@ __all__ = ["MultisplittingSolver", "SolveResult"]
 
 _MODES = ("sequential", "synchronous", "asynchronous")
 _PLACEMENTS = ("uniform", "proportional", "calibrated")
+_PARTITIONS = ("bands", "interleaved", "permuted", "schwarz")
 
 
 @dataclass
@@ -126,7 +134,30 @@ class MultisplittingSolver:
         across the bands -- the coupling of "different direct algorithms
         on different clusters" announced in the paper's conclusion.
     overlap:
-        Indices annexed on each side of every band (Figure 3's knob).
+        Indices annexed on each side of every band -- or of every owned
+        chunk, for interleaved layouts (Figure 3's knob).  ``None`` (the
+        default) means unspecified: band strategies read it as 0, the
+        schwarz strategy substitutes its own default; an explicit value
+        (including 0) is honoured verbatim by every strategy.
+    partition_strategy:
+        Shape of the decomposition (the paper's Remarks 2-3 generality):
+
+        * ``"bands"`` -- contiguous horizontal bands (Figure 1, the
+          default);
+        * ``"interleaved"`` -- round-robin chunk assignment (Remark 2's
+          non-adjacent bands), chunk size ``max(1, n // (8 L))``, with
+          ``overlap`` annexed around each owned chunk;
+        * ``"permuted"`` -- contiguous bands in a seeded-shuffle
+          ordering (Remark 2's permutation reduction), deterministic
+          across runs;
+        * ``"schwarz"`` -- overlapping bands for the multisubdomain
+          Schwarz regime; uses ``overlap`` when given, else a default of
+          ``max(1, n // (10 L))`` annexed indices per side (pair with
+          ``weighting="schwarz"`` for the Section-4.3 combination).
+
+        All four flow through ``placement=``, ``backend=`` and every
+        execution mode; general decompositions carry their layout on
+        the resolved plan (:meth:`repro.schedule.Placement.with_layout`).
     weighting:
         Weighting family name (``"ownership"``, ``"averaging"``,
         ``"schwarz"``, ``"block-jacobi"``) or a scheme factory; see
@@ -203,7 +234,7 @@ class MultisplittingSolver:
         *,
         mode: str = "synchronous",
         direct_solver: str | DirectSolver = "scipy",
-        overlap: int = 0,
+        overlap: int | None = None,
         weighting: str = "ownership",
         tolerance: float = 1e-8,
         consecutive: int | None = None,
@@ -214,12 +245,18 @@ class MultisplittingSolver:
         backend: str = "inline",
         placement=None,
         fault_policy=None,
+        partition_strategy: str = "bands",
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if partition_strategy not in _PARTITIONS:
+            raise ValueError(
+                f"partition_strategy must be one of {_PARTITIONS}, "
+                f"got {partition_strategy!r}"
+            )
         if processors is not None and processors < 1:
             raise ValueError("processors must be positive")
-        if overlap < 0:
+        if overlap is not None and overlap < 0:
             raise ValueError("overlap must be non-negative")
         if isinstance(placement, str) and placement not in _PLACEMENTS:
             raise ValueError(
@@ -237,8 +274,14 @@ class MultisplittingSolver:
             self.direct_solver = direct_solver
         else:
             self.direct_solver = get_solver(direct_solver)
-        self.overlap = overlap
+        # None means "not specified": band strategies read it as 0, the
+        # schwarz strategy substitutes its default -- while an *explicit*
+        # overlap (including 0) is always honoured verbatim, so an
+        # overlap sweep's zero baseline really runs with zero overlap.
+        self._overlap_given = overlap is not None
+        self.overlap = 0 if overlap is None else overlap
         self.weighting = weighting
+        self.partition_strategy = partition_strategy
         self.detection = detection
         self.proportional = proportional
         self.placement = placement
@@ -294,15 +337,37 @@ class MultisplittingSolver:
         self.close()
 
     # -- partition construction ----------------------------------------
+    def _schwarz_overlap(self, n: int, nblocks: int) -> int:
+        """Effective schwarz overlap: explicit value, else the default."""
+        if self._overlap_given:
+            return self.overlap
+        return max(1, n // (10 * nblocks))
+
     def build_partition(
         self, n: int, cluster: Cluster | None, nprocs: int
     ) -> GeneralPartition:
-        """Default partition: (speed-proportional) bands with the overlap."""
+        """Build the configured decomposition (``partition_strategy``).
+
+        ``"bands"`` sizes (speed-proportional) contiguous bands with the
+        overlap; ``"interleaved"``/``"permuted"`` produce Remark 2's
+        general layouts (their sizes are fixed by chunking/permutation,
+        not by host speeds); ``"schwarz"`` is bands with a guaranteed
+        overlap (``self.overlap`` or ``max(1, n // (10 L))``).
+        """
+        strategy = self.partition_strategy
+        if strategy == "interleaved":
+            return interleaved_partition(
+                n, nprocs, chunk=max(1, n // (8 * nprocs)), overlap=self.overlap
+            )
+        if strategy == "permuted":
+            perm = np.random.default_rng(0).permutation(n)
+            return permuted_bands(perm, nprocs, overlap=self.overlap)
+        overlap = self._schwarz_overlap(n, nprocs) if strategy == "schwarz" else self.overlap
         if cluster is not None and self.proportional:
             speeds = [h.speed for h in cluster.hosts[:nprocs]]
-            band = proportional_bands(n, speeds, overlap=self.overlap)
+            band = proportional_bands(n, speeds, overlap=overlap)
         else:
-            band = uniform_bands(n, nprocs, overlap=self.overlap)
+            band = uniform_bands(n, nprocs, overlap=overlap)
         return band.to_general()
 
     def _resolve_plan(self, A, n: int, cluster: Cluster | None, nprocs: int):
@@ -319,6 +384,7 @@ class MultisplittingSolver:
             Placement,
             calibrated_placement,
             cluster_placement,
+            partition_placement,
             uniform_placement,
         )
 
@@ -330,6 +396,26 @@ class MultisplittingSolver:
                 )
             return self.placement
         strategy = self.placement
+        sparse_A = A if getattr(A, "nnz", None) is not None else None
+        weighting_name = (
+            self.weighting if isinstance(self.weighting, str) else "ownership"
+        )
+        if cluster is not None and self.partition_strategy in (
+            "interleaved",
+            "permuted",
+        ):
+            # General layouts fix their own sizes; the strategy picks the
+            # block-to-host matching instead ("calibrated" prices each
+            # candidate host's routes against the actual message graph).
+            part = self.build_partition(n, cluster, nprocs)
+            return partition_placement(
+                cluster,
+                part,
+                strategy=strategy,
+                A=sparse_A,
+                weighting=weighting_name,
+                overlap=self.overlap,
+            )
         if cluster is not None:
             nnz = getattr(A, "nnz", None)
             density = max(float(nnz) / n, 1.0) if nnz is not None else 5.0
@@ -340,6 +426,10 @@ class MultisplittingSolver:
                 overlap=self.overlap,
                 density=density,
                 n=n,
+                # Calibrated plans price the matrix's actual dependency
+                # graph (pattern-aware message terms) when A is sparse.
+                A=sparse_A,
+                weighting=weighting_name,
             )
         # Sequential mode: no topology to read speeds from.  "calibrated"
         # micro-benchmarks the actual execution backend's workers;
@@ -388,10 +478,7 @@ class MultisplittingSolver:
         if self.mode == "sequential":
             nprocs = self.processors or 4
             plan = self._resolve_plan(A, n, None, nprocs) if partition is None else None
-            if plan is not None:
-                part = plan.partition().to_general()
-            else:
-                part = self._normalize_partition(partition, n, None, nprocs)
+            plan, part = self._plan_and_partition(plan, partition, n, None, nprocs)
             scheme = self._resolve_weighting(part)
             seq = multisplitting_iterate(
                 A, b, part, scheme, self.direct_solver, stopping=self.stopping,
@@ -417,10 +504,7 @@ class MultisplittingSolver:
         if cluster is None:
             cluster = cluster1(min(nprocs, 20))
         plan = self._resolve_plan(A, n, cluster, nprocs) if partition is None else None
-        if plan is not None:
-            part = plan.partition().to_general()
-        else:
-            part = self._normalize_partition(partition, n, cluster, nprocs)
+        plan, part = self._plan_and_partition(plan, partition, n, cluster, nprocs)
         scheme = self._resolve_weighting(part)
         runner = run_synchronous if self.mode == "synchronous" else run_asynchronous
         cache_before = self.cache.stats.snapshot() if self.cache is not None else None
@@ -472,6 +556,40 @@ class MultisplittingSolver:
             blocks_requeued=stats.blocks_requeued,
             refactor_seconds=stats.refactor_seconds,
         )
+
+    def _plan_and_partition(
+        self,
+        plan,
+        partition: GeneralPartition | BandPartition | None,
+        n: int,
+        cluster: Cluster | None,
+        nprocs: int,
+    ):
+        """Resolve the (plan, partition) pair consistently.
+
+        Band strategies read the partition *from* the plan (the plan's
+        sizes are the decomposition); general strategies build their own
+        layout and re-target the plan at it
+        (:meth:`~repro.schedule.Placement.with_layout`), keeping the
+        plan's workers and block-to-worker assignment.
+        """
+        if plan is None:
+            return None, self._normalize_partition(partition, n, cluster, nprocs)
+        if self.partition_strategy == "bands":
+            return plan, plan.partition().to_general()
+        if self.partition_strategy == "schwarz":
+            # Schwarz is still a band decomposition: keep the plan's
+            # (possibly cost-balanced) core sizes and only annex the
+            # overlap onto each band's extended set.
+            overlap = self._schwarz_overlap(n, plan.nblocks)
+            part = plan.partition(overlap=overlap).to_general()
+            return plan.with_layout(part, overlap=overlap), part
+        if plan.layout is not None:
+            # _resolve_plan already built the general plan (including the
+            # pattern-aware calibrated matching); consume its layout.
+            return plan, plan.layout
+        part = self.build_partition(n, cluster, nprocs)
+        return plan.with_layout(part, overlap=self.overlap), part
 
     def _normalize_partition(
         self,

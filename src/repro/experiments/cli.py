@@ -8,6 +8,7 @@ Examples::
     repro-experiments figure3 --check
     repro-experiments table1 --backend threads
     repro-experiments table3 --placement calibrated
+    repro-experiments table1 --partition interleaved
 
 ``--scale`` multiplies every workload's default order (1.0 reproduces the
 laptop-scale defaults documented in DESIGN.md); ``--check`` additionally
@@ -81,6 +82,15 @@ def main(argv: list[str] | None = None) -> int:
         "(repro.schedule; default: the solver's legacy "
         "speed-proportional layout)",
     )
+    parser.add_argument(
+        "--partition",
+        choices=["bands", "interleaved", "permuted", "schwarz"],
+        default="bands",
+        help="decomposition shape (Remarks 2-3 generality): contiguous "
+        "bands (default), round-robin interleaved chunks, bands in a "
+        "permuted ordering, or schwarz-overlapping bands paired with "
+        "the schwarz weighting",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -89,7 +99,7 @@ def main(argv: list[str] | None = None) -> int:
         t0 = time.time()
         result = run_experiment(
             name, scale=args.scale, backend=args.backend,
-            placement=args.placement,
+            placement=args.placement, partition=args.partition,
         )
         elapsed = time.time() - t0
         print(format_table(result))

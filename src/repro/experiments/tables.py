@@ -67,6 +67,13 @@ def _baseline(A, cluster: Cluster, fill: FillProfile | None, nprocs: int) -> Bas
     )
 
 
+def _partition_weighting(partition: str) -> str:
+    """Weighting family paired with a ``--partition`` choice: the schwarz
+    overlapping regime uses the Section-4.3 schwarz combination, every
+    other shape keeps the paper's ownership weighting."""
+    return "schwarz" if partition == "schwarz" else "ownership"
+
+
 def _make_solvers(
     cache: FactorizationCache,
     *,
@@ -74,6 +81,7 @@ def _make_solvers(
     placement: str | None = None,
     overlap: int = 0,
     max_iterations: int | None = None,
+    partition: str = "bands",
 ) -> dict[str, MultisplittingSolver]:
     """One shared solver per mode, all draining the same factor cache.
 
@@ -82,12 +90,19 @@ def _make_solvers(
     factored exactly once per experiment instead of once per run -- the
     reuse counters land in the experiment notes and are printed by
     :func:`repro.experiments.report.format_table`.
+
+    ``partition`` selects the decomposition shape (the ``--partition``
+    flag): band replays keep the paper's ownership weighting; the
+    ``"schwarz"`` overlapping regime pairs with the Section-4.3 schwarz
+    weighting.
     """
+    weighting = _partition_weighting(partition)
     return {
         mode: MultisplittingSolver(
             mode=mode, direct_solver="scipy", overlap=overlap,
             max_iterations=max_iterations, cache=cache, backend=backend,
-            placement=placement,
+            placement=placement, partition_strategy=partition,
+            weighting=weighting,
         )
         for mode in ("synchronous", "asynchronous")
     }
@@ -113,13 +128,15 @@ def _fmt(value) -> Any:
 
 def _scalability_table(
     name: str, procs_list: list[int], *, scale: float, backend: str = "inline",
-    placement: str | None = None,
+    placement: str | None = None, partition: str = "bands",
 ) -> ExperimentResult:
     """Common driver for Tables 1 and 2 (cluster1 scalability)."""
     A, b, _ = load_workload(name, scale=scale)
     fill = _cached_fill(name, scale, A)
     cache = FactorizationCache(capacity=256)
-    solvers = _make_solvers(cache, backend=backend, placement=placement)
+    solvers = _make_solvers(
+        cache, backend=backend, placement=placement, partition=partition
+    )
     rows: list[dict[str, Any]] = []
     try:
         for procs in procs_list:
@@ -167,6 +184,7 @@ def _scalability_table(
             "scale": scale,
             "backend": backend,
             "placement": placement or "default",
+            "partition": partition,
             "cache": _cache_note(cache),
         },
     )
@@ -175,11 +193,13 @@ def _scalability_table(
 def table1(
     *, scale: float = 1.0, procs_list: list[int] | None = None,
     backend: str = "inline", placement: str | None = None,
+    partition: str = "bands",
 ) -> ExperimentResult:
     """Table 1: scalability on cluster1 with the cage10 analog."""
     procs = procs_list or [1, 2, 3, 4, 6, 8, 9, 12, 16, 20]
     res = _scalability_table(
-        "cage10", procs, scale=scale, backend=backend, placement=placement
+        "cage10", procs, scale=scale, backend=backend, placement=placement,
+        partition=partition,
     )
     res.notes["paper_table"] = "Table 1"
     return res
@@ -188,6 +208,7 @@ def table1(
 def table2(
     *, scale: float = 1.0, procs_list: list[int] | None = None,
     backend: str = "inline", placement: str | None = None,
+    partition: str = "bands",
 ) -> ExperimentResult:
     """Table 2: scalability on cluster1 with the cage11 analog.
 
@@ -197,7 +218,8 @@ def table2(
     """
     procs = procs_list or [4, 6, 8, 9, 12, 16, 20]
     res = _scalability_table(
-        "cage11", procs, scale=scale, backend=backend, placement=placement
+        "cage11", procs, scale=scale, backend=backend, placement=placement,
+        partition=partition,
     )
     res.notes["paper_table"] = "Table 2"
     return res
@@ -205,7 +227,7 @@ def table2(
 
 def table3(
     *, scale: float = 1.0, backend: str = "inline",
-    placement: str | None = None,
+    placement: str | None = None, partition: str = "bands",
 ) -> ExperimentResult:
     """Table 3: the distant/heterogeneous cluster comparison."""
     cases = [
@@ -214,7 +236,9 @@ def table3(
         ("gen-large", "cluster3", cluster3(10), 10),
     ]
     cache = FactorizationCache(capacity=256)
-    solvers = _make_solvers(cache, backend=backend, placement=placement)
+    solvers = _make_solvers(
+        cache, backend=backend, placement=placement, partition=partition
+    )
     rows: list[dict[str, Any]] = []
     try:
         for name, cluster_name, cluster, nprocs in cases:
@@ -263,6 +287,7 @@ def table3(
             "scale": scale,
             "backend": backend,
             "placement": placement or "default",
+            "partition": partition,
             "cache": _cache_note(cache),
         },
     )
@@ -271,13 +296,16 @@ def table3(
 def table4(
     *, scale: float = 1.0, perturbations: list[int] | None = None,
     backend: str = "inline", placement: str | None = None,
+    partition: str = "bands",
 ) -> ExperimentResult:
     """Table 4: background traffic on the inter-site link (gen-large)."""
     perturbs = perturbations if perturbations is not None else [0, 1, 5, 10]
     A, b, _ = load_workload("gen-large", scale=scale)
     fill = _cached_fill("gen-large", scale, A)
     cache = FactorizationCache(capacity=256)
-    solvers = _make_solvers(cache, backend=backend, placement=placement)
+    solvers = _make_solvers(
+        cache, backend=backend, placement=placement, partition=partition
+    )
     rows: list[dict[str, Any]] = []
     try:
         for count in perturbs:
@@ -317,6 +345,7 @@ def table4(
             "scale": scale,
             "backend": backend,
             "placement": placement or "default",
+            "partition": partition,
             "cache": _cache_note(cache),
         },
     )
@@ -325,6 +354,7 @@ def table4(
 def figure3(
     *, scale: float = 1.0, overlaps: list[int] | None = None,
     backend: str = "inline", placement: str | None = None,
+    partition: str = "bands",
 ) -> ExperimentResult:
     """Figure 3: overlap sweep on the near-singular generated matrix.
 
@@ -347,15 +377,18 @@ def figure3(
         # Overlap is a constructor option, so each sweep point gets its
         # own solver pair -- still draining the shared cache, so the
         # sync/async pair factors each extended band once, not twice.
+        weighting = _partition_weighting(partition)
         solvers = {
             "synchronous": MultisplittingSolver(
                 mode="synchronous", direct_solver="scipy", overlap=ov,
                 max_iterations=5_000, cache=cache, backend=backend,
-                placement=placement,
+                placement=placement, partition_strategy=partition,
+                weighting=weighting,
             ),
             "asynchronous": MultisplittingSolver(
                 mode="asynchronous", direct_solver="scipy", overlap=ov,
                 cache=cache, backend=backend, placement=placement,
+                partition_strategy=partition, weighting=weighting,
             ),
         }
         try:
@@ -393,6 +426,7 @@ def figure3(
             "n": n,
             "backend": backend,
             "placement": placement or "default",
+            "partition": partition,
             "cache": _cache_note(cache),
         },
     )

@@ -35,6 +35,7 @@ from repro.runtime.inline import InlineExecutor
 from repro.runtime.processes import ProcessExecutor
 from repro.runtime.resilience import (
     ChaosExecutor,
+    CrashOnceSolver,
     FaultInjector,
     FaultPolicy,
     FaultStats,
@@ -48,6 +49,7 @@ from repro.runtime.threads import ThreadExecutor
 
 __all__ = [
     "ChaosExecutor",
+    "CrashOnceSolver",
     "Executor",
     "FaultInjector",
     "FaultPolicy",

@@ -38,7 +38,28 @@ import numpy as np
 from repro.core.local import LocalSystem, build_local_systems
 from repro.direct.cache import CacheStats, FactorizationCache
 
-__all__ = ["Executor", "InProcessExecutor"]
+__all__ = ["Executor", "InProcessExecutor", "owned_rows_spec"]
+
+
+def owned_rows_spec(csr, b, sets, solvers, owned, use_cache: bool) -> dict:
+    """One worker's owned-rows slice of a binding (the attach payload).
+
+    The single definition of what the distributed backends ship: each
+    worker gets only its blocks' ``A[J_l, :]`` / ``b[J_l]`` slices
+    (arbitrary index sets, not just contiguous bands) plus the index
+    sets and kernels needed to rebuild the systems worker-side via
+    :func:`repro.core.local.build_local_system` -- never the full
+    matrix.  The process backend extends this dict with its
+    shared-memory plane coordinates; the socket backend ships it as-is.
+    """
+    return {
+        "bands": {l: csr[sets[l], :].tocsr() for l in owned},
+        "b_subs": {l: b[sets[l]] for l in owned},
+        "sets": {l: sets[l] for l in owned},
+        "solvers": {l: solvers[l] for l in owned},
+        "owned": owned,
+        "use_cache": use_cache,
+    }
 
 
 class Executor(abc.ABC):

@@ -4,11 +4,15 @@ Deployment shape (mirrors the paper's one-process-per-machine layout, at
 laptop scale):
 
 * ``attach`` spawns (or reuses) ``W = min(L, max_workers)`` daemon worker
-  processes and ships each one its blocks' slice of the problem --
-  ``(A, b, sets, kernel)`` crosses the task queue exactly **once** per
-  binding, and each worker factors its own blocks locally (with a
-  per-process :class:`~repro.direct.cache.FactorizationCache`, so
-  re-attaching the same matrix skips the factorization);
+  processes and ships each one **only its owned rows** -- the
+  ``A[J_l, :]`` / ``b[J_l]`` slices of its blocks (arbitrary index
+  sets, not just contiguous bands) cross the task queue exactly once
+  per binding, so total attach traffic is ~one matrix across all
+  workers instead of one full copy per worker (per-worker pickled
+  bytes recorded in :attr:`ProcessExecutor.attach_payload_bytes`);
+  each worker factors its own blocks locally (with a per-process
+  :class:`~repro.direct.cache.FactorizationCache`, so re-attaching the
+  same matrix skips the factorization);
 * every outer iteration exchanges only *vectors*, through two
   :class:`~repro.runtime.shm.SharedVectorPlane` segments: the driver
   writes block ``l``'s local copy into its ``z`` slot, enqueues a tiny
@@ -54,6 +58,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import multiprocessing.connection as mp_connection
 import os
+import pickle
 import threading
 import time
 import traceback
@@ -62,7 +67,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.direct.cache import CacheStats, FactorizationCache
-from repro.runtime.api import Executor
+from repro.runtime.api import Executor, owned_rows_spec
 from repro.runtime.resilience import FaultPolicy, FaultStats, reassign_orphans
 from repro.runtime.shm import SharedVectorPlane
 
@@ -90,7 +95,6 @@ def _worker_main(rank: int, task_q, reply_conn) -> None:
     # Imports happen here (not at module import) so a "spawn" child only
     # pays for what it uses.
     from repro.core.local import build_local_system
-    from repro.linalg.sparse import as_csr
 
     cache = FactorizationCache(capacity=256)
     systems: dict[int, object] = {}
@@ -131,21 +135,26 @@ def _worker_main(rank: int, task_q, reply_conn) -> None:
         epoch = msg[1]
         try:
             if kind == "attach":
-                spec = msg[2]
+                # Specs travel pre-pickled (the driver serializes once,
+                # recording the byte count; the queue then only memcpys
+                # the bytes object instead of re-walking the matrices).
+                spec = pickle.loads(msg[2])
                 _release_binding()
                 use_cache = spec["use_cache"]
                 cache_before = cache.stats.snapshot() if use_cache else None
-                csr = as_csr(spec["A"])
-                b = spec["b"]
                 _open_planes(spec)
+                # Only the owned rows A[J_l, :] / b[J_l] ever arrive --
+                # never the full matrix (mirrors the socket backend).
                 for l in spec["owned"]:
                     systems[l] = build_local_system(
-                        csr,
-                        b,
+                        None,
+                        None,
                         spec["sets"][l],
                         l,
                         spec["solvers"][l],
                         cache=cache if use_cache else None,
+                        band=spec["bands"][l],
+                        b_sub=spec["b_subs"][l],
                     )
                 reply_conn.send(("attached", epoch, rank))
             elif kind == "adopt":
@@ -153,22 +162,22 @@ def _worker_main(rank: int, task_q, reply_conn) -> None:
                 # to anything already owned.  A respawned replacement gets
                 # the full plane/cap context in the spec and starts from a
                 # clean binding.
-                spec = msg[2]
+                spec = pickle.loads(msg[2])
                 use_cache = spec["use_cache"]
                 if use_cache and cache_before is None:
                     cache_before = cache.stats.snapshot()
-                csr = as_csr(spec["A"])
-                b = spec["b"]
                 _open_planes(spec)
                 t0 = time.perf_counter()
                 for l in spec["owned"]:
                     systems[l] = build_local_system(
-                        csr,
-                        b,
+                        None,
+                        None,
                         spec["sets"][l],
                         l,
                         spec["solvers"][l],
                         cache=cache if use_cache else None,
+                        band=spec["bands"][l],
+                        b_sub=spec["b_subs"][l],
                     )
                 reply_conn.send(("adopted", epoch, rank, time.perf_counter() - t0))
             elif kind == "solve":
@@ -235,6 +244,10 @@ class ProcessExecutor(Executor):
         self._policy: FaultPolicy | None = None
         self._fault = FaultStats()
         self._spec_ctx: dict | None = None
+        #: Pickled payload bytes of the last attach, per worker rank --
+        #: the observable for the owned-rows-only shipping guarantee
+        #: (mirrors ``SocketExecutor.attach_payload_bytes``).
+        self.attach_payload_bytes: dict[int, int] = {}
 
     # -- worker pool -----------------------------------------------------
     def _context(self):
@@ -358,6 +371,34 @@ class ProcessExecutor(Executor):
         return replies
 
     # -- binding ---------------------------------------------------------
+    def _worker_spec(self, owned: list[int]) -> dict:
+        """The attach/adopt payload for one worker: owned rows only.
+
+        Each worker receives its blocks' ``A[J_l, :]`` / ``b[J_l]``
+        slices (arbitrary index sets, not just contiguous bands) plus the
+        shared-memory plane coordinates -- never the full matrix, so the
+        total attach traffic over the task queues is ~one matrix across
+        *all* workers instead of one copy per worker.
+        """
+        ctx = self._spec_ctx
+        spec = owned_rows_spec(
+            ctx["A"], ctx["b"], ctx["sets"], ctx["solvers"], owned,
+            ctx["use_cache"],
+        )
+        spec.update(
+            z_name=ctx["z_name"],
+            z_shapes=ctx["z_shapes"],
+            piece_name=ctx["piece_name"],
+            piece_shapes=ctx["piece_shapes"],
+        )
+        return spec
+
+    def _spec_payload(self, owned: list[int]) -> bytes:
+        """One worker's attach/adopt spec, pickled exactly once."""
+        return pickle.dumps(
+            self._worker_spec(owned), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
     def attach(
         self, A, b, sets, solver, *, cache=None, placement=None, fault_policy=None
     ) -> None:
@@ -409,12 +450,18 @@ class ProcessExecutor(Executor):
             "piece_name": self._piece_plane.name,
             "piece_shapes": piece_shapes,
         }
+        self.attach_payload_bytes = {}
         try:
             for w in range(W):
-                spec = dict(self._spec_ctx)
-                spec["owned"] = [l for l in range(L) if owner[l] == w]
-                self._task_qs[w].put(("attach", self._epoch, spec))
-            self._collect("attached", W)
+                # Serialized exactly once: the byte count is the shipping
+                # observable (like the socket backend's send_msg return),
+                # and the queue only memcpys the pre-pickled payload.
+                payload = self._spec_payload(
+                    [l for l in range(L) if owner[l] == w]
+                )
+                self.attach_payload_bytes[w] = len(payload)
+                self._task_qs[w].put(("attach", self._epoch, payload))
+            self._collect_attach({w: 1 for w in range(W)})
         except BaseException:
             # Aborted binding: reclaim the planes; workers release their
             # stale state on their next attach, and any straggler replies
@@ -429,6 +476,59 @@ class ProcessExecutor(Executor):
             raise
         self._block_seconds = {l: 0.0 for l in range(L)}
         self._attached = True
+
+    def _collect_attach(self, expected: dict[int, int]) -> None:
+        """Gather attach acks, recovering workers that die mid-attach.
+
+        ``expected`` maps worker rank to outstanding ack count (a
+        survivor adopting a dead peer's blocks owes two: its own
+        ``attached`` plus an ``adopted``).  Without a policy this fails
+        fast exactly as before -- there is no half-bound binding the
+        caller could use.  With a :class:`FaultPolicy`, a worker that
+        dies before (or after) acking has its owned blocks re-homed --
+        onto a respawned replacement or onto survivors via ``adopt`` --
+        and the attach transaction completes instead of aborting.
+        """
+        hb = self._policy.heartbeat_interval if self._policy is not None else 1.0
+        deadline = time.monotonic() + _REPLY_TIMEOUT
+        while any(c > 0 for c in expected.values()):
+            batch = self._poll_replies(timeout=hb)
+            if batch:
+                for msg in batch:
+                    if msg[1] != self._epoch:
+                        continue  # straggler from an aborted binding
+                    if msg[0] == "error":
+                        raise RuntimeError(
+                            f"runtime worker {msg[2]} failed:\n{msg[3]}"
+                        )
+                    if msg[0] == "adopted":
+                        self._fault.refactor_seconds += msg[3]
+                    elif msg[0] != "attached":  # pragma: no cover - protocol
+                        raise RuntimeError(
+                            f"expected attach ack, got {msg[0]!r}"
+                        )
+                    rank = msg[2]
+                    expected[rank] = expected.get(rank, 0) - 1
+                continue
+            dead = sorted(
+                w for w in self._live if not self._workers[w].is_alive()
+            )
+            if dead:
+                if self._policy is None:
+                    names = [self._workers[w].name for w in dead]
+                    raise RuntimeError(
+                        f"runtime workers died during attach: {names}"
+                    )
+                for w in dead:
+                    expected.pop(w, None)
+                for w in self._rehome_dead(dead):
+                    expected[w] = expected.get(w, 0) + 1
+                deadline = time.monotonic() + _REPLY_TIMEOUT
+            elif time.monotonic() > deadline:
+                outstanding = sorted(w for w, c in expected.items() if c > 0)
+                raise RuntimeError(
+                    f"timed out waiting for attach acks from {outstanding}"
+                )
 
     def detach(self) -> None:
         if self._attached:
@@ -492,15 +592,16 @@ class ProcessExecutor(Executor):
             proc.kill()
             proc.join(timeout=10.0)
 
-    def _recover(
-        self, dead: list[int], remaining: set[int], pending: dict[int, int]
-    ) -> None:
-        """Reassign the dead workers' blocks and re-dispatch lost solves.
+    def _rehome_dead(self, dead: list[int]) -> list[int]:
+        """Kill/account the dead workers and re-home their blocks.
 
-        ``remaining``/``pending`` describe the in-flight round: blocks
-        whose ticket sat with a dead worker are re-enqueued on their new
-        owner (the z slot still holds the round's local copy, so the
-        retried solve is bit-identical).
+        The shared core of mid-solve (:meth:`_recover`) and mid-attach
+        (:meth:`_collect_attach`) recovery: reap the corpses, enforce
+        the policy's loss budget, pick new owners (respawned
+        replacements under ``respawn=True``, else the deterministic
+        least-loaded survivors), and dispatch one ``adopt`` ticket per
+        adopter carrying the orphaned blocks' slice.  Returns the
+        adopter ranks whose ``adopted`` acks the caller must collect.
         """
         dead_set = set(dead)
         for w in dead:
@@ -532,23 +633,35 @@ class ProcessExecutor(Executor):
             # rule (repro.runtime.resilience.reassign_orphans).
             new_owner = reassign_orphans(orphans, self._owner, self._live)
         self._fault.blocks_requeued += len(orphans)
-        # Ship the orphaned slice of the binding to each adopter and wait
-        # for the refactor acks (surviving workers keep answering solves
-        # meanwhile; those replies are folded in as they arrive).
         by_adopter: dict[int, list[int]] = {}
         for l in orphans:
             by_adopter.setdefault(new_owner[l], []).append(l)
         for w, owned in sorted(by_adopter.items()):
-            spec = dict(self._spec_ctx)
-            spec["owned"] = owned
-            self._task_qs[w].put(("adopt", self._epoch, spec))
+            self._task_qs[w].put(("adopt", self._epoch, self._spec_payload(owned)))
+        self._owner.update(new_owner)
+        return sorted(by_adopter)
+
+    def _recover(
+        self, dead: list[int], remaining: set[int], pending: dict[int, int]
+    ) -> None:
+        """Reassign the dead workers' blocks and re-dispatch lost solves.
+
+        ``remaining``/``pending`` describe the in-flight round: blocks
+        whose ticket sat with a dead worker are re-enqueued on their new
+        owner (the z slot still holds the round's local copy, so the
+        retried solve is bit-identical).
+        """
+        dead_set = set(dead)
+        adopters = self._rehome_dead(dead)
+        # Wait for the refactor acks (surviving workers keep answering
+        # solves meanwhile; those replies are folded in as they arrive).
         acks = 0
         hb = self._policy.heartbeat_interval
         deadline = time.monotonic() + _REPLY_TIMEOUT
-        while acks < len(by_adopter):
+        while acks < len(adopters):
             batch = self._poll_replies(timeout=hb)
             if not batch:
-                gone = [w for w in by_adopter if not self._workers[w].is_alive()]
+                gone = [w for w in adopters if not self._workers[w].is_alive()]
                 if gone:
                     raise RuntimeError(
                         f"workers {gone} died while adopting orphaned blocks"
@@ -570,7 +683,6 @@ class ProcessExecutor(Executor):
                         remaining.discard(l)
                         pending.pop(l, None)
                         self._block_seconds[l] += dt
-        self._owner.update(new_owner)
         for l in sorted(remaining):
             if pending.get(l) in dead_set:
                 self._task_qs[self._owner[l]].put(("solve", self._epoch, l))

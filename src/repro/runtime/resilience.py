@@ -48,6 +48,7 @@ to the fault-free run* (asserted by the conformance suite).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -60,6 +61,7 @@ from repro.runtime.api import Executor
 
 __all__ = [
     "ChaosExecutor",
+    "CrashOnceSolver",
     "FaultEvent",
     "FaultInjector",
     "FaultPolicy",
@@ -617,6 +619,48 @@ class FlakySolver(DirectSolver):
 
     def factor(self, A) -> Factorization:
         return _FlakyFactorization(self.inner.factor(A), self)
+
+
+class CrashOnceSolver(DirectSolver):
+    """Wrap a kernel so one ``factor`` call hard-kills its hosting process.
+
+    The *attach-phase* chaos knob: SIGKILL-grade loss (``os._exit``, no
+    goodbye frame, no cleanup) landing exactly while a worker factors
+    its binding -- the window the transactional-attach recovery must
+    cover.  Exactly one process across the fleet dies: the first
+    eligible ``factor`` call claims an atomic sentinel file
+    (``O_CREAT | O_EXCL``) and exits; every later call -- the respawned
+    replacement or the adopting survivor re-factoring the orphaned
+    block -- sees the sentinel and proceeds normally, so the recovered
+    run completes.
+
+    ``worker_only`` (default) records the constructing process's pid
+    and never kills it, so driver-side factorization paths (inline and
+    thread backends, reference runs) are immune.
+    """
+
+    name = "crash-once"
+
+    def __init__(
+        self, inner: DirectSolver, sentinel_path, *, worker_only: bool = True
+    ):
+        self.inner = inner
+        self.sentinel_path = str(sentinel_path)
+        self.worker_only = worker_only
+        self._owner_pid = os.getpid()
+
+    def factor(self, A) -> Factorization:
+        if not (self.worker_only and os.getpid() == self._owner_pid):
+            try:
+                fd = os.open(
+                    self.sentinel_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                pass  # somebody already died here; factor normally
+            else:
+                os.close(fd)
+                os._exit(1)
+        return self.inner.factor(A)
 
 
 class _StragglerFactorization(Factorization):

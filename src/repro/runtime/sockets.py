@@ -32,8 +32,11 @@ spoken over real sockets so worker processes may live anywhere:
   then least-loaded -- or onto a respawned replacement (owned loopback
   workers only), the adopters re-factor them through their local caches
   (``fault_stats().refactor_seconds``), and the lost round's solves are
-  re-dispatched.  Iterates are unaffected: a block solve is a pure
-  function of ``(block, z)`` wherever it runs.
+  re-dispatched.  The same recovery arms the *attach* phase
+  (transactional attach): a worker that dies before acking its binding
+  has its slice re-shipped to a replacement or to survivors, instead of
+  failing the run during setup.  Iterates are unaffected: a block solve
+  is a pure function of ``(block, z)`` wherever it runs.
 
 Deployment shapes:
 
@@ -67,7 +70,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.direct.cache import CacheStats, FactorizationCache
-from repro.runtime.api import Executor
+from repro.runtime.api import Executor, owned_rows_spec
 from repro.runtime.resilience import FaultPolicy, FaultStats, reassign_orphans
 
 __all__ = ["SocketExecutor", "serve_worker", "send_msg", "recv_msg"]
@@ -437,18 +440,12 @@ class SocketExecutor(Executor):
 
     # -- binding ---------------------------------------------------------
     def _worker_spec(self, owned: list[int]) -> dict:
-        """The attach/adopt payload for one worker: owned band rows only."""
+        """The attach/adopt payload for one worker: owned rows only."""
         ctx = self._ctx
-        csr = ctx["A"]
-        b = ctx["b"]
-        return {
-            "bands": {l: csr[ctx["sets"][l], :].tocsr() for l in owned},
-            "b_subs": {l: b[ctx["sets"][l]] for l in owned},
-            "sets": {l: ctx["sets"][l] for l in owned},
-            "solvers": {l: ctx["solvers"][l] for l in owned},
-            "owned": owned,
-            "use_cache": ctx["use_cache"],
-        }
+        return owned_rows_spec(
+            ctx["A"], ctx["b"], ctx["sets"], ctx["solvers"], owned,
+            ctx["use_cache"],
+        )
 
     def attach(
         self, A, b, sets, solver, *, cache=None, placement=None, fault_policy=None
@@ -512,26 +509,40 @@ class SocketExecutor(Executor):
         # worker instead of W full copies.
         active = sorted({owner[l] for l in range(L)})
         self.attach_payload_bytes = {}
-        try:
-            for w in active:
-                owned = [l for l in range(L) if owner[l] == w]
-                spec = self._worker_spec(owned)
+        # Transactional attach: without a policy a worker death still
+        # fails fast (there is no half-bound binding the caller could
+        # use, and the corpse is marked so the *next* attach replaces or
+        # maps around it); with a FaultPolicy the lost worker's blocks
+        # are re-homed through the same recovery path a mid-solve death
+        # takes, and the binding completes.
+        failures: dict[int, list] = {}
+        pending: list[int] = []
+        for w in active:
+            owned = [l for l in range(L) if owner[l] == w]
+            spec = self._worker_spec(owned)
+            try:
                 self.attach_payload_bytes[w] = send_msg(
                     self._socks[w], ("attach", self._epoch, spec)
                 )
-            for w in active:
+                pending.append(w)
+            except OSError as exc:
+                if fault_policy is None:
+                    self._mark_lost_at_attach(w)
+                    raise RuntimeError(
+                        f"socket worker {w} died during attach: {exc}"
+                    )
+                failures[w] = []
+        for w in pending:
+            try:
                 self._recv_reply(w, "attached")
-        except _WorkerGone as exc:
-            # Mark the corpse so the *next* attach replaces it (owned
-            # loopback sets) or maps around it instead of re-sending to
-            # a broken socket forever.  Attach itself still fails fast:
-            # there is no half-bound binding to recover into.
-            self._mark_lost_at_attach(exc.rank)
-            raise
-        except OSError as exc:  # the send side of the same failure
-            self._mark_lost_at_attach(w)
-            raise RuntimeError(f"socket worker {w} died during attach: {exc}")
-        self._active_workers = active
+            except _WorkerGone as exc:
+                if fault_policy is None:
+                    self._mark_lost_at_attach(exc.rank)
+                    raise
+                failures[exc.rank] = []
+        if failures:
+            self._recover(failures)
+        self._active_workers = sorted(set(self._owner.values()))
         self._block_seconds = {l: 0.0 for l in range(L)}
         self._attached = True
 

@@ -22,9 +22,15 @@ live micro-benchmarks of the actual workers
 from __future__ import annotations
 
 from repro.schedule.calibrate import calibrated_placement, measure_worker_speeds
+from repro.schedule.pattern import (
+    message_bytes_matrix,
+    partition_placement,
+    pattern_comm_costs,
+)
 from repro.schedule.plan import (
     Placement,
     WorkerSlot,
+    band_comm_costs,
     cluster_placement,
     cost_model_placement,
     iteration_cost_model,
@@ -35,11 +41,15 @@ from repro.schedule.plan import (
 __all__ = [
     "Placement",
     "WorkerSlot",
+    "band_comm_costs",
     "calibrated_placement",
     "cluster_placement",
     "cost_model_placement",
     "iteration_cost_model",
     "measure_worker_speeds",
+    "message_bytes_matrix",
+    "partition_placement",
+    "pattern_comm_costs",
     "proportional_placement",
     "uniform_placement",
 ]

@@ -34,10 +34,11 @@ modeled ones) see :mod:`repro.schedule.calibrate`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.partition import (
     BandPartition,
+    GeneralPartition,
     cost_balanced_bands,
     proportional_bands,
     uniform_bands,
@@ -48,6 +49,8 @@ from repro.grid.comm import vector_bytes
 __all__ = [
     "WorkerSlot",
     "Placement",
+    "band_comm_costs",
+    "route_seconds",
     "uniform_placement",
     "proportional_placement",
     "cost_model_placement",
@@ -99,6 +102,13 @@ class Placement:
         blocks per worker oversubscribes.
     overlap:
         Overlap baked into :meth:`partition`.
+    layout:
+        Optional :class:`~repro.core.partition.GeneralPartition` the plan
+        schedules.  ``None`` (the default) means the plan prescribes
+        contiguous bands built from ``sizes``; a layout makes the plan
+        carry an arbitrary (interleaved, permuted, overlapping) index-set
+        decomposition -- ``sizes`` are then the *core* sizes of its
+        blocks, and :meth:`partition` returns the layout itself.
     """
 
     strategy: str
@@ -107,6 +117,7 @@ class Placement:
     sizes: tuple[int, ...]
     assignment: tuple[int, ...]
     overlap: int = 0
+    layout: GeneralPartition | None = None
 
     def __post_init__(self) -> None:
         if not self.workers:
@@ -127,6 +138,22 @@ class Placement:
             raise ValueError("assignment references an unknown worker")
         if self.overlap < 0:
             raise ValueError("overlap must be non-negative")
+        if self.layout is not None:
+            if self.layout.n != self.n:
+                raise ValueError(
+                    f"layout covers {self.layout.n} unknowns but n={self.n}"
+                )
+            if self.layout.nprocs != len(self.sizes):
+                raise ValueError(
+                    f"layout has {self.layout.nprocs} blocks but the plan "
+                    f"schedules {len(self.sizes)}"
+                )
+            core_sizes = tuple(int(c.size) for c in self.layout.core)
+            if core_sizes != tuple(self.sizes):
+                raise ValueError(
+                    "plan sizes must equal the layout's core sizes "
+                    f"({core_sizes} vs {tuple(self.sizes)})"
+                )
 
     @property
     def nblocks(self) -> int:
@@ -138,8 +165,23 @@ class Placement:
         """Number of execution slots."""
         return len(self.workers)
 
-    def partition(self, *, overlap: int | None = None) -> BandPartition:
-        """The band partition this plan prescribes."""
+    def partition(
+        self, *, overlap: int | None = None
+    ) -> BandPartition | GeneralPartition:
+        """The partition this plan prescribes.
+
+        Band plans (no ``layout``) return the :class:`BandPartition`
+        built from ``sizes``; general plans return their ``layout``
+        verbatim (both lower to the same representation via
+        ``.to_general()``, so callers need no isinstance check).
+        """
+        if self.layout is not None:
+            if overlap is not None and overlap != self.overlap:
+                raise ValueError(
+                    "a general layout's overlap is baked into its index "
+                    "sets and cannot be overridden"
+                )
+            return self.layout
         bounds = []
         start = 0
         for s in self.sizes:
@@ -154,6 +196,33 @@ class Placement:
     def worker_of(self, block: int) -> WorkerSlot:
         """The slot block ``block`` is pinned to."""
         return self.workers[self.assignment[block]]
+
+    def with_layout(
+        self, partition: GeneralPartition, *, overlap: int = 0
+    ) -> "Placement":
+        """Re-target this plan at a general index-set decomposition.
+
+        Keeps the workers, assignment, and strategy label; replaces the
+        band sizes with the layout's core sizes (general decompositions
+        fix their own sizes -- interleaving chunks, a permutation's
+        slices -- so the band planner's sizes no longer apply).  The
+        layout must schedule the same number of blocks.  ``overlap``
+        records the annexation the layout was built with (informational
+        -- the layout's index sets already contain it), so result
+        summaries report the real value instead of 0.
+        """
+        if partition.nprocs != self.nblocks:
+            raise ValueError(
+                f"layout has {partition.nprocs} blocks but the plan "
+                f"schedules {self.nblocks}"
+            )
+        return replace(
+            self,
+            n=partition.n,
+            sizes=tuple(int(c.size) for c in partition.core),
+            overlap=overlap,
+            layout=partition,
+        )
 
     def colocation_groups(self) -> dict[str, list[int]]:
         """Worker indices per co-location group (site), in worker order.
@@ -179,6 +248,7 @@ class Placement:
                 for w in self.workers
             ],
             "overlap": self.overlap,
+            "partition": "bands" if self.layout is None else "general",
         }
 
 
@@ -284,8 +354,26 @@ def cost_model_placement(
     return _from_bands(strategy, band, ws)
 
 
-def _comm_fixed_costs(hosts, cluster, n: int, k: int) -> list[float]:
-    """Per-band per-iteration communication seconds from the link model.
+def route_seconds(cluster, src, dst, nbytes: float) -> float:
+    """Price one message of ``nbytes`` from host ``src`` to host ``dst``.
+
+    Latency is the sum over the route's links, volume is charged over
+    the narrowest link -- the single a-priori pricing rule every
+    scheduler-side cost model shares (:func:`band_comm_costs`, the
+    pattern-aware :mod:`repro.schedule.pattern` models), matching the
+    quantities :mod:`repro.grid.network` simulates.  Zero for the empty
+    route (same host).
+    """
+    route = cluster.route(src, dst)
+    if not route:
+        return 0.0
+    latency = sum(link.latency for link in route)
+    bandwidth = min(link.bandwidth for link in route)
+    return latency + nbytes / bandwidth
+
+
+def band_comm_costs(hosts, cluster, n: int, k: int = 1) -> list[float]:
+    """Per-band per-iteration communication seconds, band-formula style.
 
     Band ``l`` exchanges its piece (roughly ``n / L`` rows plus overlap)
     with its adjacent bands each outer iteration; a message to a
@@ -293,6 +381,12 @@ def _comm_fixed_costs(hosts, cluster, n: int, k: int) -> list[float]:
     charges each neighbour message's latency plus its volume over the
     narrowest link on the route -- exactly the quantities
     :mod:`repro.grid.network` prices, read a-priori.
+
+    This is the *pattern-blind* special case: it assumes nearest-
+    neighbour coupling and uniform piece sizes.  The pattern-aware model
+    (:func:`repro.schedule.pattern.pattern_comm_costs`) prices the
+    actual dependency graph of a given matrix and reduces to this
+    formula on uniform band partitions of nearest-neighbour matrices.
     """
     L = len(hosts)
     piece_bytes = vector_bytes(max(1, n // max(L, 1)), k)
@@ -300,14 +394,8 @@ def _comm_fixed_costs(hosts, cluster, n: int, k: int) -> list[float]:
     for l, host in enumerate(hosts):
         seconds = 0.0
         for nb in (l - 1, l + 1):
-            if not (0 <= nb < L):
-                continue
-            route = cluster.route(host, hosts[nb])
-            if not route:
-                continue
-            latency = sum(link.latency for link in route)
-            bandwidth = min(link.bandwidth for link in route)
-            seconds += latency + piece_bytes / bandwidth
+            if 0 <= nb < L:
+                seconds += route_seconds(cluster, host, hosts[nb], piece_bytes)
         fixed.append(seconds)
     return fixed
 
@@ -321,6 +409,9 @@ def cluster_placement(
     density: float = 5.0,
     k: int = 1,
     n: int | None = None,
+    A=None,
+    weighting: str = "ownership",
+    partition=None,
 ) -> Placement:
     """Build a plan from a :class:`repro.grid.topology.Cluster` preset.
 
@@ -335,11 +426,33 @@ def cluster_placement(
       :func:`iteration_cost_model` (``density`` non-zeros per row,
       batch width ``k``) plus per-band message costs priced over the
       actual LAN/WAN routes, so a band behind the inter-site link
-      shrinks to absorb it.
+      shrinks to absorb it.  With ``A`` supplied the message terms come
+      from the matrix's *actual* dependency graph
+      (:func:`repro.schedule.pattern.pattern_comm_costs` under the
+      ``weighting`` family) instead of the nearest-neighbour band
+      formula -- long-range couplings are priced where they really land.
 
     ``n`` sizes the bands; builders that defer sizing (the solver
     facade knows ``n`` only at :meth:`solve` time) pass it here.
+
+    ``partition`` (a :class:`~repro.core.partition.GeneralPartition`)
+    targets the plan at an arbitrary index-set decomposition instead of
+    contiguous bands: the returned plan carries it as its ``layout``
+    (see :func:`repro.schedule.pattern.partition_placement`).
     """
+    if partition is not None:
+        from repro.schedule.pattern import partition_placement
+
+        return partition_placement(
+            cluster,
+            partition,
+            strategy=strategy,
+            A=A,
+            weighting=weighting,
+            k=k,
+            nprocs=nprocs,
+            overlap=overlap,
+        )
     hosts = cluster.hosts if nprocs is None else cluster.hosts[:nprocs]
     if nprocs is not None and nprocs > len(cluster.hosts):
         raise ValueError(
@@ -358,11 +471,24 @@ def cluster_placement(
         return uniform_placement(n, len(hosts), overlap=overlap, workers=workers)
     if strategy == "proportional":
         return proportional_placement(n, speeds, overlap=overlap, workers=workers)
+    if A is not None:
+        # Pattern-aware message terms: seed with proportional bands (the
+        # best guess before comm is priced), derive the real dependency
+        # graph on them, then re-balance with the priced per-band costs.
+        from repro.core.weighting import make_weighting
+        from repro.schedule.pattern import pattern_comm_costs
+
+        seed = proportional_bands(n, speeds, overlap=overlap).to_general()
+        fixed = pattern_comm_costs(
+            A, seed, make_weighting(weighting, seed), list(hosts), cluster, k=k
+        )
+    else:
+        fixed = band_comm_costs(list(hosts), cluster, n, k)
     return cost_model_placement(
         n,
         speeds,
         cost=iteration_cost_model(density, k=k),
-        fixed=_comm_fixed_costs(list(hosts), cluster, n, k),
+        fixed=fixed,
         overlap=overlap,
         workers=workers,
     )

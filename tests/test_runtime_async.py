@@ -110,6 +110,25 @@ class TestAsyncIterate:
         # factor-once during setup
         assert cache.stats.misses == part.nprocs
 
+    def test_general_partitions_converge(self):
+        """The free-running driver handles Remark-2 decompositions: each
+        block thread publishes over its arbitrary index set."""
+        from repro.core.partition import interleaved_partition, permuted_bands
+
+        A, b, x_true, _, _ = self._problem()
+        n = A.shape[0]
+        parts = [
+            interleaved_partition(n, 3, chunk=5),
+            permuted_bands(np.random.default_rng(4).permutation(n), 3, overlap=3),
+        ]
+        for part in parts:
+            scheme = make_weighting("ownership", part)
+            result = async_iterate(A, b, part, scheme, get_solver("scipy"))
+            assert result.converged
+            norm_A = float(np.max(np.abs(A).sum(axis=1)))
+            assert result.residual <= 1e-8 * max(1.0, norm_A)
+            assert np.max(np.abs(result.x - x_true)) < 1e-5
+
     def test_repeated_runs_agree_within_tolerance(self):
         """Scheduling differs run to run; the solution must not."""
         A, b, _, part, scheme = self._problem(seed=8)

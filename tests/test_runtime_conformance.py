@@ -31,6 +31,7 @@ from repro.core import (
     multisplitting_iterate,
     uniform_bands,
 )
+from repro.core.partition import interleaved_partition, permuted_bands
 from repro.core.stopping import StoppingCriterion
 from repro.direct import get_solver
 from repro.direct.cache import FactorizationCache
@@ -65,6 +66,35 @@ def _problem(n=96, L=4, seed=5):
     b, _ = rhs_for_solution(A, seed=seed + 1)
     part = uniform_bands(n, L).to_general()
     scheme = make_weighting("ownership", part)
+    return A, b, part, scheme
+
+
+#: The partition-generality axis: every decomposition shape of the
+#: paper's Remarks 2-3, including the overlapping Schwarz regime.
+PARTITION_KINDS = ("band", "schwarz", "interleaved", "permuted")
+
+
+def _general_problem(kind, n=96, L=4, seed=5):
+    """A problem over one of the general decomposition shapes."""
+    A = diagonally_dominant(n, dominance=1.5, bandwidth=4, seed=seed)
+    b, _ = rhs_for_solution(A, seed=seed + 1)
+    if kind == "band":
+        part = uniform_bands(n, L).to_general()
+        scheme = make_weighting("ownership", part)
+    elif kind == "schwarz":
+        # Overlapping bands combined by the Section-4.3 Schwarz family.
+        part = uniform_bands(n, L, overlap=6).to_general()
+        scheme = make_weighting("schwarz", part)
+    elif kind == "interleaved":
+        # Remark 2: several non-adjacent bands per processor.
+        part = interleaved_partition(n, L, chunk=4)
+        scheme = make_weighting("ownership", part)
+    else:  # permuted
+        # Remark 2's permutation layout, with overlap so components have
+        # several owners -- exercised through O'Leary-White averaging.
+        perm = np.random.default_rng(seed).permutation(n)
+        part = permuted_bands(perm, L, overlap=4)
+        scheme = make_weighting("averaging", part)
     return A, b, part, scheme
 
 
@@ -213,6 +243,70 @@ class TestCacheConformance:
             )
         assert first.cache_stats.misses == part.nprocs
         assert second.cache_stats.misses == 0
+
+
+class TestPartitionGeneralityConformance:
+    """Satellite: the partition-generality × backend conformance matrix.
+
+    {band, band+overlap/Schwarz, interleaved, permuted} × all four
+    executors: every decomposition shape must produce **bit-identical**
+    iterates on every backend (the general owned-rows attach ships
+    arbitrary ``A[J_l, :]`` slices to process/socket workers, and a
+    block solve stays a pure function of ``(block, z)``), and the
+    factor-cache accounting must stay coherent wherever the counters
+    physically live.
+    """
+
+    @pytest.mark.parametrize("kind", PARTITION_KINDS)
+    def test_bit_identical_vs_inline(self, backend, kind):
+        A, b, part, scheme = _general_problem(kind)
+        stopping = StoppingCriterion(tolerance=1e-300, max_iterations=6)
+        with _make_executor("inline") as ref_ex, _make_executor(backend) as ex:
+            ref = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"),
+                stopping=stopping, executor=ref_ex,
+            )
+            res = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"),
+                stopping=stopping, executor=ex,
+            )
+        assert res.backend == backend
+        assert res.history == ref.history
+        np.testing.assert_array_equal(res.x, ref.x)
+
+    @pytest.mark.parametrize("kind", PARTITION_KINDS)
+    def test_cache_stats_coherent(self, backend, kind):
+        """Factor-once accounting holds on every decomposition shape:
+        misses == blocks, one hit per block per iteration."""
+        A, b, part, scheme = _general_problem(kind)
+        cache = FactorizationCache()
+        with _make_executor(backend) as ex:
+            res = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"), cache=cache, executor=ex
+            )
+        assert res.converged
+        stats = res.cache_stats
+        assert stats is not None
+        assert stats.misses == part.nprocs
+        assert stats.hits == res.iterations * part.nprocs
+
+    @pytest.mark.parametrize("kind", ("interleaved", "permuted"))
+    def test_chaotic_keeps_schedule_on_general_partitions(self, backend, kind):
+        """The seeded chaotic driver replays identically on every backend
+        for general decompositions too (the schedule lives driver-side)."""
+        A, b, part, scheme = _general_problem(kind)
+        kwargs = dict(
+            stopping=StoppingCriterion(tolerance=1e-8, consecutive=3),
+            seed=2,
+        )
+        ref = chaotic_iterate(A, b, part, scheme, get_solver("scipy"), **kwargs)
+        with _make_executor(backend) as ex:
+            res = chaotic_iterate(
+                A, b, part, scheme, get_solver("scipy"), executor=ex, **kwargs
+            )
+        assert res.converged == ref.converged
+        assert res.iterations == ref.iterations
+        np.testing.assert_array_equal(res.x, ref.x)
 
 
 class TestCrashSafety:

@@ -126,6 +126,104 @@ class TestPlacementPlan:
         assert plan.worker_of(2).name == "c"
 
 
+class TestGeneralPlans:
+    """Placement.layout: plans that schedule arbitrary index sets."""
+
+    def _part(self, n=40, L=4):
+        from repro.core.partition import interleaved_partition
+
+        return interleaved_partition(n, L, chunk=2)
+
+    def test_with_layout_round_trip(self):
+        part = self._part()
+        plan = uniform_placement(40, 4).with_layout(part)
+        assert plan.partition() is part
+        assert plan.partition().to_general() is part
+        assert plan.sizes == tuple(int(c.size) for c in part.core)
+        assert plan.summary()["partition"] == "general"
+        assert uniform_placement(40, 4).summary()["partition"] == "bands"
+
+    def test_layout_validation(self):
+        part = self._part()
+        with pytest.raises(ValueError, match="core sizes"):
+            Placement(
+                strategy="x",
+                n=40,
+                workers=tuple(WorkerSlot(name=f"w{i}") for i in range(4)),
+                sizes=(37, 1, 1, 1),
+                assignment=(0, 1, 2, 3),
+                layout=part,
+            )
+        with pytest.raises(ValueError, match="blocks"):
+            uniform_placement(40, 2).with_layout(part)
+        with pytest.raises(ValueError, match="overlap"):
+            uniform_placement(40, 4).with_layout(part).partition(overlap=3)
+
+    def test_partition_placement_over_cluster(self):
+        from repro.schedule import partition_placement
+
+        part = self._part()
+        cluster = cluster3(4)
+        plan = partition_placement(cluster, part)
+        assert plan.layout is part
+        assert plan.assignment == (0, 1, 2, 3)
+        assert [w.name for w in plan.workers] == [
+            h.name for h in cluster.hosts[:4]
+        ]
+        # calibrated: a deterministic one-block-per-host matching
+        A, _ = _problem(n=40)
+        cal = partition_placement(cluster, part, strategy="calibrated", A=A)
+        assert sorted(cal.assignment) == [0, 1, 2, 3]
+        again = partition_placement(cluster, part, strategy="calibrated", A=A)
+        assert cal.assignment == again.assignment
+
+    def test_cluster_placement_partition_kwarg(self):
+        part = self._part()
+        plan = cluster3(4).placement(40, strategy="proportional", partition=part)
+        assert plan.layout is part
+        assert plan.summary()["partition"] == "general"
+
+    def test_schwarz_strategy_keeps_calibrated_sizes(self):
+        """Schwarz is bands + overlap: a calibrated plan's cost-balanced
+        core sizes must survive, only the extended sets grow."""
+        from repro.core.solver import MultisplittingSolver
+
+        A, b = _problem(n=200)
+        cluster = cluster3(4)
+        kwargs = dict(mode="synchronous", placement="calibrated")
+        with MultisplittingSolver(4, **kwargs) as bands, MultisplittingSolver(
+            4, partition_strategy="schwarz", weighting="schwarz", **kwargs
+        ) as schwarz:
+            r_band = bands.solve(A, b, cluster=cluster)
+            r_schwarz = schwarz.solve(A, b, cluster=cluster)
+        assert r_schwarz.converged
+        assert r_schwarz.placement["sizes"] == r_band.placement["sizes"]
+        assert r_schwarz.placement["partition"] == "general"
+
+    def test_pattern_fixed_costs_feed_calibrated_bands(self):
+        """cluster_placement(A=...) prices the real graph: a matrix whose
+        long-range coupling taxes a band the nearest-neighbour formula
+        thinks is cheap produces a different (pattern-aware) plan."""
+        import scipy.sparse as sp
+
+        n, L = 400, 4
+        main = np.full(n, 4.0)
+        off = np.full(n - 1, -1.0)
+        A = sp.lil_matrix(sp.diags([off, main, off], offsets=(-1, 0, 1)))
+        # band 0 reads strided columns everywhere: heavy fan-in the band
+        # formula cannot see
+        cols = list(range(150, n, 10))
+        for r in range(0, 40, 2):
+            A[r, cols] = -0.01
+            A[r, r] += 0.01 * len(cols)
+        A = A.tocsr()
+        cluster = cluster3(L)
+        blind = cluster_placement(cluster, L, strategy="calibrated", n=n)
+        aware = cluster_placement(cluster, L, strategy="calibrated", n=n, A=A)
+        assert sum(aware.sizes) == n
+        assert aware.sizes != blind.sizes
+
+
 class TestClusterPlacement:
     def test_proportional_matches_host_speeds(self):
         c = cluster2(8)
