@@ -19,6 +19,8 @@ The package is organised as:
 * :mod:`repro.matrices` -- workload generators and the named registry for
   the paper's five inputs.
 * :mod:`repro.experiments` -- runners regenerating every table and figure.
+* :mod:`repro.serve` -- the multi-tenant batching gateway serving live
+  concurrent solve requests over a shared factorization cache.
 
 Quickstart::
 

@@ -22,6 +22,7 @@ Three execution modes:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -217,6 +218,17 @@ class MultisplittingSolver:
         solver and reused across :meth:`solve` calls -- call
         :meth:`close` (or use the solver as a context manager) to tear
         down its workers; a passed-in instance is never closed.
+
+        The facade is re-entrant: concurrent :meth:`solve` calls from
+        many threads are safe when ``backend`` is a *name* (each thread
+        lazily owns its own executor -- executors hold per-binding
+        attach state, so sharing one across threads would interleave
+        bindings), and when a shared ``cache`` is configured its
+        counters stay exact (the cache itself is lock-exact; only the
+        *per-call attribution* on ``SolveResult.cache_stats`` can
+        interleave under the distributed modes).  A passed-in
+        ``Executor`` instance is inherently single-binding and must not
+        be driven from multiple threads.
     fault_policy:
         Optional :class:`repro.runtime.resilience.FaultPolicy` arming
         mid-solve worker recovery on the execution backend: a worker
@@ -293,11 +305,20 @@ class MultisplittingSolver:
             self.cache = cache
         self.backend = backend
         self.fault_policy = fault_policy
-        self._executor = None
-        self._owns_executor = False
+        # Executors carry per-binding attach state, so one instance can
+        # serve only one thread at a time.  A *name* backend therefore
+        # resolves to one owned executor per calling thread (the serve
+        # pool drives a solver from worker threads); the registry lets
+        # close() tear every one of them down, whichever thread it runs
+        # on.  A passed-in Executor instance is used as-is and never
+        # closed.
+        self._thread_local = threading.local()
+        self._owned_executors: list = []
+        self._lock = threading.Lock()
         # Live-calibration memo: measuring the backend's workers is a
         # micro-benchmark, and a fresh measurement each solve would
         # jitter the band sizes and defeat factor reuse across solves.
+        # Guarded by ``_lock`` for concurrent solve() calls.
         self._calibrated_plans: dict = {}
         default_consecutive = 1 if mode != "asynchronous" else 3
         if max_iterations is None:
@@ -314,21 +335,41 @@ class MultisplittingSolver:
 
     # -- runtime backend -----------------------------------------------
     def _get_executor(self):
-        """Resolve (and, for names, lazily own) the runtime executor."""
-        if self._executor is None:
-            from repro.runtime import Executor, get_executor
+        """Resolve the runtime executor for the *calling thread*.
 
-            self._owns_executor = not isinstance(self.backend, Executor)
-            self._executor = get_executor(self.backend)
-        return self._executor
+        A passed-in :class:`~repro.runtime.Executor` instance is
+        returned as-is (single-binding: the caller owns its threading
+        discipline).  A backend *name* resolves to one lazily-created
+        executor per thread, reused across that thread's solve() calls
+        and registered for :meth:`close`.
+        """
+        from repro.runtime import Executor, get_executor
+
+        if isinstance(self.backend, Executor):
+            return self.backend
+        executor = getattr(self._thread_local, "executor", None)
+        if executor is None:
+            executor = get_executor(self.backend)
+            self._thread_local.executor = executor
+            with self._lock:
+                self._owned_executors.append(executor)
+        return executor
 
     def close(self) -> None:
-        """Tear down the solver-owned execution backend (idempotent)."""
-        if self._executor is not None and self._owns_executor:
-            self._executor.close()
-        self._executor = None
-        # New workers may come up with different speeds: re-measure.
-        self._calibrated_plans.clear()
+        """Tear down every solver-owned execution backend (idempotent).
+
+        Owned executors created by *other* threads' solve() calls are
+        closed too -- do not race close() against in-flight solves.
+        """
+        with self._lock:
+            owned, self._owned_executors = self._owned_executors, []
+            # New workers may come up with different speeds: re-measure.
+            self._calibrated_plans.clear()
+        # Fresh thread-local map so no thread keeps handing out a closed
+        # executor; the next solve() lazily owns a new one.
+        self._thread_local = threading.local()
+        for executor in owned:
+            executor.close()
 
     def __enter__(self) -> "MultisplittingSolver":
         return self
@@ -437,11 +478,18 @@ class MultisplittingSolver:
         # are presumed equal without a measurement or a model).
         if strategy == "calibrated":
             key = (n, nprocs)
-            if key not in self._calibrated_plans:
-                self._calibrated_plans[key] = calibrated_placement(
+            with self._lock:
+                plan = self._calibrated_plans.get(key)
+            if plan is None:
+                measured = calibrated_placement(
                     self._get_executor(), n, nprocs, overlap=self.overlap
                 )
-            return self._calibrated_plans[key]
+                with self._lock:
+                    # Two threads may have measured concurrently; the
+                    # first one in wins so every later solve reuses the
+                    # same band sizes (stable factor-cache keys).
+                    plan = self._calibrated_plans.setdefault(key, measured)
+            return plan
         return uniform_placement(n, nprocs, overlap=self.overlap)
 
     def _resolve_weighting(self, partition: GeneralPartition) -> WeightingScheme:

@@ -247,7 +247,17 @@ class FactorizationCache:
     capacity:
         Maximum number of retained factorizations (LRU eviction).  ``None``
         means unbounded -- appropriate when the caller controls the number
-        of distinct sub-blocks, as the multisplitting drivers do.
+        of distinct sub-blocks, as the multisplitting drivers do.  A
+        long-lived *shared* cache (the serve gateway's cross-tenant
+        store) bounds it and may later :meth:`resize` the bound as
+        tenancy changes.
+    on_evict:
+        Optional callback invoked as ``on_evict(key)`` for every entry
+        dropped by the capacity bound (not for explicit
+        :meth:`invalidate`/:meth:`clear`).  Called *outside* the cache
+        lock -- it may safely consult the cache -- and after the entry
+        is already gone; the serve layer uses it to observe cold-start
+        pressure per tenant.
 
     Notes
     -----
@@ -262,14 +272,51 @@ class FactorizationCache:
     factor genuinely in parallel instead of serialising on the cache.
     """
 
-    def __init__(self, *, capacity: int | None = None):
+    def __init__(self, *, capacity: int | None = None, on_evict=None):
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be positive (or None for unbounded)")
         self.capacity = capacity
+        self.on_evict = on_evict
         self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
         self._lock = threading.Lock()
         self._in_flight: dict[CacheKey, threading.Event] = {}
         self.stats = CacheStats()
+
+    # -- capacity management ---------------------------------------------
+    def _evict_over_capacity_locked(self) -> list[CacheKey]:
+        """Drop LRU entries past ``capacity``; returns the evicted keys.
+
+        Must be called with ``_lock`` held; the caller fires ``on_evict``
+        after releasing it.
+        """
+        evicted: list[CacheKey] = []
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                key, _ = self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                evicted.append(key)
+        return evicted
+
+    def _notify_evicted(self, evicted: list[CacheKey]) -> None:
+        if self.on_evict is not None:
+            for key in evicted:
+                self.on_evict(key)
+
+    def resize(self, capacity: int | None) -> int:
+        """Change the LRU bound in place; returns how many entries were
+        evicted to honour a *tighter* bound.
+
+        ``None`` lifts the bound.  Shrinking drops least-recently-used
+        entries immediately (counted as evictions, reported to
+        ``on_evict``) so the next admission does not pay the debt.
+        """
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        with self._lock:
+            self.capacity = capacity
+            evicted = self._evict_over_capacity_locked()
+        self._notify_evicted(evicted)
+        return len(evicted)
 
     # -- keying ----------------------------------------------------------
     def key_for(self, solver: DirectSolver, A) -> CacheKey:
@@ -323,11 +370,9 @@ class FactorizationCache:
             self.stats.factor_seconds_spent += dt
             self._entries[key] = _Entry(factorization=fact, factor_seconds=dt)
             del self._in_flight[key]
-            if self.capacity is not None:
-                while len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
-                    self.stats.evictions += 1
+            evicted = self._evict_over_capacity_locked()
         pending.set()
+        self._notify_evicted(evicted)
         return fact
 
     def get(self, key: CacheKey, *, count_miss: bool = True) -> Factorization | None:

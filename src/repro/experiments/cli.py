@@ -34,7 +34,7 @@ from repro.experiments.report import (
 from repro.experiments.tables import EXPERIMENTS, run_experiment
 from repro.runtime import available_backends
 
-__all__ = ["main"]
+__all__ = ["main", "main_serve"]
 
 _CHECKS = {
     "table1": check_scalability_shape,
@@ -113,6 +113,103 @@ def main(argv: list[str] | None = None) -> int:
                 status = 1
         print()
     return status
+
+
+def main_serve(argv: list[str] | None = None) -> int:
+    """Run the batching gateway under seeded open-loop traffic.
+
+    The ``repro-serve`` entry point (also ``python -m repro.serve``):
+    builds a small fleet of tenant matrices, fires a Poisson trace with
+    hot/cold popularity skew at the gateway, and prints the served
+    interval's throughput/latency/cache numbers.
+    """
+    import asyncio
+
+    import numpy as np
+
+    from repro.matrices import diagonally_dominant
+    from repro.serve import ServeGateway, SolverPool, poisson_trace, run_open_loop
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve multisplitting solves behind the micro-batching "
+        "gateway under seeded open-loop traffic.",
+    )
+    parser.add_argument("--n", type=int, default=160, help="matrix order")
+    parser.add_argument("--tenants", type=int, default=6, help="distinct matrices")
+    parser.add_argument("--blocks", type=int, default=4, help="bands per solve")
+    parser.add_argument("--pool", type=int, default=4, help="solver worker threads")
+    parser.add_argument("--rate", type=float, default=200.0, help="offered req/s")
+    parser.add_argument("--duration", type=float, default=2.0, help="trace seconds")
+    parser.add_argument("--skew", type=float, default=1.0, help="popularity skew")
+    parser.add_argument("--seed", type=int, default=0, help="trace seed")
+    parser.add_argument(
+        "--window", type=float, default=0.005, help="batching window seconds"
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=32, help="right-hand sides per round"
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=512, help="admission bound before shedding"
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=256,
+        help="shared factorization-cache LRU bound",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="inline",
+        help="runtime backend each pool worker drives (default: inline)",
+    )
+    args = parser.parse_args(argv)
+
+    matrices = [
+        diagonally_dominant(args.n, dominance=1.5, bandwidth=4, seed=s)
+        for s in range(args.tenants)
+    ]
+    rhs_rng = np.random.default_rng(args.seed + 1)
+    rhs_bank = rhs_rng.standard_normal((64, args.n))
+
+    pool = SolverPool(
+        size=args.pool,
+        processors=args.blocks,
+        cache_capacity=args.cache_capacity,
+        backend=args.backend,
+    )
+    try:
+        gateway = ServeGateway(
+            pool,
+            window=args.window,
+            max_batch=args.max_batch,
+            max_pending=args.max_pending,
+        )
+        keys = [gateway.register(A) for A in matrices]
+        trace = poisson_trace(
+            args.rate, args.duration, args.tenants, skew=args.skew, seed=args.seed
+        )
+        print(
+            f"offering {len(trace)} requests over {args.duration:.1f}s "
+            f"({args.rate:.0f} req/s, {args.tenants} tenants, skew {args.skew}) "
+            f"window={args.window * 1e3:.1f}ms max_batch={args.max_batch}"
+        )
+        stats = asyncio.run(
+            run_open_loop(
+                gateway, keys, trace,
+                lambda arrival, i: rhs_bank[i % len(rhs_bank)],
+            )
+        )
+    finally:
+        pool.close()
+    print(stats.summary())
+    if stats.cache_stats is not None:
+        c = stats.cache_stats
+        print(
+            f"cache: {c.hits} hits / {c.misses} misses "
+            f"(hit rate {c.hit_rate:.2f}, "
+            f"{c.factor_seconds_saved:.2f}s factor time saved)"
+        )
+    return 0 if stats.completed > 0 else 1
 
 
 if __name__ == "__main__":

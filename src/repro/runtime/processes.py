@@ -200,7 +200,12 @@ def _worker_main(rank: int, task_q, reply_conn) -> None:
                 reply_conn.send(("detached", epoch, rank))
             else:  # pragma: no cover - protocol violation
                 reply_conn.send(("error", epoch, rank, f"unknown verb {kind!r}"))
-        except BaseException:
+        except Exception:
+            # Exception (not BaseException): kernel and programming
+            # errors are serialized back to the driver as error frames,
+            # but a KeyboardInterrupt/SystemExit must still kill the
+            # worker -- swallowing it would leave an unkillable loop
+            # (mirrors the socket worker's policy).
             reply_conn.send(("error", epoch, rank, traceback.format_exc()))
 
 
@@ -308,6 +313,22 @@ class ProcessExecutor(Executor):
             if rank >= len(self._workers) or not self._workers[rank].is_alive():
                 self._spawn_at(rank)
 
+    def _reply_wait_seconds(self) -> float:
+        """Hard bound on one reply wait, governed by the armed policy.
+
+        The module default ``_REPLY_TIMEOUT`` is a backstop for unarmed
+        bindings.  When a :class:`FaultPolicy` with its own ``deadline``
+        is armed, that deadline governs: a *generous* policy (deadline
+        beyond the default) extends the hard bound so the round is never
+        cut short by the hardcoded constant, while a *tight* deadline is
+        enforced by the solve loop's per-round breach check (which reaps
+        the hung worker long before either bound fires).
+        """
+        policy = self._policy
+        if policy is not None and policy.deadline is not None:
+            return max(_REPLY_TIMEOUT, policy.deadline)
+        return _REPLY_TIMEOUT
+
     def _poll_replies(self, timeout: float) -> list[tuple]:
         """Drain every reply ready on the live workers' pipes.
 
@@ -341,7 +362,7 @@ class ProcessExecutor(Executor):
         (:meth:`solve_blocks`) recovers.
         """
         replies = []
-        deadline = time.monotonic() + _REPLY_TIMEOUT
+        deadline = time.monotonic() + self._reply_wait_seconds()
         while len(replies) < count:
             batch = self._poll_replies(timeout=1.0)
             if not batch:
@@ -490,7 +511,7 @@ class ProcessExecutor(Executor):
         and the attach transaction completes instead of aborting.
         """
         hb = self._policy.heartbeat_interval if self._policy is not None else 1.0
-        deadline = time.monotonic() + _REPLY_TIMEOUT
+        deadline = time.monotonic() + self._reply_wait_seconds()
         while any(c > 0 for c in expected.values()):
             batch = self._poll_replies(timeout=hb)
             if batch:
@@ -523,7 +544,7 @@ class ProcessExecutor(Executor):
                     expected.pop(w, None)
                 for w in self._rehome_dead(dead):
                     expected[w] = expected.get(w, 0) + 1
-                deadline = time.monotonic() + _REPLY_TIMEOUT
+                deadline = time.monotonic() + self._reply_wait_seconds()
             elif time.monotonic() > deadline:
                 outstanding = sorted(w for w, c in expected.items() if c > 0)
                 raise RuntimeError(
@@ -657,7 +678,7 @@ class ProcessExecutor(Executor):
         # solves meanwhile; those replies are folded in as they arrive).
         acks = 0
         hb = self._policy.heartbeat_interval
-        deadline = time.monotonic() + _REPLY_TIMEOUT
+        deadline = time.monotonic() + self._reply_wait_seconds()
         while acks < len(adopters):
             batch = self._poll_replies(timeout=hb)
             if not batch:
@@ -708,7 +729,7 @@ class ProcessExecutor(Executor):
         policy = self._policy
         hb = policy.heartbeat_interval if policy is not None else 1.0
         round_start = time.monotonic()
-        hard_deadline = round_start + _REPLY_TIMEOUT
+        hard_deadline = round_start + self._reply_wait_seconds()
         while remaining:
             batch = self._poll_replies(timeout=hb)
             if batch:
@@ -755,6 +776,7 @@ class ProcessExecutor(Executor):
                 continue
             self._recover(dead, remaining, pending)
             round_start = time.monotonic()  # a fresh deadline after recovery
+            hard_deadline = round_start + self._reply_wait_seconds()
         return [self._piece_plane.read(l) for l in blocks]
 
     def map(self, fn: Callable, items: Iterable) -> list:
@@ -791,9 +813,13 @@ class ProcessExecutor(Executor):
         """
         try:
             self.detach()
-        except Exception:
-            # A dead/hung worker cannot acknowledge the detach; the
-            # planes were already reclaimed by detach's finally clause.
+        except (RuntimeError, OSError):
+            # A dead/hung worker cannot acknowledge the detach (worker
+            # deaths and timeouts surface as RuntimeError, broken pipes
+            # as OSError); the planes were already reclaimed by detach's
+            # finally clause.  Anything else is a programming error and
+            # propagates instead of being silently classified as a
+            # teardown casualty.
             pass
         for task_q, proc in zip(self._task_qs, self._workers):
             if proc.is_alive():

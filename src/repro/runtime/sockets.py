@@ -59,6 +59,7 @@ import argparse
 import multiprocessing as mp
 import os
 import pickle
+import queue
 import socket
 import struct
 import threading
@@ -358,7 +359,11 @@ class SocketExecutor(Executor):
             timeout = max(0.1, deadline - time.monotonic())
             try:
                 reports.append(port_q.get(timeout=timeout))
-            except Exception:
+            except queue.Empty:
+                # Narrow on purpose: only the expected "no report within
+                # the deadline" becomes the spawn-failure diagnosis; a
+                # programming error in the queue path must propagate as
+                # itself, not masquerade as a worker startup failure.
                 self.close()
                 raise RuntimeError(
                     "loopback socket workers failed to report their ports"
@@ -554,15 +559,19 @@ class SocketExecutor(Executor):
         self._epoch += 1
         try:
             # Best-effort per worker: detach runs in drivers' finally
-            # blocks, so a dead peer must not raise here and replace the
+            # blocks, so a *dead peer* must not raise here and replace the
             # informative original failure (the broken connection will
-            # surface on the next attach anyway).
+            # surface on the next attach anyway).  Only death-shaped
+            # failures (broken streams, _WorkerGone) are swallowed:
+            # a worker-reported error frame or a protocol violation is a
+            # real bug and propagates instead of being misclassified as
+            # an expected teardown casualty.
             for w in self._live_ranks():
                 try:
                     self._socks[w].settimeout(self.reply_timeout)
                     send_msg(self._socks[w], ("detach", self._epoch))
                     self._recv_reply(w, "detached")
-                except (OSError, RuntimeError):
+                except (OSError, _WorkerGone):
                     continue
         finally:
             self._attached = False
@@ -710,13 +719,27 @@ class SocketExecutor(Executor):
         done: list[tuple[int, np.ndarray, float]] = []
         try:
             self._socks[w].settimeout(self._solve_timeout())
-        except OSError:
-            pass  # already broken; the first send below reports it
+        except OSError as exc:
+            # The stream is already broken: every task is undone and the
+            # caller's recovery owns the diagnosis.
+            return done, list(tasks), _WorkerGone(w, exc)
         for i, (l, z) in enumerate(tasks):
             try:
+                # A send to a dead peer is a worker death exactly like a
+                # failed recv (whether it surfaces here or on the reply is
+                # a TCP timing accident), so both convert to _WorkerGone
+                # and route through recovery.  Worker-reported kernel
+                # error frames raise out of _recv_reply as RuntimeError
+                # and are deliberately NOT caught here: a broken kernel
+                # must surface to the caller, never be misread as a
+                # worker loss and "recovered" into an infinite refactor
+                # loop.
                 send_msg(
                     self._socks[w], ("solve", self._epoch, l, np.asarray(z, float))
                 )
+            except (ConnectionError, OSError) as exc:
+                return done, tasks[i:], _WorkerGone(w, exc)
+            try:
                 _, _, rl, piece, dt = self._recv_reply(w, "done")
             except _WorkerGone as exc:
                 return done, tasks[i:], exc

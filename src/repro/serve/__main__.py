@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` -- the ``repro-serve`` traffic driver."""
+
+from repro.experiments.cli import main_serve
+
+if __name__ == "__main__":
+    raise SystemExit(main_serve())

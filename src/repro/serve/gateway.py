@@ -1,0 +1,188 @@
+"""The asyncio admission gateway: :class:`ServeGateway`.
+
+Requests arrive one right-hand side at a time; the gateway coalesces
+concurrent requests that share a registered matrix into one ``(n, k)``
+multisplitting round (the batching *window* bounds how long the first
+request of a round waits for company; ``max_batch`` bounds how much
+company it can get), dispatches rounds onto the
+:class:`~repro.serve.pool.SolverPool`'s worker threads, and fans the
+solution columns back out to the awaiting callers.
+
+Admission is bounded: at most ``max_pending`` requests may be queued or
+in flight at once, and requests beyond that are *shed* with the typed
+:class:`GatewayOverloaded` error rather than queued into unbounded
+latency -- back-pressure is explicit, never silent.
+
+All gateway state is touched only on the event loop (solves run on pool
+threads, but their completion callbacks land back on the loop), so no
+locks are needed and the per-request metrics can never tear.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.metrics import RequestRecord, ServeStats
+
+__all__ = ["GatewayOverloaded", "ServeGateway"]
+
+
+class GatewayOverloaded(RuntimeError):
+    """Typed shed signal: the admission bound is full.
+
+    Callers distinguish "try again later" from a solve failure by type,
+    not by message parsing.
+    """
+
+    def __init__(self, pending: int, limit: int):
+        super().__init__(
+            f"gateway overloaded: {pending} requests pending >= limit {limit}"
+        )
+        self.pending = pending
+        self.limit = limit
+
+
+class ServeGateway:
+    """Micro-batching front door over a :class:`SolverPool`.
+
+    Parameters
+    ----------
+    pool:
+        The solving substrate (owns threads, facade, shared cache).
+    window:
+        Seconds the first request of a round waits for others to join.
+        ``0`` flushes on the next loop tick (only same-tick arrivals
+        coalesce); paired with ``max_batch=1`` that is the
+        request-at-a-time baseline.
+    max_batch:
+        Right-hand sides per solve round; a full round flushes without
+        waiting out the window.
+    max_pending:
+        Admission bound (queued + in-flight requests).  Beyond it,
+        :meth:`submit` raises :class:`GatewayOverloaded`.
+    """
+
+    def __init__(
+        self,
+        pool,
+        *,
+        window: float = 0.005,
+        max_batch: int = 32,
+        max_pending: int = 256,
+    ):
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        self.pool = pool
+        self.window = float(window)
+        self.max_pending = max_pending
+        self._batcher = MicroBatcher(max_batch=max_batch)
+        self._timers: dict[str, asyncio.TimerHandle] = {}
+        self._inflight: set[asyncio.Future] = set()
+        self._admitted = 0
+        self._records: list[RequestRecord] = []
+        self._shed = 0
+        self._batches = 0
+
+    # -- tenancy ---------------------------------------------------------
+    def register(self, A) -> str:
+        """Admit a matrix; returns the content key to submit under."""
+        return self.pool.register(A)
+
+    # -- the request path ------------------------------------------------
+    async def submit(self, key: str, b) -> np.ndarray:
+        """Solve ``A x = b`` for the matrix registered under ``key``.
+
+        Awaits the coalesced round's completion and returns this
+        request's solution column.  Raises :class:`GatewayOverloaded`
+        when the admission bound is full, or the solve's own error when
+        the round fails.
+        """
+        loop = asyncio.get_running_loop()
+        if self._admitted >= self.max_pending:
+            self._shed += 1
+            raise GatewayOverloaded(self._admitted, self.max_pending)
+        self._admitted += 1
+        request = PendingRequest(
+            rhs=np.asarray(b, dtype=float),
+            future=loop.create_future(),
+            arrival=loop.time(),
+        )
+        action = self._batcher.add(key, request)
+        if action == "flush":
+            self._flush(key)
+        elif action == "opened":
+            if self.window > 0:
+                self._timers[key] = loop.call_later(self.window, self._flush, key)
+            else:
+                # Zero window: dispatch on the next tick, so only
+                # arrivals of the *same* tick share the round.
+                loop.call_soon(self._flush, key)
+        return await request.future
+
+    # -- batching machinery (event-loop only) -----------------------------
+    def _flush(self, key: str) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        requests = self._batcher.take(key)
+        if not requests:
+            return  # benign race: max-batch flush beat the window timer
+        loop = asyncio.get_running_loop()
+        B = np.column_stack([r.rhs for r in requests])
+        self._batches += 1
+        round_fut = asyncio.ensure_future(
+            loop.run_in_executor(
+                self.pool.threads, self.pool.solve_batch, key, B
+            )
+        )
+        self._inflight.add(round_fut)
+        round_fut.add_done_callback(
+            lambda fut, key=key, requests=requests: self._complete(
+                key, requests, fut
+            )
+        )
+
+    def _complete(self, key: str, requests: list[PendingRequest], fut) -> None:
+        self._inflight.discard(fut)
+        self._admitted -= len(requests)
+        exc = None if fut.cancelled() else fut.exception()
+        if fut.cancelled() or exc is not None:
+            for r in requests:
+                if not r.future.done():
+                    if exc is not None:
+                        r.future.set_exception(exc)
+                    else:
+                        r.future.cancel()
+            return
+        X = fut.result()
+        now = asyncio.get_running_loop().time()
+        k = len(requests)
+        for j, r in enumerate(requests):
+            self._records.append(
+                RequestRecord(tenant=key, latency=now - r.arrival, batch_size=k)
+            )
+            if not r.future.done():
+                r.future.set_result(X[:, j])
+
+    # -- lifecycle / observability ----------------------------------------
+    async def drain(self) -> None:
+        """Flush every open batch and wait for in-flight rounds."""
+        for key in self._batcher.open_keys():
+            self._flush(key)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    def stats(self, *, wall_seconds: float) -> ServeStats:
+        """Aggregate metrics of everything served so far."""
+        return ServeStats.from_records(
+            self._records,
+            shed=self._shed,
+            batches=self._batches,
+            wall_seconds=wall_seconds,
+            cache_stats=self.pool.cache_stats(),
+        )

@@ -1,0 +1,129 @@
+"""The solving substrate behind the gateway: :class:`SolverPool`.
+
+One re-entrant :class:`~repro.core.solver.MultisplittingSolver` facade
+is shared by a bounded thread pool (the facade owns one executor per
+worker thread), and every worker resolves factorizations through one
+cross-tenant :class:`~repro.direct.cache.FactorizationCache`: the first
+request against a matrix pays the band factorizations, every coalesced
+or repeat request after it is solve-only (the paper's factor-once /
+solve-many economics, applied across tenants instead of across
+iterations).  The cache is capacity-bounded so a long-lived pool under
+many cold tenants evicts least-recently-used factorizations instead of
+growing without bound.
+
+Matrices are admitted by *content*: :meth:`SolverPool.register`
+fingerprints the matrix and returns the key requests are submitted
+under, so two tenants uploading byte-identical systems share one cache
+entry (and one solve round, when their requests coalesce).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.solver import MultisplittingSolver
+from repro.direct.cache import CacheStats, FactorizationCache, matrix_fingerprint
+
+__all__ = ["SolverPool"]
+
+
+class SolverPool:
+    """A fixed-size pool of solver workers over one shared cache.
+
+    Parameters
+    ----------
+    size:
+        Concurrent solve rounds (worker threads).  Each worker thread
+        lazily owns its own runtime executor inside the shared facade.
+    processors:
+        Band count ``L`` of every multisplitting solve.
+    cache_capacity:
+        LRU bound on the shared factorization cache (``None`` =
+        unbounded).  Each matrix consumes ``L`` entries (one per band).
+    backend / direct_solver / solver_kwargs:
+        Forwarded to :class:`MultisplittingSolver` (sequential mode).
+    """
+
+    def __init__(
+        self,
+        *,
+        size: int = 4,
+        processors: int = 4,
+        cache_capacity: int | None = 256,
+        backend: str = "inline",
+        direct_solver: str = "scipy",
+        **solver_kwargs,
+    ):
+        if size < 1:
+            raise ValueError("size must be positive")
+        self.size = size
+        self.cache = FactorizationCache(capacity=cache_capacity)
+        self.solver = MultisplittingSolver(
+            processors=processors,
+            mode="sequential",
+            direct_solver=direct_solver,
+            cache=self.cache,
+            backend=backend,
+            **solver_kwargs,
+        )
+        self.threads = ThreadPoolExecutor(
+            max_workers=size, thread_name_prefix="repro-serve"
+        )
+        self._matrices: dict[str, object] = {}
+
+    # -- tenancy ---------------------------------------------------------
+    def register(self, A) -> str:
+        """Admit matrix ``A``; returns its content key.
+
+        Byte-identical matrices map to the same key regardless of who
+        registers them -- cross-tenant sharing is structural.
+        """
+        kind, shape, _, digest = matrix_fingerprint(A)
+        key = f"{kind}:{shape[0]}x{shape[1]}:{digest[:16]}"
+        self._matrices.setdefault(key, A)
+        return key
+
+    def matrix_for(self, key: str):
+        try:
+            return self._matrices[key]
+        except KeyError:
+            raise KeyError(f"unknown matrix key {key!r}; register() it first")
+
+    @property
+    def known_keys(self) -> list[str]:
+        return list(self._matrices)
+
+    # -- solving ---------------------------------------------------------
+    def solve_batch(self, key: str, B: np.ndarray) -> np.ndarray:
+        """Solve ``A X = B`` for the registered matrix ``key``.
+
+        ``B`` is an ``(n, k)`` column block (one column per coalesced
+        request); returns ``X`` with the same shape.  Runs on the
+        calling thread -- the gateway dispatches it onto
+        :attr:`threads`.
+        """
+        A = self.matrix_for(key)
+        result = self.solver.solve(A, B)
+        if not result.converged:
+            raise RuntimeError(
+                f"solve for {key} did not converge ({result.status}, "
+                f"{result.iterations} iterations, residual {result.residual:.2e})"
+            )
+        return result.x
+
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats.snapshot()
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Drain workers and tear down every owned executor (idempotent)."""
+        self.threads.shutdown(wait=True)
+        self.solver.close()
+
+    def __enter__(self) -> "SolverPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

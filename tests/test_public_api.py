@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.matrices",
     "repro.runtime",
     "repro.schedule",
+    "repro.serve",
 ]
 
 
