@@ -12,12 +12,19 @@ discusses in prose:
 
 import numpy as np
 import pytest
+from bench_output import emit
 from conftest import run_once
 
 from repro.core import MultisplittingSolver
 from repro.direct import get_solver
 from repro.grid import custom_cluster, cluster3
 from repro.matrices import banded_random, cage_like, diagonally_dominant, rhs_for_solution
+
+
+def _emit_timing(benchmark, name: str, *, seed: int | None = None) -> None:
+    """Record a microbench's timing stats as BENCH_<name>.json."""
+    stats = benchmark.stats.stats
+    emit(name, [("mean", stats.mean, "s"), ("min", stats.min, "s")], seed=seed)
 
 
 # -- direct kernels ----------------------------------------------------
@@ -28,6 +35,7 @@ def test_kernel_factor(benchmark, kernel):
     solver = get_solver(kernel)
     Ad = A.toarray() if kernel == "dense" else A
     benchmark(lambda: solver.factor(Ad))
+    _emit_timing(benchmark, f"kernel_factor_{kernel}", seed=1)
 
 
 @pytest.mark.parametrize("kernel", ["sparse", "scipy"])
@@ -36,6 +44,7 @@ def test_kernel_factor_cage(benchmark, kernel):
     A = cage_like(400, seed=2)
     solver = get_solver(kernel)
     benchmark(lambda: solver.factor(A))
+    _emit_timing(benchmark, f"kernel_factor_cage_{kernel}", seed=2)
 
 
 def test_kernel_resolve(benchmark):
@@ -44,6 +53,7 @@ def test_kernel_resolve(benchmark):
     fact = get_solver("scipy").factor(A)
     b = np.ones(600)
     benchmark(lambda: fact.solve(b))
+    _emit_timing(benchmark, "kernel_resolve", seed=3)
 
 
 # -- detection protocols ------------------------------------------------
@@ -64,6 +74,10 @@ def test_detection_protocol_cost(benchmark, detection):
         f"{res.detection_messages} detection messages, "
         f"iterations {res.per_proc_iterations}"
     )
+    emit(f"detection_{detection}", [
+        ("simulated_time", res.simulated_time, "s"),
+        ("detection_messages", res.detection_messages, "count"),
+    ], seed=4)
 
 
 # -- weighting families ---------------------------------------------------
@@ -82,6 +96,10 @@ def test_weighting_family(benchmark, weighting):
     res = run_once(benchmark, run)
     assert res.converged
     print(f"\n{weighting}: {res.iterations} iterations, {res.simulated_time:.4f}s")
+    emit(f"weighting_{weighting}", [
+        ("iterations", res.iterations, "count"),
+        ("simulated_time", res.simulated_time, "s"),
+    ], seed=6)
 
 
 # -- sync/async crossover vs latency -------------------------------------
@@ -110,3 +128,8 @@ def test_sync_async_crossover(benchmark, wan_latency):
         f"async {asyn.simulated_time:.4f}s, ratio "
         f"{sync.simulated_time / asyn.simulated_time:.2f}"
     )
+    emit(f"crossover_lat{wan_latency:g}", [
+        ("sync_simulated_time", sync.simulated_time, "s"),
+        ("async_simulated_time", asyn.simulated_time, "s"),
+        ("sync_over_async", sync.simulated_time / asyn.simulated_time, "x"),
+    ], seed=8)

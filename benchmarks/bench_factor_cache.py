@@ -22,6 +22,7 @@ import time
 
 import numpy as np
 
+from bench_output import emit
 from conftest import run_once
 
 from repro.core import make_weighting, multisplitting_iterate, uniform_bands
@@ -124,3 +125,12 @@ def test_factor_cache(benchmark):
     # The cache must beat re-factoring on wall-clock, measurably.
     assert r["cached_seconds"] < r["naive_seconds"]
     assert s.factor_seconds_saved > 0.0
+
+    emit("factor_cache", [
+        ("naive_seconds", r["naive_seconds"], "s"),
+        ("cached_seconds", r["cached_seconds"], "s"),
+        ("speedup", r["speedup"], "x"),
+        ("cache_hits", s.hits, "count"),
+        ("cache_misses", s.misses, "count"),
+        ("factor_seconds_saved", s.factor_seconds_saved, "s"),
+    ])

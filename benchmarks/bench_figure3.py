@@ -8,6 +8,7 @@ identical: iterations fall, factorization grows, both solvers have an
 interior optimal overlap.
 """
 
+from bench_output import emit
 from conftest import run_once
 
 from repro.experiments import (
@@ -34,3 +35,12 @@ def test_figure3(benchmark, paper):
     assert facts == sorted(facts), "factorization must grow with overlap"
     best = min(rows, key=lambda r: r["sync time"])
     assert 0 < best["overlap"] < rows[-1]["overlap"], "interior optimum"
+
+    emit("figure3", [
+        ("best_overlap", best["overlap"], "rows"),
+        ("best_sync_time", best["sync time"], "s"),
+        *[
+            (f"sync_time_overlap{r['overlap']}", r["sync time"], "s")
+            for r in rows
+        ],
+    ])

@@ -34,6 +34,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from bench_output import emit
 from conftest import run_once
 
 from repro.core import make_weighting, run_synchronous
@@ -129,3 +130,9 @@ def test_pattern_aware_plan_beats_pattern_blind(benchmark):
         f"pattern-aware calibrated placement should beat the pattern-blind "
         f"plan by >= 1.3x on the hub/WAN scenario, got {speedup:.2f}x"
     )
+
+    emit("general_partition", [
+        ("blind_simulated", rows["blind"]["simulated"], "s"),
+        ("aware_simulated", rows["aware"]["simulated"], "s"),
+        ("speedup", speedup, "x"),
+    ])

@@ -1,0 +1,73 @@
+"""Machine-readable benchmark results: ``BENCH_<name>.json``.
+
+The bench suite doubles as a report generator, but stdout tables are
+awkward to archive or diff in CI.  Each bench test therefore calls
+:func:`emit` with its headline numbers and gets a small JSON document
+written next to the run:
+
+.. code-block:: json
+
+    {
+      "bench": "table1",
+      "seed": 0,
+      "timestamp": 1754550000.0,
+      "metrics": [
+        {"name": "sync_time_8procs", "value": 0.0109, "units": "s"}
+      ]
+    }
+
+Environment knobs (both optional):
+
+``REPRO_BENCH_DIR``
+    Output directory (created if missing; default: current directory).
+``REPRO_BENCH_TIMESTAMP``
+    Timestamp recorded in the payload -- CI passes the pipeline's epoch
+    seconds in so every file of one run carries the same stamp; without
+    it the wall clock at emit time is used.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+__all__ = ["emit"]
+
+
+def emit(name: str, metrics, *, seed: int | None = None) -> str:
+    """Write ``BENCH_<name>.json``; returns the path written.
+
+    ``metrics`` is an iterable of ``(name, value, units)`` triples (or
+    equivalent dicts).  Values are coerced to float -- these files exist
+    to be compared numerically across runs.
+    """
+    rows = []
+    for m in metrics:
+        if isinstance(m, dict):
+            rows.append(
+                {
+                    "name": str(m["name"]),
+                    "value": float(m["value"]),
+                    "units": str(m.get("units", "")),
+                }
+            )
+        else:
+            metric_name, value, units = m
+            rows.append(
+                {"name": str(metric_name), "value": float(value), "units": str(units)}
+            )
+    ts = os.environ.get("REPRO_BENCH_TIMESTAMP")
+    payload = {
+        "bench": name,
+        "seed": seed,
+        "timestamp": float(ts) if ts else time.time(),
+        "metrics": rows,
+    }
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -29,6 +29,7 @@ import time
 
 import numpy as np
 
+from bench_output import emit
 from conftest import run_once
 
 from repro.core import make_weighting, multisplitting_iterate
@@ -142,3 +143,10 @@ def test_calibrated_beats_uniform_on_imbalanced_workers(benchmark):
         f"calibrated placement should beat uniform bands by >= 1.4x on a "
         f"{HANDICAPS} worker set, got {speedup:.2f}x"
     )
+
+    emit("placement", [
+        ("uniform_seconds", rows["uniform"]["seconds"], "s"),
+        ("calibrated_seconds", rows["calibrated"]["seconds"], "s"),
+        ("speedup", speedup, "x"),
+        ("calibration_seconds", data["calibration_seconds"], "s"),
+    ])

@@ -28,6 +28,7 @@ import time
 
 import numpy as np
 
+from bench_output import emit
 from conftest import run_once
 
 from repro.core import make_weighting, multisplitting_iterate, uniform_bands
@@ -106,3 +107,12 @@ def test_worker_kill_mid_run(benchmark):
     assert slowdown <= MAX_SLOWDOWN, (
         f"recovery cost {slowdown:.2f}x exceeds the {MAX_SLOWDOWN}x bound"
     )
+
+    emit("resilience", [
+        ("clean_seconds", out["clean_s"], "s"),
+        ("chaos_seconds", out["chaos_s"], "s"),
+        ("slowdown", slowdown, "x"),
+        ("workers_lost", fault.workers_lost, "count"),
+        ("blocks_requeued", fault.blocks_requeued, "count"),
+        ("refactor_seconds", fault.refactor_seconds, "s"),
+    ], seed=13)

@@ -32,6 +32,7 @@ import time
 
 import numpy as np
 
+from bench_output import emit
 from conftest import run_once
 
 from repro.core import make_weighting, multisplitting_iterate, uniform_bands
@@ -121,6 +122,14 @@ def test_runtime_backends(benchmark):
                 inline_s / row["seconds"][name] for name in ("threads", "processes")
             )
     print(f"best parallel speedup on heaviest config: {best_heavy_speedup:.2f}x")
+    emit("runtime", [
+        *[
+            (f"{name}_n{row['n']}_b{row['blocks']}", row["seconds"][name], "s")
+            for row in rows
+            for name in BACKENDS
+        ],
+        ("best_heavy_speedup", best_heavy_speedup, "x"),
+    ], seed=1)
     strict = os.environ.get("REPRO_BENCH_STRICT") == "1"
     if cpus >= 4 or strict:
         # >= 4 blocks, >= 2000 unknowns, enough cores (or an explicit

@@ -26,6 +26,7 @@ import asyncio
 
 import numpy as np
 
+from bench_output import emit
 from conftest import run_once
 
 from repro.matrices import diagonally_dominant
@@ -113,3 +114,11 @@ def test_batched_admission_beats_request_at_a_time(benchmark):
         f"batched admission only {speedup:.2f}x over request-at-a-time "
         f"(need >= 2x on shared-matrix traffic)"
     )
+
+    emit("serve", [
+        ("batched_throughput_rps", batched.throughput_rps, "req/s"),
+        ("serial_throughput_rps", serial.throughput_rps, "req/s"),
+        ("speedup", speedup, "x"),
+        ("batched_mean_batch_size", batched.mean_batch_size, "rhs"),
+        ("batched_p95_latency", batched.p95, "s"),
+    ], seed=SEED)

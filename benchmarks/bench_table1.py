@@ -4,6 +4,7 @@ Paper columns: number of processors | distributed SuperLU | synchronous
 multisplitting-LU | asynchronous multisplitting-LU | factorization time.
 """
 
+from bench_output import emit
 from conftest import run_once
 
 from repro.experiments import (
@@ -28,3 +29,14 @@ def test_table1(benchmark, paper):
     for row in result.rows:
         if row["processors"] >= 8 and isinstance(row["sync multisplitting-LU"], float):
             assert row["distributed SuperLU"] > 10 * row["sync multisplitting-LU"]
+
+    emit("table1", [
+        (f"{label}_{row['processors']}procs", row[col], "s")
+        for row in result.rows
+        for label, col in (
+            ("superlu", "distributed SuperLU"),
+            ("sync", "sync multisplitting-LU"),
+            ("async", "async multisplitting-LU"),
+        )
+        if isinstance(row[col], float)
+    ])

@@ -5,6 +5,7 @@ too much memory to be solved with less than 4 processors" for the
 distributed baseline.
 """
 
+from bench_output import emit
 from conftest import run_once
 
 from repro.experiments import (
@@ -32,6 +33,17 @@ def test_table2(benchmark, paper):
         assert isinstance(by_procs[procs]["sync multisplitting-LU"], float)
     for procs in (4, 6, 8):
         assert isinstance(by_procs[procs]["distributed SuperLU"], float)
+
+    emit("table2", [
+        (f"{label}_{row['processors']}procs", row[col], "s")
+        for row in result.rows
+        for label, col in (
+            ("superlu", "distributed SuperLU"),
+            ("sync", "sync multisplitting-LU"),
+            ("async", "async multisplitting-LU"),
+        )
+        if isinstance(row[col], float)
+    ])
 
     # the scaling shape holds over the feasible rows
     result.rows = [r for r in result.rows if r["processors"] >= 4]

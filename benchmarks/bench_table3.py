@@ -4,6 +4,7 @@ Rows: cage11 on cluster2, cage12 on cluster3 (where distributed SuperLU
 is "nem"), and the generated large matrix on cluster3.
 """
 
+from bench_output import emit
 from conftest import run_once
 
 from repro.experiments import TABLE3, check_table3_shape, format_table, table3
@@ -28,3 +29,14 @@ def test_table3(benchmark, paper):
         asyn = row["async multisplitting-LU"]
         if isinstance(sync, float) and isinstance(asyn, float):
             assert asyn < 2.0 * sync
+
+    emit("table3", [
+        (f"{label}_{row['matrix']}", row[col], "s")
+        for row in result.rows
+        for label, col in (
+            ("superlu", "distributed SuperLU"),
+            ("sync", "sync multisplitting-LU"),
+            ("async", "async multisplitting-LU"),
+        )
+        if isinstance(row[col], float)
+    ])

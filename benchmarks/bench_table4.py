@@ -6,6 +6,7 @@ multisplitting slows steeply, asynchronous degrades gracefully, and the
 distributed baseline -- already communication-bound -- suffers throughout.
 """
 
+from bench_output import emit
 from conftest import run_once
 
 from repro.experiments import TABLE4, check_table4_shape, format_table, table4
@@ -27,3 +28,13 @@ def test_table4(benchmark, paper):
     # async wins under every perturbed setting, as in the paper
     for r in rows[1:]:
         assert r["async multisplitting-LU"] < r["sync multisplitting-LU"]
+
+    emit("table4", [
+        (f"{label}_{row['perturbing communications']}flows", row[col], "s")
+        for row in rows
+        for label, col in (
+            ("sync", "sync multisplitting-LU"),
+            ("async", "async multisplitting-LU"),
+        )
+        if isinstance(row[col], float)
+    ])

@@ -1,0 +1,116 @@
+"""End-to-end observability smoke: traced socket solve -> valid trace.
+
+CI's observe-smoke job runs this under a hard timeout.  It drives a
+4-worker :class:`SocketExecutor` solve with tracing on, then checks the
+whole export chain the observability stack promises:
+
+* every worker lane (``worker-0`` .. ``worker-3``) shipped compute,
+  wire (with byte counts), and barrier-wait spans back to the driver,
+  merged onto one clock;
+* the Chrome ``trace_event`` export passes its schema gate, both as the
+  in-memory object and reloaded from disk;
+* the per-round terminal timeline renders;
+* the metrics registry folds the run + spans into a Prometheus scrape.
+
+Exit status 0 on success; any broken invariant raises.
+
+Usage::
+
+    PYTHONPATH=src python scripts/observe_smoke.py [trace.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+
+from repro.core import make_weighting, multisplitting_iterate, uniform_bands
+from repro.core.stopping import StoppingCriterion
+from repro.direct import FactorizationCache, get_solver
+from repro.matrices import diagonally_dominant, rhs_for_solution
+from repro.observe import (
+    MetricsRegistry,
+    Tracer,
+    round_timeline,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.runtime import get_executor
+
+WORKERS = 4
+BLOCKS = 4
+ROUNDS = 12
+N = 160
+
+
+def main(argv: list[str]) -> int:
+    path = argv[1] if len(argv) > 1 else tempfile.mktemp(suffix=".json")
+
+    A = diagonally_dominant(N, dominance=1.5, bandwidth=4, seed=5)
+    b, _ = rhs_for_solution(A, seed=6)
+    part = uniform_bands(N, BLOCKS).to_general()
+    scheme = make_weighting("ownership", part)
+    stopping = StoppingCriterion(tolerance=1e-300, max_iterations=ROUNDS)
+
+    tracer = Tracer()
+    with get_executor("sockets", workers=WORKERS) as ex:
+        result = multisplitting_iterate(
+            A, b, part, scheme, get_solver("scipy"),
+            stopping=stopping, cache=FactorizationCache(),
+            executor=ex, trace=tracer,
+        )
+    assert result.iterations == ROUNDS, result.iterations
+
+    spans = tracer.spans()
+    lanes = {s.lane for s in spans}
+    expected = {f"worker-{w}" for w in range(WORKERS)} | {"driver"}
+    missing = expected - lanes
+    assert not missing, f"lanes missing from the merged timeline: {missing}"
+
+    by_lane: dict[str, set] = {}
+    for s in spans:
+        by_lane.setdefault(s.lane, set()).add(s.name)
+    for w in range(WORKERS):
+        names = by_lane[f"worker-{w}"]
+        for required in ("solve", "wire.send", "wire.recv", "barrier.wait"):
+            assert required in names, f"worker-{w} shipped no {required} span"
+        assert "factor" in names or "cache.miss" in names, (
+            f"worker-{w} recorded no factorization work"
+        )
+    wire_bytes = sum(
+        s.args.get("bytes", 0)
+        for s in spans
+        if s.name in ("wire.send", "wire.recv")
+    )
+    assert wire_bytes > 0, "wire spans carry no byte counts"
+
+    obj = write_chrome_trace(spans, path)
+    validate_chrome_trace(obj)
+    with open(path) as fh:
+        validate_chrome_trace(json.load(fh))
+
+    print(round_timeline(spans))
+    print()
+
+    registry = MetricsRegistry()
+    registry.ingest_result(result)
+    registry.ingest_spans(spans)
+    scrape = registry.render()
+    for needle in (
+        "repro_solve_runs_total 1",
+        "repro_wire_vector_bytes_sent_total",
+        'repro_spans_total{name="solve"}',
+    ):
+        assert needle in scrape, f"metrics scrape missing {needle!r}"
+    print(scrape)
+
+    print(
+        f"observe smoke OK: {len(spans)} spans over {sorted(lanes)} "
+        f"({wire_bytes} wire bytes) -> {path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

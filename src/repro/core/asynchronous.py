@@ -275,6 +275,7 @@ def run_asynchronous(
     )
     if executor is not None:
         recorder.record_faults(executor.fault_stats())
+        recorder.record_wire(executor.wire_stats())
     if placement is not None:
         # Provenance includes the *actual* host mapping (by-name when the
         # plan was built from this cluster, positional for generic plans).

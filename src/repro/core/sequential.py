@@ -41,6 +41,7 @@ from repro.core.weighting import WeightingScheme
 from repro.direct.base import DirectSolver
 from repro.direct.cache import CacheStats, FactorizationCache
 from repro.linalg.norms import max_norm, residual_norm
+from repro.observe import resolve_trace
 
 __all__ = ["SequentialResult", "multisplitting_iterate", "chaotic_iterate"]
 
@@ -79,6 +80,14 @@ class SequentialResult:
     placement:
         Summary of the :class:`repro.schedule.Placement` the run was
         pinned with (``None`` without one).
+    wire:
+        Byte counters of the run's data movement (the executor's
+        :meth:`~repro.runtime.Executor.wire_stats`):
+        ``attach_payload_bytes`` per worker plus per-round vector
+        traffic on the distributed backends; ``{}`` in-process.
+    trace:
+        The :class:`repro.observe.Tracer` holding the run's merged span
+        timeline when the driver ran with ``trace=``; ``None`` otherwise.
     """
 
     x: np.ndarray
@@ -91,6 +100,8 @@ class SequentialResult:
     backend: str = "inline"
     block_seconds: dict[int, float] = field(default_factory=dict)
     placement: dict | None = None
+    wire: dict = field(default_factory=dict)
+    trace: "object | None" = None
 
 
 def _resolve_executor(executor):
@@ -129,6 +140,7 @@ def multisplitting_iterate(
     executor=None,
     placement=None,
     fault_policy=None,
+    trace=None,
 ) -> SequentialResult:
     """Run the synchronous multisplitting-direct iteration in-process.
 
@@ -164,11 +176,21 @@ def multisplitting_iterate(
         its blocks requeued onto survivors or a respawned replacement,
         and the run continues bit-identically.  Counters land on
         ``fault_stats``.
+    trace:
+        ``True`` (record into a fresh :class:`repro.observe.Tracer`) or
+        an existing tracer.  Rounds, block solves, factorizations, wire
+        transfers, and barrier waits land on one merged timeline
+        (worker-side spans included on the distributed backends), and
+        the tracer is returned on ``result.trace`` for export.  Tracing
+        is observational only: iterates are bit-identical either way.
     """
     stopping = stopping or StoppingCriterion()
     L = partition.nprocs
     b = np.asarray(b, dtype=float)
     ex, owns_executor = _resolve_executor(executor)
+    tracer = resolve_trace(trace)
+    if tracer is not None:
+        ex.set_tracer(tracer)
     z0 = np.zeros(b.shape) if x0 is None else np.asarray(x0, dtype=float).copy()
     if z0.shape != b.shape:
         raise ValueError(f"x0 must have shape {b.shape}")
@@ -187,7 +209,15 @@ def multisplitting_iterate(
         batched = b.ndim == 2
         for it in range(1, stopping.max_iterations + 1):
             iterations = it
-            pieces = ex.solve_round(Z)
+            if tracer is None:
+                pieces = ex.solve_round(Z)
+            else:
+                t_round = tracer.now()
+                pieces = ex.solve_round(Z)
+                tracer.add(
+                    "round", "round", t_round, tracer.now() - t_round,
+                    lane="driver", round=it,
+                )
             for l in range(L):
                 z_new = np.zeros(b.shape)
                 for k, w in weights[l].items():
@@ -217,9 +247,13 @@ def multisplitting_iterate(
             backend=ex.name,
             block_seconds=ex.block_seconds(),
             placement=placement.summary() if placement is not None else None,
+            wire=ex.wire_stats(),
+            trace=tracer,
         )
     finally:
         ex.detach()
+        if tracer is not None:
+            ex.set_tracer(None)
         if owns_executor:
             ex.close()
     return result
@@ -241,6 +275,7 @@ def chaotic_iterate(
     executor=None,
     placement=None,
     fault_policy=None,
+    trace=None,
 ) -> SequentialResult:
     """Emulate an asynchronous execution with bounded delays.
 
@@ -283,6 +318,9 @@ def chaotic_iterate(
     n, L = partition.n, partition.nprocs
     b = np.asarray(b, dtype=float)
     ex, owns_executor = _resolve_executor(executor)
+    tracer = resolve_trace(trace)
+    if tracer is not None:
+        ex.set_tracer(tracer)
     z0 = np.zeros(b.shape) if x0 is None else np.asarray(x0, dtype=float).copy()
     if z0.shape != b.shape:
         raise ValueError(f"x0 must have shape {b.shape}")
@@ -331,7 +369,16 @@ def chaotic_iterate(
                     wk = w[:, None] if batched else w
                     z[partition.sets[k]] += wk * stale
                 tasks.append((l, z))
-            for l, piece in zip(updated_now, ex.solve_blocks(tasks)):
+            if tracer is None:
+                solved = ex.solve_blocks(tasks)
+            else:
+                t_round = tracer.now()
+                solved = ex.solve_blocks(tasks)
+                tracer.add(
+                    "round", "round", t_round, tracer.now() - t_round,
+                    lane="driver", round=it, updated=len(tasks),
+                )
+            for l, piece in zip(updated_now, solved):
                 new_pieces[l] = piece
             pieces = new_pieces
             piece_history.append([p.copy() for p in pieces])
@@ -365,9 +412,13 @@ def chaotic_iterate(
             backend=ex.name,
             block_seconds=ex.block_seconds(),
             placement=placement.summary() if placement is not None else None,
+            wire=ex.wire_stats(),
+            trace=tracer,
         )
     finally:
         ex.detach()
+        if tracer is not None:
+            ex.set_tracer(None)
         if owns_executor:
             ex.close()
     return result

@@ -109,6 +109,13 @@ class SolveResult:
     backend: str = "inline"
     block_seconds: dict[int, float] = field(default_factory=dict)
     placement: dict | None = None
+    #: Real wire accounting of the execution backend (attach payload
+    #: bytes per worker, cumulative vector traffic); empty for
+    #: in-process backends.
+    wire: dict = field(default_factory=dict)
+    #: The run's :class:`repro.observe.Tracer` when tracing was on,
+    #: else ``None``.
+    trace: "object | None" = None
 
     def error_vs(self, x_true: np.ndarray) -> float:
         """Max-norm error against a known solution."""
@@ -238,6 +245,10 @@ class MultisplittingSolver:
         on :attr:`SolveResult.fault_stats` (and, for the simulated
         modes, on ``stats.workers_lost`` etc. when the real backend lost
         workers during setup).
+    trace:
+        Facade-level tracing default: ``True`` or a
+        :class:`repro.observe.Tracer` makes every :meth:`solve` record
+        its span timeline (a per-call ``trace=`` still overrides).
     """
 
     def __init__(
@@ -258,6 +269,7 @@ class MultisplittingSolver:
         placement=None,
         fault_policy=None,
         partition_strategy: str = "bands",
+        trace=None,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -305,6 +317,11 @@ class MultisplittingSolver:
             self.cache = cache
         self.backend = backend
         self.fault_policy = fault_policy
+        # Facade-level tracing default: every solve() records onto this
+        # tracer unless the call passes its own ``trace=``.
+        from repro.observe import resolve_trace
+
+        self.trace = resolve_trace(trace)
         # Executors carry per-binding attach state, so one instance can
         # serve only one thread at a time.  A *name* backend therefore
         # resolves to one owned executor per calling thread (the serve
@@ -506,6 +523,7 @@ class MultisplittingSolver:
         cluster: Cluster | None = None,
         partition: GeneralPartition | BandPartition | None = None,
         x0: np.ndarray | None = None,
+        trace=None,
     ) -> SolveResult:
         """Solve ``A x = b``; returns a :class:`SolveResult`.
 
@@ -515,6 +533,13 @@ class MultisplittingSolver:
         An explicit ``partition`` and a configured ``placement`` both
         claim the band layout; passing both is a conflict (the plan's
         sizes would be silently discarded), so it raises.
+
+        ``trace=True`` (or an explicit :class:`repro.observe.Tracer`)
+        records the run's span timeline; it comes back on the result's
+        ``trace`` field.  Sequential mode traces the full per-round
+        executor timeline; the simulated distributed modes trace the
+        real work that happens on this host (setup factorizations,
+        cache traffic).
         """
         n = A.shape[0]
         if partition is not None and self.placement is not None:
@@ -523,6 +548,8 @@ class MultisplittingSolver:
                 "band layout; pass the plan's own partition "
                 "(placement.partition()) or drop one of the two"
             )
+        if trace is None:
+            trace = self.trace
         if self.mode == "sequential":
             nprocs = self.processors or 4
             plan = self._resolve_plan(A, n, None, nprocs) if partition is None else None
@@ -531,7 +558,7 @@ class MultisplittingSolver:
             seq = multisplitting_iterate(
                 A, b, part, scheme, self.direct_solver, stopping=self.stopping,
                 x0=x0, cache=self.cache, executor=self._get_executor(),
-                placement=plan, fault_policy=self.fault_policy,
+                placement=plan, fault_policy=self.fault_policy, trace=trace,
             )
             return SolveResult(
                 x=seq.x,
@@ -546,6 +573,8 @@ class MultisplittingSolver:
                 backend=seq.backend,
                 block_seconds=seq.block_seconds,
                 placement=seq.placement,
+                wire=seq.wire,
+                trace=seq.trace,
             )
 
         nprocs = self.processors or (len(cluster.hosts) if cluster is not None else 4)
@@ -556,20 +585,37 @@ class MultisplittingSolver:
         scheme = self._resolve_weighting(part)
         runner = run_synchronous if self.mode == "synchronous" else run_asynchronous
         cache_before = self.cache.stats.snapshot() if self.cache is not None else None
-        run = runner(
-            A,
-            b,
-            part,
-            scheme,
-            self.direct_solver,
-            cluster,
-            stopping=self.stopping,
-            detection=self.detection,
-            x0=x0,
-            cache=self.cache,
-            executor=self._get_executor(),
-            placement=plan,
-        )
+        from repro.observe import resolve_trace
+
+        tracer = resolve_trace(trace)
+        executor = self._get_executor()
+        if tracer is not None:
+            # The simulated modes run block solves inside the event
+            # engine, so the traceable real work is the setup path:
+            # executor-parallelised factorizations and cache traffic.
+            executor.set_tracer(tracer)
+            if self.cache is not None:
+                self.cache.set_tracer(tracer)
+        try:
+            run = runner(
+                A,
+                b,
+                part,
+                scheme,
+                self.direct_solver,
+                cluster,
+                stopping=self.stopping,
+                detection=self.detection,
+                x0=x0,
+                cache=self.cache,
+                executor=executor,
+                placement=plan,
+            )
+        finally:
+            if tracer is not None:
+                executor.set_tracer(None)
+                if self.cache is not None:
+                    self.cache.set_tracer(None)
         return SolveResult(
             x=run.x,
             converged=run.converged,
@@ -590,6 +636,16 @@ class MultisplittingSolver:
             backend=run.stats.backend if run.stats is not None else "inline",
             block_seconds=dict(run.stats.block_seconds) if run.stats is not None else {},
             placement=run.stats.placement if run.stats is not None else None,
+            wire=(
+                {
+                    "attach_payload_bytes": run.stats.attach_payload_bytes,
+                    "vector_bytes_sent": run.stats.vector_bytes_sent,
+                    "vector_bytes_received": run.stats.vector_bytes_received,
+                }
+                if run.stats is not None and run.stats.attach_payload_bytes
+                else {}
+            ),
+            trace=tracer,
         )
 
     @staticmethod

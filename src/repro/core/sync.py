@@ -210,6 +210,7 @@ def run_synchronous(
     )
     if executor is not None:
         recorder.record_faults(executor.fault_stats())
+        recorder.record_wire(executor.wire_stats())
     if placement is not None:
         # Provenance includes the *actual* host mapping (by-name when the
         # plan was built from this cluster, positional for generic plans).

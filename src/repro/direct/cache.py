@@ -281,6 +281,27 @@ class FactorizationCache:
         self._lock = threading.Lock()
         self._in_flight: dict[CacheKey, threading.Event] = {}
         self.stats = CacheStats()
+        self._tracer = None
+        self._trace_lane = "driver"
+
+    # -- tracing ---------------------------------------------------------
+    def set_tracer(self, tracer, lane: str | None = None) -> None:
+        """Install a :class:`repro.observe.Tracer` (None disables).
+
+        ``lane`` names the timeline track the cache's hit/miss/evict
+        events and factor spans land on -- the driver's executors leave
+        the default, worker processes pass their ``worker-<rank>`` lane.
+        The tracer is strictly observational: counters and entries are
+        untouched, so traced and untraced runs stay bit-identical.
+        """
+        self._tracer = tracer
+        if lane is not None:
+            self._trace_lane = lane
+
+    def _trace_event(self, name: str, **args) -> None:
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.event(name, cat="cache", lane=self._trace_lane, **args)
 
     # -- capacity management ---------------------------------------------
     def _evict_over_capacity_locked(self) -> list[CacheKey]:
@@ -298,6 +319,8 @@ class FactorizationCache:
         return evicted
 
     def _notify_evicted(self, evicted: list[CacheKey]) -> None:
+        for _ in evicted:
+            self._trace_event("cache.evict")
         if self.on_evict is not None:
             for key in evicted:
                 self.on_evict(key)
@@ -345,6 +368,7 @@ class FactorizationCache:
                     self._entries.move_to_end(key)
                     self.stats.hits += 1
                     self.stats.factor_seconds_saved += entry.factor_seconds
+                    self._trace_event("cache.hit", saved=entry.factor_seconds)
                     return entry.factorization
                 pending = self._in_flight.get(key)
                 if pending is None:
@@ -357,6 +381,7 @@ class FactorizationCache:
             # Another thread is factoring this very key: wait for it to
             # publish (or fail), then re-run the lookup.
             pending.wait()
+        self._trace_event("cache.miss")
         t0 = time.perf_counter()
         try:
             fact = solver.factor(A)
@@ -366,6 +391,9 @@ class FactorizationCache:
             pending.set()
             raise
         dt = time.perf_counter() - t0
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.add("factor", "compute", t0, dt, lane=self._trace_lane)
         with self._lock:
             self.stats.factor_seconds_spent += dt
             self._entries[key] = _Entry(factorization=fact, factor_seconds=dt)
@@ -388,10 +416,12 @@ class FactorizationCache:
             if entry is None:
                 if count_miss:
                     self.stats.misses += 1
+                    self._trace_event("cache.miss")
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
             self.stats.factor_seconds_saved += entry.factor_seconds
+            self._trace_event("cache.hit", saved=entry.factor_seconds)
             return entry.factorization
 
     def contains(self, key: CacheKey) -> bool:

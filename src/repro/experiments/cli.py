@@ -91,7 +91,21 @@ def main(argv: list[str] | None = None) -> int:
         "permuted ordering, or schwarz-overlapping bands paired with "
         "the schwarz weighting",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record the replays' span timeline and write a Chrome "
+        "trace_event JSON there (load it in Perfetto / chrome://tracing); "
+        "a .jsonl suffix writes raw span lines instead",
+    )
     args = parser.parse_args(argv)
+
+    tracer = None
+    if args.trace is not None:
+        from repro.observe import Tracer
+
+        tracer = Tracer()
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     status = 0
@@ -100,6 +114,7 @@ def main(argv: list[str] | None = None) -> int:
         result = run_experiment(
             name, scale=args.scale, backend=args.backend,
             placement=args.placement, partition=args.partition,
+            trace=tracer,
         )
         elapsed = time.time() - t0
         print(format_table(result))
@@ -112,7 +127,24 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"shape check FAILED: {exc}", file=sys.stderr)
                 status = 1
         print()
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return status
+
+
+def _write_trace(tracer, path: str) -> None:
+    """Export a tracer to ``path`` (Chrome JSON, or JSONL for .jsonl)."""
+    from repro.observe import round_timeline, write_chrome_trace, write_jsonl
+
+    spans = tracer.spans()
+    if path.endswith(".jsonl"):
+        write_jsonl(spans, path)
+    else:
+        write_chrome_trace(spans, path)
+    summary = round_timeline(spans)
+    if summary:
+        print(summary)
+    print(f"trace: {len(spans)} spans -> {path}")
 
 
 def main_serve(argv: list[str] | None = None) -> int:
@@ -162,6 +194,19 @@ def main_serve(argv: list[str] | None = None) -> int:
         default="inline",
         help="runtime backend each pool worker drives (default: inline)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record the gateway's serving timeline (admissions, batch "
+        "flushes, replies) and write a Chrome trace_event JSON there; "
+        "a .jsonl suffix writes raw span lines instead",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the gateway's Prometheus text scrape after the run",
+    )
     args = parser.parse_args(argv)
 
     matrices = [
@@ -177,12 +222,18 @@ def main_serve(argv: list[str] | None = None) -> int:
         cache_capacity=args.cache_capacity,
         backend=args.backend,
     )
+    tracer = None
+    if args.trace is not None:
+        from repro.observe import Tracer
+
+        tracer = Tracer()
     try:
         gateway = ServeGateway(
             pool,
             window=args.window,
             max_batch=args.max_batch,
             max_pending=args.max_pending,
+            trace=tracer,
         )
         keys = [gateway.register(A) for A in matrices]
         trace = poisson_trace(
@@ -209,6 +260,16 @@ def main_serve(argv: list[str] | None = None) -> int:
             f"(hit rate {c.hit_rate:.2f}, "
             f"{c.factor_seconds_saved:.2f}s factor time saved)"
         )
+    if args.metrics:
+        from repro.observe import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.ingest_serve(stats)
+        if tracer is not None:
+            registry.ingest_spans(tracer.spans())
+        print(registry.render())
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return 0 if stats.completed > 0 else 1
 
 

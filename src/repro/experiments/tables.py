@@ -82,6 +82,7 @@ def _make_solvers(
     overlap: int = 0,
     max_iterations: int | None = None,
     partition: str = "bands",
+    trace=None,
 ) -> dict[str, MultisplittingSolver]:
     """One shared solver per mode, all draining the same factor cache.
 
@@ -102,7 +103,7 @@ def _make_solvers(
             mode=mode, direct_solver="scipy", overlap=overlap,
             max_iterations=max_iterations, cache=cache, backend=backend,
             placement=placement, partition_strategy=partition,
-            weighting=weighting,
+            weighting=weighting, trace=trace,
         )
         for mode in ("synchronous", "asynchronous")
     }
@@ -128,14 +129,15 @@ def _fmt(value) -> Any:
 
 def _scalability_table(
     name: str, procs_list: list[int], *, scale: float, backend: str = "inline",
-    placement: str | None = None, partition: str = "bands",
+    placement: str | None = None, partition: str = "bands", trace=None,
 ) -> ExperimentResult:
     """Common driver for Tables 1 and 2 (cluster1 scalability)."""
     A, b, _ = load_workload(name, scale=scale)
     fill = _cached_fill(name, scale, A)
     cache = FactorizationCache(capacity=256)
     solvers = _make_solvers(
-        cache, backend=backend, placement=placement, partition=partition
+        cache, backend=backend, placement=placement, partition=partition,
+        trace=trace,
     )
     rows: list[dict[str, Any]] = []
     try:
@@ -193,13 +195,13 @@ def _scalability_table(
 def table1(
     *, scale: float = 1.0, procs_list: list[int] | None = None,
     backend: str = "inline", placement: str | None = None,
-    partition: str = "bands",
+    partition: str = "bands", trace=None,
 ) -> ExperimentResult:
     """Table 1: scalability on cluster1 with the cage10 analog."""
     procs = procs_list or [1, 2, 3, 4, 6, 8, 9, 12, 16, 20]
     res = _scalability_table(
         "cage10", procs, scale=scale, backend=backend, placement=placement,
-        partition=partition,
+        partition=partition, trace=trace,
     )
     res.notes["paper_table"] = "Table 1"
     return res
@@ -208,7 +210,7 @@ def table1(
 def table2(
     *, scale: float = 1.0, procs_list: list[int] | None = None,
     backend: str = "inline", placement: str | None = None,
-    partition: str = "bands",
+    partition: str = "bands", trace=None,
 ) -> ExperimentResult:
     """Table 2: scalability on cluster1 with the cage11 analog.
 
@@ -219,7 +221,7 @@ def table2(
     procs = procs_list or [4, 6, 8, 9, 12, 16, 20]
     res = _scalability_table(
         "cage11", procs, scale=scale, backend=backend, placement=placement,
-        partition=partition,
+        partition=partition, trace=trace,
     )
     res.notes["paper_table"] = "Table 2"
     return res
@@ -227,7 +229,7 @@ def table2(
 
 def table3(
     *, scale: float = 1.0, backend: str = "inline",
-    placement: str | None = None, partition: str = "bands",
+    placement: str | None = None, partition: str = "bands", trace=None,
 ) -> ExperimentResult:
     """Table 3: the distant/heterogeneous cluster comparison."""
     cases = [
@@ -237,7 +239,8 @@ def table3(
     ]
     cache = FactorizationCache(capacity=256)
     solvers = _make_solvers(
-        cache, backend=backend, placement=placement, partition=partition
+        cache, backend=backend, placement=placement, partition=partition,
+        trace=trace,
     )
     rows: list[dict[str, Any]] = []
     try:
@@ -296,7 +299,7 @@ def table3(
 def table4(
     *, scale: float = 1.0, perturbations: list[int] | None = None,
     backend: str = "inline", placement: str | None = None,
-    partition: str = "bands",
+    partition: str = "bands", trace=None,
 ) -> ExperimentResult:
     """Table 4: background traffic on the inter-site link (gen-large)."""
     perturbs = perturbations if perturbations is not None else [0, 1, 5, 10]
@@ -304,7 +307,8 @@ def table4(
     fill = _cached_fill("gen-large", scale, A)
     cache = FactorizationCache(capacity=256)
     solvers = _make_solvers(
-        cache, backend=backend, placement=placement, partition=partition
+        cache, backend=backend, placement=placement, partition=partition,
+        trace=trace,
     )
     rows: list[dict[str, Any]] = []
     try:
@@ -354,7 +358,7 @@ def table4(
 def figure3(
     *, scale: float = 1.0, overlaps: list[int] | None = None,
     backend: str = "inline", placement: str | None = None,
-    partition: str = "bands",
+    partition: str = "bands", trace=None,
 ) -> ExperimentResult:
     """Figure 3: overlap sweep on the near-singular generated matrix.
 
@@ -383,12 +387,13 @@ def figure3(
                 mode="synchronous", direct_solver="scipy", overlap=ov,
                 max_iterations=5_000, cache=cache, backend=backend,
                 placement=placement, partition_strategy=partition,
-                weighting=weighting,
+                weighting=weighting, trace=trace,
             ),
             "asynchronous": MultisplittingSolver(
                 mode="asynchronous", direct_solver="scipy", overlap=ov,
                 cache=cache, backend=backend, placement=placement,
                 partition_strategy=partition, weighting=weighting,
+                trace=trace,
             ),
         }
         try:

@@ -78,6 +78,13 @@ class RunStats:
     workers_lost: int = 0
     blocks_requeued: int = 0
     refactor_seconds: float = 0.0
+    #: Real wire accounting of the execution backend (distinct from the
+    #: *simulated* ``bytes_sent``): pickled attach payload per worker
+    #: rank and cumulative per-round vector traffic.  All zero/empty for
+    #: in-process backends, which move vectors by reference.
+    attach_payload_bytes: dict[int, int] = field(default_factory=dict)
+    vector_bytes_sent: int = 0
+    vector_bytes_received: int = 0
 
 
 class TraceRecorder:
@@ -106,6 +113,7 @@ class TraceRecorder:
         self._block_seconds: dict[int, float] = {}
         self._placement: dict | None = None
         self._fault_stats = None
+        self._wire: dict = {}
 
     def __call__(self, kind: str, time: float, **fields) -> None:
         self._counter[kind] += 1
@@ -141,6 +149,16 @@ class TraceRecorder:
         """Attach the scheduling plan the run was configured from."""
         self._placement = summary
 
+    def record_wire(self, wire: dict | None) -> None:
+        """Attach the execution backend's real wire accounting.
+
+        ``wire`` is an :meth:`repro.runtime.api.Executor.wire_stats`
+        dictionary (``attach_payload_bytes`` / ``vector_bytes_sent`` /
+        ``vector_bytes_received``); empty or ``None`` for in-process
+        backends.
+        """
+        self._wire = dict(wire) if wire else {}
+
     def record_faults(self, fault_stats) -> None:
         """Attach the execution backend's fault-tolerance counters.
 
@@ -172,6 +190,11 @@ class TraceRecorder:
             workers_lost=f.workers_lost if f is not None else 0,
             blocks_requeued=f.blocks_requeued if f is not None else 0,
             refactor_seconds=f.refactor_seconds if f is not None else 0.0,
+            attach_payload_bytes=dict(
+                self._wire.get("attach_payload_bytes", {})
+            ),
+            vector_bytes_sent=int(self._wire.get("vector_bytes_sent", 0)),
+            vector_bytes_received=int(self._wire.get("vector_bytes_received", 0)),
         )
 
     def events_of_kind(self, kind: str) -> list[TraceEvent]:

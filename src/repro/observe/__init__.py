@@ -1,0 +1,53 @@
+"""repro.observe -- span tracing, metrics, and timeline exports.
+
+One instrument for the whole stack: the same :class:`Tracer` records
+driver rounds, per-block solves and factorizations, wire transfers with
+byte counts, barrier waits, fault-injection and recovery events, cache
+hits/misses/evictions, and serve admission->batch->reply -- wherever
+they happen.  Process and socket workers record into their own local
+tracer and ship the span batch back over the existing control channel;
+the driver merges them with a per-worker clock-offset estimate so the
+exported timeline covers all four executors on one clock.
+
+* :class:`Tracer` / :class:`Span` -- bounded ring-buffer span recording.
+* :class:`MetricsRegistry` / :func:`render_metrics` -- counters, gauges
+  (including live *view* gauges computed on scrape), histograms, and a
+  Prometheus-style text snapshot that unifies the existing
+  ``RunStats`` / ``FaultStats`` / ``ServeStats`` / cache counters.
+* :func:`chrome_trace` / :func:`write_chrome_trace` -- Chrome
+  ``trace_event`` JSON, loadable in Perfetto / ``chrome://tracing``
+  (one lane per worker or block, compute vs wire vs wait).
+* :func:`write_jsonl` -- newline-delimited JSON span dump.
+* :func:`round_timeline` -- terminal per-round summary (where each
+  round's wall-clock went).
+
+Everything is opt-in: drivers take ``trace=`` (``True`` or a
+:class:`Tracer`); with the default ``trace=None`` the hot paths do a
+single ``is None`` check and nothing else.
+"""
+
+from repro.observe.export import (
+    chrome_trace,
+    round_timeline,
+    span_dicts,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observe.metrics import MetricsRegistry, render_metrics
+from repro.observe.tracer import Span, Tracer, estimate_clock_offset, resolve_trace
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "estimate_clock_offset",
+    "render_metrics",
+    "resolve_trace",
+    "round_timeline",
+    "span_dicts",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,207 @@
+"""Trace exporters: JSONL, Chrome ``trace_event`` JSON, terminal timeline.
+
+The Chrome export is the headline: load the file in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing`` and the run shows one
+track per lane -- the driver plus every worker process or block --
+with complete (``ph: "X"``) slices for compute (solve/factor), wire
+transfers (byte counts in ``args``), and barrier waits, all on the one
+merged clock the tracer's offset estimation produced.
+
+:func:`validate_chrome_trace` is the schema gate the tests and the CI
+smoke job run over exported files; it checks exactly the invariants the
+viewers rely on (microsecond integer timestamps, non-negative
+durations, thread-name metadata for every referenced lane).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observe.tracer import Span
+
+__all__ = [
+    "chrome_trace",
+    "round_timeline",
+    "span_dicts",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def span_dicts(spans: list[Span]) -> list[dict]:
+    """Spans as plain dicts (the JSONL row format)."""
+    return [
+        {
+            "name": s.name,
+            "cat": s.cat,
+            "t0": s.t0,
+            "dur": s.dur,
+            "lane": s.lane,
+            "args": s.args,
+        }
+        for s in spans
+    ]
+
+
+def write_jsonl(spans: list[Span], path) -> int:
+    """Dump spans as newline-delimited JSON; returns the row count."""
+    rows = span_dicts(spans)
+    with open(path, "w") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+    return len(rows)
+
+
+def _lane_order(spans: list[Span]) -> list[str]:
+    """Stable lane -> tid order: driver first, then workers, then the rest."""
+
+    def rank(lane: str):
+        if lane == "driver":
+            return (0, 0, lane)
+        if lane.startswith("worker-"):
+            try:
+                return (1, int(lane.split("-", 1)[1]), lane)
+            except ValueError:
+                return (1, 1 << 30, lane)
+        if lane.startswith("block-"):
+            try:
+                return (2, int(lane.split("-", 1)[1]), lane)
+            except ValueError:
+                return (2, 1 << 30, lane)
+        return (3, 0, lane)
+
+    return sorted({s.lane for s in spans}, key=rank)
+
+
+def chrome_trace(spans: list[Span]) -> dict:
+    """Spans as a Chrome ``trace_event`` JSON object (Perfetto-loadable).
+
+    Every span becomes a complete event (``ph: "X"``) with microsecond
+    ``ts``/``dur``; zero-duration point events become instant events
+    (``ph: "i"``).  Lanes map to ``tid`` with ``thread_name`` metadata,
+    so the viewer labels each track ``driver`` / ``worker-N`` /
+    ``block-N``.  Timestamps are rebased so the trace starts at 0.
+    """
+    lanes = _lane_order(spans)
+    tid = {lane: i for i, lane in enumerate(lanes)}
+    t_base = min((s.t0 for s in spans), default=0.0)
+    events: list[dict] = []
+    for lane in lanes:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid[lane],
+                "args": {"name": lane},
+            }
+        )
+    for s in spans:
+        ts = int(round((s.t0 - t_base) * 1e6))
+        if s.dur > 0:
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.cat,
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": max(1, int(round(s.dur * 1e6))),
+                    "pid": 0,
+                    "tid": tid[s.lane],
+                    "args": dict(s.args),
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.cat,
+                    "ph": "i",
+                    "ts": ts,
+                    "s": "t",
+                    "pid": 0,
+                    "tid": tid[s.lane],
+                    "args": dict(s.args),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: list[Span], path) -> dict:
+    """Write :func:`chrome_trace` JSON to ``path``; returns the object."""
+    obj = chrome_trace(spans)
+    with open(path, "w") as fh:
+        json.dump(obj, fh, default=str)
+    return obj
+
+
+def validate_chrome_trace(obj: dict) -> None:
+    """Raise ``ValueError`` unless ``obj`` is viewer-loadable trace JSON."""
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise ValueError("trace JSON must be an object with 'traceEvents'")
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    named_tids: set = set()
+    used_tids: set = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in {"X", "i", "M"}:
+            raise ValueError(f"event {i}: unsupported phase {ph!r}")
+        if "name" not in ev or "pid" not in ev or "tid" not in ev:
+            raise ValueError(f"event {i}: missing name/pid/tid")
+        if ph == "M":
+            if ev["name"] == "thread_name":
+                named_tids.add((ev["pid"], ev["tid"]))
+            continue
+        used_tids.add((ev["pid"], ev["tid"]))
+        ts = ev.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            raise ValueError(f"event {i}: ts must be a non-negative int, got {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                raise ValueError(f"event {i}: dur must be a non-negative int")
+    unnamed = used_tids - named_tids
+    if unnamed:
+        raise ValueError(f"lanes without thread_name metadata: {sorted(unnamed)}")
+
+
+def round_timeline(spans: list[Span]) -> str:
+    """Terminal summary: where each round's wall-clock went.
+
+    One line per ``round`` span, splitting the round into compute
+    (solve + factor), wire (send/recv, with byte totals), and wait
+    seconds summed over every lane active inside the round's window.
+    """
+    rounds = sorted(
+        (s for s in spans if s.name == "round"), key=lambda s: s.args.get("round", 0)
+    )
+    if not rounds:
+        return "(no round spans recorded)"
+    lines = [
+        f"{'round':>5}  {'wall ms':>9}  {'compute ms':>10}  "
+        f"{'wire ms':>8}  {'wire KiB':>8}  {'wait ms':>8}"
+    ]
+    for r in rounds:
+        t0, t1 = r.t0, r.t1()
+        compute = wire = wait = bytes_total = 0.0
+        for s in spans:
+            if s is r or s.t0 < t0 - 1e-9 or s.t0 > t1 + 1e-9:
+                continue
+            if s.cat == "compute":
+                compute += s.dur
+            elif s.cat == "wire":
+                wire += s.dur
+                bytes_total += s.args.get("bytes", 0)
+            elif s.cat == "wait":
+                wait += s.dur
+        lines.append(
+            f"{r.args.get('round', '?'):>5}  {r.dur * 1e3:9.2f}  "
+            f"{compute * 1e3:10.2f}  {wire * 1e3:8.2f}  "
+            f"{bytes_total / 1024:8.1f}  {wait * 1e3:8.2f}"
+        )
+    return "\n".join(lines)

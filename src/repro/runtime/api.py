@@ -85,6 +85,26 @@ class Executor(abc.ABC):
     #: Registry/display name of the backend ("inline", "threads", ...).
     name: str = "abstract"
 
+    #: Installed :class:`repro.observe.Tracer` (None = tracing off).
+    _tracer = None
+
+    # -- tracing ---------------------------------------------------------
+    def set_tracer(self, tracer) -> None:
+        """Install a :class:`repro.observe.Tracer` for subsequent bindings.
+
+        ``None`` (the default state) disables tracing; the hot paths
+        guard with a single ``is None`` check, so an untraced run pays
+        nothing.  Distributed backends forward the flag to their
+        workers at :meth:`attach` and merge the workers' span batches
+        back (clock-offset corrected) at :meth:`detach`.
+        """
+        self._tracer = tracer
+
+    @property
+    def tracer(self):
+        """The installed tracer (None when tracing is off)."""
+        return self._tracer
+
     # -- binding ---------------------------------------------------------
     @abc.abstractmethod
     def attach(
@@ -188,6 +208,16 @@ class Executor(abc.ABC):
         """
         return None
 
+    def wire_stats(self) -> dict:
+        """Byte counters of the current binding's data movement.
+
+        Distributed backends report ``attach_payload_bytes`` (per-worker
+        serialized binding size) and the per-round vector traffic
+        (``vector_bytes_sent`` / ``vector_bytes_received``, measured at
+        the driver).  In-process backends move nothing and return ``{}``.
+        """
+        return {}
+
     @property
     def nblocks(self) -> int:
         """Number of blocks in the current binding (0 when detached)."""
@@ -234,9 +264,18 @@ class InProcessExecutor(Executor):
         self._fault_policy = fault_policy  # recorded; in-process blocks cannot be lost
         self._cache = cache
         self._cache_before = cache.stats.snapshot() if cache is not None else None
-        self._systems = build_local_systems(
-            A, b, sets, solver, cache=cache, executor=self._setup_executor()
-        )
+        tracer = self._tracer
+        if cache is not None and tracer is not None:
+            cache.set_tracer(tracer)
+        if tracer is None:
+            self._systems = build_local_systems(
+                A, b, sets, solver, cache=cache, executor=self._setup_executor()
+            )
+        else:
+            with tracer.span("attach", "compute", lane="driver", blocks=len(sets)):
+                self._systems = build_local_systems(
+                    A, b, sets, solver, cache=cache, executor=self._setup_executor()
+                )
         self._block_seconds = {l: 0.0 for l in range(len(self._systems))}
 
     def _setup_executor(self):
@@ -270,6 +309,21 @@ class InProcessExecutor(Executor):
         t0 = time.perf_counter()
         piece = self.systems[l].solve_with(z)
         return piece, time.perf_counter() - t0
+
+    def _traced_solve(self, l: int, z: np.ndarray) -> tuple[np.ndarray, float]:
+        """:meth:`_timed_solve` plus a ``solve`` span on lane ``block-l``.
+
+        Safe from worker threads: the tracer is internally locked, and
+        the span is strictly observational (the piece is untouched), so
+        traced and untraced runs stay bit-identical.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return self._timed_solve(l, z)
+        t0 = tracer.now()
+        piece, seconds = self._timed_solve(l, z)
+        tracer.add("solve", "compute", t0, seconds, lane=f"block-{l}", block=l)
+        return piece, seconds
 
     def _account(self, l: int, seconds: float) -> None:
         self._block_seconds[l] = self._block_seconds.get(l, 0.0) + seconds

@@ -46,6 +46,7 @@ from repro.core.weighting import WeightingScheme
 from repro.direct.base import DirectSolver
 from repro.direct.cache import FactorizationCache
 from repro.linalg.norms import residual_norm
+from repro.observe import resolve_trace
 from repro.runtime.seqlock import VersionedVector
 
 __all__ = ["async_iterate"]
@@ -65,6 +66,7 @@ def async_iterate(
     monitor_interval: float = 1e-3,
     quiescence_timeout: float = 0.5,
     fault_policy=None,
+    trace=None,
 ) -> SequentialResult:
     """Solve ``A x = b`` with one free-running thread per block.
 
@@ -103,8 +105,15 @@ def async_iterate(
         permanent fault, not a transient: after 3 consecutive failures
         the run aborts regardless of the budget (respawning into the
         same wall forever would otherwise hang the run).
+    trace:
+        ``True`` or a :class:`repro.observe.Tracer` records the run's
+        timeline: per-block ``solve`` spans and ``publish`` events on
+        ``block-N`` lanes, monitor residual samples, and respawn fault
+        events.  Purely observational -- the iterate path is whatever
+        the scheduler produced either way.
     """
     stopping = stopping or StoppingCriterion(consecutive=3)
+    tracer = resolve_trace(trace)
     b = np.asarray(b, dtype=float)
     if b.ndim != 1:
         raise ValueError(
@@ -113,7 +122,16 @@ def async_iterate(
         )
     L = partition.nprocs
     cache_before = cache.stats.snapshot() if cache is not None else None
+    if cache is not None and tracer is not None:
+        cache.set_tracer(tracer)
+    if tracer is not None:
+        t_attach = tracer.now()
     systems = build_local_systems(A, b, partition.sets, solver, cache=cache)
+    if tracer is not None:
+        tracer.add(
+            "attach", "compute", t_attach, tracer.now() - t_attach,
+            lane="driver", blocks=L,
+        )
     z0 = np.zeros(b.shape) if x0 is None else np.asarray(x0, dtype=float).copy()
     if z0.shape != b.shape:
         raise ValueError(f"x0 must have shape {b.shape}")
@@ -162,15 +180,27 @@ def async_iterate(
                         time.sleep(poll_interval)
                         continue
                     solving[l] = True
+                    t0 = time.perf_counter()
                     try:
                         piece = systems[l].solve_with(z)
                     finally:
                         solving[l] = False
+                    if tracer is not None:
+                        tracer.add(
+                            "solve", "compute", t0,
+                            time.perf_counter() - t0,
+                            lane=f"block-{l}", block=l, local_it=it,
+                        )
                     consecutive_failures = 0
                     it += 1
                     counts[l] = it
                     if prev_piece is None or not np.array_equal(piece, prev_piece):
                         slots[l].write(piece)
+                        if tracer is not None:
+                            tracer.event(
+                                "publish", lane=f"block-{l}",
+                                block=l, version=slots[l].version,
+                            )
                         prev_piece = piece
                     # An unchanged piece is not re-published: at the fixed
                     # point every thread stops publishing and the system
@@ -183,6 +213,10 @@ def async_iterate(
                 with fault_lock:
                     fault.workers_lost += 1
                     losses = fault.workers_lost
+                if tracer is not None:
+                    tracer.event(
+                        "worker.lost", cat="fault", lane=f"block-{l}", block=l,
+                    )
                 if fault_policy is None or (
                     fault_policy.max_worker_losses is not None
                     and losses > fault_policy.max_worker_losses
@@ -202,6 +236,10 @@ def async_iterate(
                 with fault_lock:
                     fault.respawns += 1
                     fault.blocks_requeued += 1
+                if tracer is not None:
+                    tracer.event(
+                        "respawn", cat="fault", lane=f"block-{l}", block=l,
+                    )
                 time.sleep(poll_interval)
                 continue
 
@@ -232,6 +270,11 @@ def async_iterate(
             x = assemble()
             value = residual_norm(A, x, b)
             history.append(value)
+            if tracer is not None:
+                tracer.event(
+                    "monitor.sample", cat="round", lane="driver",
+                    sample=len(history) - 1, residual=value,
+                )
             if value <= residual_tolerance:
                 converged = True
                 break
@@ -254,6 +297,8 @@ def async_iterate(
         stop_event.set()
         for t in threads:
             t.join()
+        if cache is not None and tracer is not None:
+            cache.set_tracer(None)
     if errors:
         raise errors[0]
 
@@ -267,4 +312,5 @@ def async_iterate(
         cache_stats=cache.stats.since(cache_before) if cache is not None else None,
         fault_stats=fault if (fault_policy is not None or fault.any_faults) else None,
         backend="threads",
+        trace=tracer,
     )

@@ -28,7 +28,7 @@ class InlineExecutor(InProcessExecutor):
     ) -> list[np.ndarray]:
         pieces: list[np.ndarray] = []
         for l, z in tasks:
-            piece, dt = self._timed_solve(l, z)
+            piece, dt = self._traced_solve(l, z)
             self._account(l, dt)
             pieces.append(piece)
         return pieces

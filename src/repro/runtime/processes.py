@@ -67,6 +67,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.direct.cache import CacheStats, FactorizationCache
+from repro.observe import estimate_clock_offset
 from repro.runtime.api import Executor, owned_rows_spec
 from repro.runtime.resilience import FaultPolicy, FaultStats, reassign_orphans
 from repro.runtime.shm import SharedVectorPlane
@@ -102,6 +103,24 @@ def _worker_main(rank: int, task_q, reply_conn) -> None:
     piece_plane: SharedVectorPlane | None = None
     cache_before: CacheStats | None = None
     use_cache = False
+    # Worker-local tracer (enabled per binding by the spec's "trace"
+    # flag).  Spans are recorded on this process's own perf_counter
+    # clock and shipped back on the "trace" verb together with a clock
+    # sample, so the driver can merge them offset-corrected.
+    tracer = None
+    lane = f"worker-{rank}"
+
+    def _arm_tracer(spec) -> None:
+        nonlocal tracer
+        if spec.get("trace"):
+            if tracer is None:
+                from repro.observe import Tracer
+
+                tracer = Tracer()
+            cache.set_tracer(tracer, lane=lane)
+        else:
+            tracer = None
+            cache.set_tracer(None)
 
     def _release_binding() -> None:
         nonlocal systems, z_plane, piece_plane
@@ -127,7 +146,15 @@ def _worker_main(rank: int, task_q, reply_conn) -> None:
     # Every message after the verb carries the binding epoch; replies echo
     # it so the driver can discard stragglers from an aborted binding.
     while True:
+        t_wait = time.perf_counter()
         msg = task_q.get()
+        if tracer is not None:
+            # Time blocked waiting for the next ticket: between rounds
+            # this is the worker's barrier wait.
+            tracer.add(
+                "barrier.wait", "wait", t_wait, time.perf_counter() - t_wait,
+                lane=lane,
+            )
         kind = msg[0]
         if kind == "exit":
             _release_binding()
@@ -140,12 +167,14 @@ def _worker_main(rank: int, task_q, reply_conn) -> None:
                 # the bytes object instead of re-walking the matrices).
                 spec = pickle.loads(msg[2])
                 _release_binding()
+                _arm_tracer(spec)
                 use_cache = spec["use_cache"]
                 cache_before = cache.stats.snapshot() if use_cache else None
                 _open_planes(spec)
                 # Only the owned rows A[J_l, :] / b[J_l] ever arrive --
                 # never the full matrix (mirrors the socket backend).
                 for l in spec["owned"]:
+                    t0 = time.perf_counter()
                     systems[l] = build_local_system(
                         None,
                         None,
@@ -156,6 +185,14 @@ def _worker_main(rank: int, task_q, reply_conn) -> None:
                         band=spec["bands"][l],
                         b_sub=spec["b_subs"][l],
                     )
+                    if tracer is not None and not use_cache:
+                        # Cached bindings get their factor spans from the
+                        # cache itself (misses only -- a re-attach hit
+                        # costs no factor time and records none).
+                        tracer.add(
+                            "factor", "compute", t0,
+                            time.perf_counter() - t0, lane=lane, block=l,
+                        )
                 reply_conn.send(("attached", epoch, rank))
             elif kind == "adopt":
                 # Recovery: take over a dead worker's blocks *in addition*
@@ -163,6 +200,7 @@ def _worker_main(rank: int, task_q, reply_conn) -> None:
                 # the full plane/cap context in the spec and starts from a
                 # clean binding.
                 spec = pickle.loads(msg[2])
+                _arm_tracer(spec)
                 use_cache = spec["use_cache"]
                 if use_cache and cache_before is None:
                     cache_before = cache.stats.snapshot()
@@ -179,15 +217,37 @@ def _worker_main(rank: int, task_q, reply_conn) -> None:
                         band=spec["bands"][l],
                         b_sub=spec["b_subs"][l],
                     )
-                reply_conn.send(("adopted", epoch, rank, time.perf_counter() - t0))
+                dt = time.perf_counter() - t0
+                if tracer is not None:
+                    tracer.add(
+                        "adopt", "fault", t0, dt, lane=lane,
+                        blocks=list(spec["owned"]),
+                    )
+                reply_conn.send(("adopted", epoch, rank, dt))
             elif kind == "solve":
                 l = msg[2]
                 z = z_plane.read(l)
+                if tracer is not None:
+                    tracer.event(
+                        "wire.recv", cat="wire", lane=lane,
+                        bytes=int(z.nbytes), block=l,
+                    )
                 t0 = time.perf_counter()
                 piece = systems[l].solve_with(z)
                 dt = time.perf_counter() - t0
-                piece_plane.write(l, np.asarray(piece, dtype=float))
+                piece = np.asarray(piece, dtype=float)
+                if tracer is not None:
+                    tracer.add("solve", "compute", t0, dt, lane=lane, block=l)
+                piece_plane.write(l, piece)
+                if tracer is not None:
+                    tracer.event(
+                        "wire.send", cat="wire", lane=lane,
+                        bytes=int(piece.nbytes), block=l,
+                    )
                 reply_conn.send(("done", epoch, l, dt))
+            elif kind == "trace":
+                batch = tracer.export_batch() if tracer is not None else []
+                reply_conn.send(("trace", epoch, rank, batch, time.perf_counter()))
             elif kind == "stats":
                 delta = (
                     cache.stats.since(cache_before)
@@ -253,6 +313,9 @@ class ProcessExecutor(Executor):
         #: the observable for the owned-rows-only shipping guarantee
         #: (mirrors ``SocketExecutor.attach_payload_bytes``).
         self.attach_payload_bytes: dict[int, int] = {}
+        # Per-binding vector traffic through the shm planes (driver side).
+        self._vector_bytes_sent = 0
+        self._vector_bytes_received = 0
 
     # -- worker pool -----------------------------------------------------
     def _context(self):
@@ -411,6 +474,7 @@ class ProcessExecutor(Executor):
             z_shapes=ctx["z_shapes"],
             piece_name=ctx["piece_name"],
             piece_shapes=ctx["piece_shapes"],
+            trace=ctx["trace"],
         )
         return spec
 
@@ -470,8 +534,11 @@ class ProcessExecutor(Executor):
             "z_shapes": z_shapes,
             "piece_name": self._piece_plane.name,
             "piece_shapes": piece_shapes,
+            "trace": self._tracer is not None,
         }
         self.attach_payload_bytes = {}
+        self._vector_bytes_sent = 0
+        self._vector_bytes_received = 0
         try:
             for w in range(W):
                 # Serialized exactly once: the byte count is the shipping
@@ -562,6 +629,7 @@ class ProcessExecutor(Executor):
             live = [w for w in self._live if self._workers[w].is_alive()]
             try:
                 self._live = live
+                self._collect_trace(live)
                 for w in live:
                     self._task_qs[w].put(("detach", self._epoch))
                 self._collect("detached", len(live))
@@ -570,6 +638,43 @@ class ProcessExecutor(Executor):
                 self._live = []
                 self._spec_ctx = None
                 self._release_planes()
+
+    def _collect_trace(self, live: list[int]) -> None:
+        """Pull the workers' span batches in and merge them (detach path).
+
+        One request/reply round trip per worker doubles as the clock
+        sample: the worker stamps its reply with its own perf_counter,
+        and Cristian's midpoint estimate over the driver's send/receive
+        instants yields the offset that maps the batch onto the driver
+        clock.  Best-effort by design -- a dead or wedged worker loses
+        its spans, never the detach.
+        """
+        tracer = self._tracer
+        if tracer is None or not live:
+            return
+        t_send: dict[int, float] = {}
+        for w in live:
+            t_send[w] = tracer.now()
+            self._task_qs[w].put(("trace", self._epoch))
+        needed = set(live)
+        deadline = time.monotonic() + self._reply_wait_seconds()
+        while needed:
+            batch = self._poll_replies(timeout=0.2)
+            t_recv = tracer.now()
+            if not batch:
+                for w in list(needed):
+                    if not self._workers[w].is_alive():
+                        needed.discard(w)
+                if time.monotonic() > deadline:
+                    break
+                continue
+            for msg in batch:
+                if msg[1] != self._epoch or msg[0] != "trace":
+                    continue  # straggler from the aborted round
+                _, _, rank, spans, worker_now = msg
+                offset = estimate_clock_offset(t_send[rank], worker_now, t_recv)
+                tracer.ingest(spans, clock_offset=offset)
+                needed.discard(rank)
 
     def _release_planes(self) -> None:
         for plane in (self._z_plane, self._piece_plane):
@@ -625,10 +730,13 @@ class ProcessExecutor(Executor):
         adopter ranks whose ``adopted`` acks the caller must collect.
         """
         dead_set = set(dead)
+        tracer = self._tracer
         for w in dead:
             self._kill_silently(w)
             self._live.remove(w)
             self._fault.workers_lost += 1
+            if tracer is not None:
+                tracer.event("worker.lost", cat="fault", lane="driver", worker=w)
         if (
             self._policy.max_worker_losses is not None
             and self._fault.workers_lost > self._policy.max_worker_losses
@@ -647,6 +755,11 @@ class ProcessExecutor(Executor):
                 self._live.append(rank)
                 replacement[w] = rank
                 self._fault.respawns += 1
+                if tracer is not None:
+                    tracer.event(
+                        "respawn", cat="fault", lane="driver",
+                        worker=rank, replaces=w,
+                    )
             for l in orphans:
                 new_owner[l] = replacement[self._owner[l]]
         else:
@@ -718,9 +831,19 @@ class ProcessExecutor(Executor):
         blocks = [l for l, _ in tasks]
         if len(set(blocks)) != len(blocks):
             raise ValueError("duplicate block in one solve_blocks call")
+        tracer = self._tracer
         pending: dict[int, int] = {}
+        sent_bytes = 0
         for l, z in tasks:
-            self._z_plane.write(l, np.asarray(z, dtype=float))
+            arr = np.asarray(z, dtype=float)
+            self._z_plane.write(l, arr)
+            sent_bytes += arr.nbytes
+        self._vector_bytes_sent += sent_bytes
+        if tracer is not None:
+            tracer.event(
+                "wire.send", cat="wire", lane="driver",
+                bytes=int(sent_bytes), blocks=len(tasks),
+            )
         for l, _ in tasks:
             w = self._owner[l]
             self._task_qs[w].put(("solve", self._epoch, l))
@@ -730,6 +853,7 @@ class ProcessExecutor(Executor):
         hb = policy.heartbeat_interval if policy is not None else 1.0
         round_start = time.monotonic()
         hard_deadline = round_start + self._reply_wait_seconds()
+        t_wait = tracer.now() if tracer is not None else 0.0
         while remaining:
             batch = self._poll_replies(timeout=hb)
             if batch:
@@ -777,7 +901,20 @@ class ProcessExecutor(Executor):
             self._recover(dead, remaining, pending)
             round_start = time.monotonic()  # a fresh deadline after recovery
             hard_deadline = round_start + self._reply_wait_seconds()
-        return [self._piece_plane.read(l) for l in blocks]
+        if tracer is not None:
+            tracer.add(
+                "barrier.wait", "wait", t_wait, tracer.now() - t_wait,
+                lane="driver", tasks=len(blocks),
+            )
+        pieces = [self._piece_plane.read(l) for l in blocks]
+        recv_bytes = sum(p.nbytes for p in pieces)
+        self._vector_bytes_received += recv_bytes
+        if tracer is not None:
+            tracer.event(
+                "wire.recv", cat="wire", lane="driver",
+                bytes=int(recv_bytes), blocks=len(blocks),
+            )
+        return pieces
 
     def map(self, fn: Callable, items: Iterable) -> list:
         # Workers speak a fixed verb set, not closures; setup-phase maps
@@ -788,6 +925,13 @@ class ProcessExecutor(Executor):
     # -- observability ---------------------------------------------------
     def block_seconds(self) -> dict[int, float]:
         return dict(self._block_seconds)
+
+    def wire_stats(self) -> dict:
+        return {
+            "attach_payload_bytes": dict(self.attach_payload_bytes),
+            "vector_bytes_sent": int(self._vector_bytes_sent),
+            "vector_bytes_received": int(self._vector_bytes_received),
+        }
 
     def run_cache_stats(self) -> CacheStats | None:
         if not self._attached or not self._use_cache:

@@ -475,14 +475,25 @@ class ChaosExecutor(Executor):
         self._round += 1
         blocks = [l for l, _ in tasks]
         events = self.injector.events_for(self._round, self._live_workers(), blocks)
+        tracer = self._tracer
         for ev in events:
             if ev.kind == "delay":
+                if tracer is not None:
+                    tracer.add(
+                        "chaos.delay", "fault", tracer.now(), ev.seconds,
+                        lane="driver", round=self._round, block=ev.block,
+                    )
                 time.sleep(ev.seconds)
                 self._fault.delays_injected += 1
         orphaned: set[int] = set()
         for ev in events:
             if ev.kind != "crash":
                 continue
+            if tracer is not None:
+                tracer.event(
+                    "chaos.crash", cat="fault", lane="driver",
+                    round=self._round, worker=ev.worker,
+                )
             if self._virtual:
                 orphaned.update(self._virtual_crash(ev.worker))
             else:
@@ -498,6 +509,11 @@ class ChaosExecutor(Executor):
                 pieces[index_of[l]] = piece
         for ev in events:
             if ev.kind == "drop" and ev.block in index_of:
+                if tracer is not None:
+                    tracer.event(
+                        "chaos.drop", cat="fault", lane="driver",
+                        round=self._round, block=ev.block,
+                    )
                 i = index_of[ev.block]
                 pieces[i] = self.inner.solve_blocks([tasks[i]])[0]
                 self._fault.replies_dropped += 1
@@ -507,6 +523,15 @@ class ChaosExecutor(Executor):
         return self.inner.map(fn, items)
 
     # -- observability ---------------------------------------------------
+    def set_tracer(self, tracer) -> None:
+        # The wrapper records its injection events; the real spans come
+        # from the wrapped backend, so the tracer is shared with it.
+        self._tracer = tracer
+        self.inner.set_tracer(tracer)
+
+    def wire_stats(self) -> dict:
+        return self.inner.wire_stats()
+
     def block_seconds(self) -> dict[int, float]:
         return self.inner.block_seconds()
 

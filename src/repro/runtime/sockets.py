@@ -71,6 +71,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.direct.cache import CacheStats, FactorizationCache
+from repro.observe import estimate_clock_offset
 from repro.runtime.api import Executor, owned_rows_spec
 from repro.runtime.resilience import FaultPolicy, FaultStats, reassign_orphans
 
@@ -101,10 +102,19 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return bytes(buf)
 
 
+def recv_msg_sized(sock: socket.socket) -> tuple:
+    """Read one length-prefixed pickled frame; returns ``(obj, bytes)``.
+
+    The byte count is the frame's payload size -- the receive-side twin
+    of :func:`send_msg`'s return, used for wire accounting.
+    """
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    return pickle.loads(_recv_exact(sock, length)), length
+
+
 def recv_msg(sock: socket.socket):
     """Read one length-prefixed pickled frame."""
-    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
-    return pickle.loads(_recv_exact(sock, length))
+    return recv_msg_sized(sock)[0]
 
 
 class _WorkerGone(RuntimeError):
@@ -137,11 +147,19 @@ def _serve_connection(
     use_cache = False
     cache_before: CacheStats | None = None
     solves = 0
+    tracer = None
+    lane = "worker"
     while True:
+        t_wait = time.perf_counter()
         try:
-            msg = recv_msg(conn)
+            msg, nbytes = recv_msg_sized(conn)
         except (ConnectionError, OSError):
             return False
+        if tracer is not None:
+            tracer.add(
+                "barrier.wait", "wait", t_wait,
+                time.perf_counter() - t_wait, lane=lane,
+            )
         kind = msg[0]
         if kind == "exit":
             return True
@@ -151,6 +169,19 @@ def _serve_connection(
             # must still kill it, not be serialized back to the driver.
             if kind in ("attach", "adopt"):
                 spec = msg[2]
+                if spec.get("trace"):
+                    if tracer is None:
+                        from repro.observe import Tracer
+
+                        tracer = Tracer()
+                    # A socket worker has no rank of its own (it is just
+                    # a stream peer); the driver names its lane in the
+                    # spec so merged timelines stay per-worker.
+                    lane = spec.get("lane", lane)
+                    cache.set_tracer(tracer, lane=lane)
+                else:
+                    tracer = None
+                    cache.set_tracer(None)
                 if kind == "attach":
                     systems = {}
                     use_cache = spec["use_cache"]
@@ -159,10 +190,21 @@ def _serve_connection(
                     use_cache = spec["use_cache"]
                     if use_cache and cache_before is None:
                         cache_before = cache.stats.snapshot()
+                if tracer is not None:
+                    tracer.event(
+                        "wire.recv", cat="wire", lane=lane,
+                        bytes=int(nbytes), verb=kind,
+                    )
+                    if kind == "adopt":
+                        tracer.event(
+                            "adopt", cat="fault", lane=lane,
+                            blocks=list(spec["owned"]),
+                        )
                 # Only the owned band rows ever arrive -- never the full
                 # matrix (see the module docstring).
                 t0 = time.perf_counter()
                 for l in spec["owned"]:
+                    tb = time.perf_counter()
                     systems[l] = build_local_system(
                         None,
                         None,
@@ -173,6 +215,14 @@ def _serve_connection(
                         band=spec["bands"][l],
                         b_sub=spec["b_subs"][l],
                     )
+                    if tracer is not None and not use_cache:
+                        # Cached bindings get their factor spans from the
+                        # cache itself (miss path); only uncached builds
+                        # need explicit accounting.
+                        tracer.add(
+                            "factor", "compute", tb,
+                            time.perf_counter() - tb, lane=lane, block=l,
+                        )
                 dt = time.perf_counter() - t0
                 if kind == "attach":
                     send_msg(conn, ("attached", epoch))
@@ -180,15 +230,32 @@ def _serve_connection(
                     send_msg(conn, ("adopted", epoch, dt))
             elif kind == "solve":
                 l, z = msg[2], msg[3]
+                if tracer is not None:
+                    tracer.event(
+                        "wire.recv", cat="wire", lane=lane,
+                        bytes=int(nbytes), block=l,
+                    )
                 t0 = time.perf_counter()
                 piece = systems[l].solve_with(z)
                 dt = time.perf_counter() - t0
-                send_msg(conn, ("done", epoch, l, np.asarray(piece, dtype=float), dt))
+                if tracer is not None:
+                    tracer.add("solve", "compute", t0, dt, lane=lane, block=l)
+                sent = send_msg(
+                    conn, ("done", epoch, l, np.asarray(piece, dtype=float), dt)
+                )
+                if tracer is not None:
+                    tracer.event(
+                        "wire.send", cat="wire", lane=lane,
+                        bytes=int(sent), block=l,
+                    )
                 solves += 1
                 if crash_after is not None and solves >= crash_after:
                     # Simulate a mid-run node failure: no goodbye frame,
                     # no cleanup -- the driver sees a broken stream.
                     os._exit(1)
+            elif kind == "trace":
+                batch = tracer.export_batch() if tracer is not None else []
+                send_msg(conn, ("trace", epoch, batch, time.perf_counter()))
             elif kind == "stats":
                 delta = (
                     cache.stats.since(cache_before)
@@ -325,6 +392,12 @@ class SocketExecutor(Executor):
         #: Pickled payload bytes of the last attach, per worker rank --
         #: the observable for the band-rows-only shipping guarantee.
         self.attach_payload_bytes: dict[int, int] = {}
+        # Vector wire accounting: _run_worker_tasks/_recv_reply run on
+        # io-pool threads, so the counters are guarded by a lock (int +=
+        # is not atomic under concurrent writers).
+        self._wire_lock = threading.Lock()
+        self._vector_bytes_sent = 0
+        self._vector_bytes_received = 0
 
     # -- connection management -------------------------------------------
     def _context(self):
@@ -430,7 +503,7 @@ class SocketExecutor(Executor):
         """Next current-epoch frame from worker ``w`` (stragglers dropped)."""
         while True:
             try:
-                msg = recv_msg(self._socks[w])
+                msg, nbytes = recv_msg_sized(self._socks[w])
             except (ConnectionError, OSError) as exc:
                 raise _WorkerGone(w, exc) from None
             if msg[1] != self._epoch:
@@ -441,16 +514,24 @@ class SocketExecutor(Executor):
                 raise RuntimeError(
                     f"expected {expected_kind!r} from worker {w}, got {msg[0]!r}"
                 )
+            if msg[0] == "done":
+                with self._wire_lock:
+                    self._vector_bytes_received += nbytes
             return msg
 
     # -- binding ---------------------------------------------------------
-    def _worker_spec(self, owned: list[int]) -> dict:
+    def _worker_spec(self, owned: list[int], rank: int) -> dict:
         """The attach/adopt payload for one worker: owned rows only."""
         ctx = self._ctx
-        return owned_rows_spec(
+        spec = owned_rows_spec(
             ctx["A"], ctx["b"], ctx["sets"], ctx["solvers"], owned,
             ctx["use_cache"],
         )
+        # The worker does not know its own rank; ship its timeline lane
+        # (and whether to record at all) with the binding.
+        spec["trace"] = self._tracer is not None
+        spec["lane"] = f"worker-{rank}"
+        return spec
 
     def attach(
         self, A, b, sets, solver, *, cache=None, placement=None, fault_policy=None
@@ -514,6 +595,9 @@ class SocketExecutor(Executor):
         # worker instead of W full copies.
         active = sorted({owner[l] for l in range(L)})
         self.attach_payload_bytes = {}
+        with self._wire_lock:
+            self._vector_bytes_sent = 0
+            self._vector_bytes_received = 0
         # Transactional attach: without a policy a worker death still
         # fails fast (there is no half-bound binding the caller could
         # use, and the corpse is marked so the *next* attach replaces or
@@ -524,7 +608,7 @@ class SocketExecutor(Executor):
         pending: list[int] = []
         for w in active:
             owned = [l for l in range(L) if owner[l] == w]
-            spec = self._worker_spec(owned)
+            spec = self._worker_spec(owned, w)
             try:
                 self.attach_payload_bytes[w] = send_msg(
                     self._socks[w], ("attach", self._epoch, spec)
@@ -557,6 +641,7 @@ class SocketExecutor(Executor):
         # Bump the epoch so straggler replies from an aborted solve round
         # are discarded instead of tripping the detached-reply check.
         self._epoch += 1
+        self._collect_trace()
         try:
             # Best-effort per worker: detach runs in drivers' finally
             # blocks, so a *dead peer* must not raise here and replace the
@@ -582,6 +667,32 @@ class SocketExecutor(Executor):
     @property
     def nblocks(self) -> int:
         return len(self._owner) if self._attached else 0
+
+    def _collect_trace(self) -> None:
+        """Pull worker-recorded spans onto the driver timeline.
+
+        Runs at detach (after the epoch bump, before the detach verbs) so
+        every worker's whole binding history arrives in one batch.  Each
+        worker's clock is re-based with a Cristian midpoint estimate from
+        the trace round-trip.  Best-effort per worker: a dead peer loses
+        its spans but can never wedge detach (the broken stream will
+        surface on the next attach anyway).
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return
+        for w in self._live_ranks():
+            try:
+                self._socks[w].settimeout(self.reply_timeout)
+                t_send = tracer.now()
+                send_msg(self._socks[w], ("trace", self._epoch))
+                msg = self._recv_reply(w, "trace")
+                t_recv = tracer.now()
+            except (OSError, _WorkerGone):
+                continue
+            batch, worker_now = msg[2], msg[3]
+            offset = estimate_clock_offset(t_send, worker_now, t_recv)
+            tracer.ingest(batch, clock_offset=offset)
 
     def _mark_lost_at_attach(self, rank: int) -> None:
         self._lost.add(rank)
@@ -647,11 +758,14 @@ class SocketExecutor(Executor):
     def _recover(self, failures: dict[int, list]) -> None:
         """Mark the failed workers lost and re-home their blocks."""
         policy = self._policy
+        tracer = self._tracer
         for w in sorted(failures):
             if w in self._lost:
                 continue
             self._lost.add(w)
             self._fault.workers_lost += 1
+            if tracer is not None:
+                tracer.event("worker.lost", cat="fault", lane="driver", worker=w)
             pid = self._sock_pids[w]
             proc = next((p for p in self._procs if p.pid == pid), None) if pid else None
             if proc is not None and proc.is_alive():
@@ -678,6 +792,12 @@ class SocketExecutor(Executor):
             self._connect(self._spawn_loopback(len(dead_set)))
             replacement = dict(zip(sorted(dead_set), range(first_new, len(self._socks))))
             self._fault.respawns += len(dead_set)
+            if tracer is not None:
+                for old, new in replacement.items():
+                    tracer.event(
+                        "respawn", cat="fault", lane="driver",
+                        worker=new, replaces=old,
+                    )
             for l in orphans:
                 new_owner[l] = replacement[self._owner[l]]
         else:
@@ -696,7 +816,10 @@ class SocketExecutor(Executor):
             # The adoption refactor may legitimately exceed a tight solve
             # deadline: run it under the long protocol timeout.
             self._socks[w].settimeout(self.reply_timeout)
-            send_msg(self._socks[w], ("adopt", self._epoch, self._worker_spec(owned)))
+            send_msg(
+                self._socks[w],
+                ("adopt", self._epoch, self._worker_spec(owned, w)),
+            )
         for w in sorted(by_adopter):
             msg = self._recv_reply(w, "adopted")
             self._fault.refactor_seconds += msg[2]
@@ -734,9 +857,11 @@ class SocketExecutor(Executor):
                 # must surface to the caller, never be misread as a
                 # worker loss and "recovered" into an infinite refactor
                 # loop.
-                send_msg(
+                sent = send_msg(
                     self._socks[w], ("solve", self._epoch, l, np.asarray(z, float))
                 )
+                with self._wire_lock:
+                    self._vector_bytes_sent += sent
             except (ConnectionError, OSError) as exc:
                 return done, tasks[i:], _WorkerGone(w, exc)
             try:
@@ -755,6 +880,11 @@ class SocketExecutor(Executor):
         if len(set(blocks)) != len(blocks):
             raise ValueError("duplicate block in one solve_blocks call")
         pieces: dict[int, np.ndarray] = {}
+        tracer = self._tracer
+        if tracer is not None:
+            with self._wire_lock:
+                sent0, recv0 = self._vector_bytes_sent, self._vector_bytes_received
+            t_wait = tracer.now()
         todo = list(tasks)
         while todo:
             by_worker: dict[int, list[tuple[int, np.ndarray]]] = {}
@@ -788,6 +918,18 @@ class SocketExecutor(Executor):
                 )
             self._recover(failures)
             todo = [t for _, undone in sorted(failures.items()) for t in undone]
+        if tracer is not None:
+            # One aggregated wait span + wire event pair per round on the
+            # driver lane; the per-block detail lives on the worker lanes.
+            tracer.add(
+                "barrier.wait", "wait", t_wait, tracer.now() - t_wait,
+                lane="driver", tasks=len(tasks),
+            )
+            with self._wire_lock:
+                sent = self._vector_bytes_sent - sent0
+                received = self._vector_bytes_received - recv0
+            tracer.event("wire.send", cat="wire", lane="driver", bytes=sent)
+            tracer.event("wire.recv", cat="wire", lane="driver", bytes=received)
         return [pieces[l] for l in blocks]
 
     def map(self, fn: Callable, items: Iterable) -> list:
@@ -799,6 +941,14 @@ class SocketExecutor(Executor):
     # -- observability ---------------------------------------------------
     def block_seconds(self) -> dict[int, float]:
         return dict(self._block_seconds)
+
+    def wire_stats(self) -> dict:
+        with self._wire_lock:
+            return {
+                "attach_payload_bytes": dict(self.attach_payload_bytes),
+                "vector_bytes_sent": self._vector_bytes_sent,
+                "vector_bytes_received": self._vector_bytes_received,
+            }
 
     def run_cache_stats(self) -> CacheStats | None:
         if not self._attached or not self._use_cache:

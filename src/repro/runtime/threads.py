@@ -89,17 +89,24 @@ class ThreadExecutor(InProcessExecutor):
             slots = self._ensure_slot_pools(self._placement.nworkers)
             assignment = self._placement.assignment
             futures = [
-                slots[assignment[l]].submit(self._timed_solve, l, z)
+                slots[assignment[l]].submit(self._traced_solve, l, z)
                 for l, z in tasks
             ]
         else:
             pool = self._ensure_pool()
-            futures = [pool.submit(self._timed_solve, l, z) for l, z in tasks]
+            futures = [pool.submit(self._traced_solve, l, z) for l, z in tasks]
+        tracer = self._tracer
+        t_wait = tracer.now() if tracer is not None else 0.0
         pieces: list[np.ndarray] = []
         for (l, _), fut in zip(tasks, futures):
             piece, dt = fut.result()
             self._account(l, dt)
             pieces.append(piece)
+        if tracer is not None:
+            tracer.add(
+                "barrier.wait", "wait", t_wait, tracer.now() - t_wait,
+                lane="driver", tasks=len(tasks),
+            )
         return pieces
 
     def map(self, fn: Callable, items: Iterable) -> list:

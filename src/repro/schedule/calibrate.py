@@ -93,6 +93,8 @@ def measure_worker_speeds(
         sizes=(probe_size,) * nworkers,
         assignment=tuple(range(nworkers)),
     )
+    tracer = getattr(executor, "tracer", None)
+    t_cal = tracer.now() if tracer is not None else 0.0
     executor.attach(A, b, sets, get_solver(solver), placement=plan)
     try:
         z = np.zeros(A.shape[0])
@@ -109,6 +111,12 @@ def measure_worker_speeds(
             prev = cur
     finally:
         executor.detach()
+        if tracer is not None:
+            tracer.add(
+                "calibrate", "compute", t_cal, tracer.now() - t_cal,
+                lane="driver", workers=nworkers, repeats=repeats,
+                probe_size=probe_size,
+            )
     seconds = []
     for rounds in samples:
         med = float(np.median(rounds))

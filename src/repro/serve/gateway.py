@@ -63,6 +63,10 @@ class ServeGateway:
     max_pending:
         Admission bound (queued + in-flight requests).  Beyond it,
         :meth:`submit` raises :class:`GatewayOverloaded`.
+    trace:
+        ``True`` or a :class:`repro.observe.Tracer` records the serving
+        timeline on the ``serve`` lane: admission, sheds, batch flushes
+        (with the reason the window closed), and per-request replies.
     """
 
     def __init__(
@@ -72,7 +76,10 @@ class ServeGateway:
         window: float = 0.005,
         max_batch: int = 32,
         max_pending: int = 256,
+        trace=None,
     ):
+        from repro.observe import resolve_trace
+
         if window < 0:
             raise ValueError("window must be non-negative")
         if max_pending < 1:
@@ -80,6 +87,7 @@ class ServeGateway:
         self.pool = pool
         self.window = float(window)
         self.max_pending = max_pending
+        self.tracer = resolve_trace(trace)
         self._batcher = MicroBatcher(max_batch=max_batch)
         self._timers: dict[str, asyncio.TimerHandle] = {}
         self._inflight: set[asyncio.Future] = set()
@@ -103,10 +111,21 @@ class ServeGateway:
         the round fails.
         """
         loop = asyncio.get_running_loop()
+        tracer = self.tracer
         if self._admitted >= self.max_pending:
             self._shed += 1
+            if tracer is not None:
+                tracer.event(
+                    "serve.shed", cat="serve", lane="serve",
+                    tenant=key, pending=self._admitted,
+                )
             raise GatewayOverloaded(self._admitted, self.max_pending)
         self._admitted += 1
+        if tracer is not None:
+            tracer.event(
+                "serve.admit", cat="serve", lane="serve",
+                tenant=key, pending=self._admitted,
+            )
         request = PendingRequest(
             rhs=np.asarray(b, dtype=float),
             future=loop.create_future(),
@@ -114,18 +133,20 @@ class ServeGateway:
         )
         action = self._batcher.add(key, request)
         if action == "flush":
-            self._flush(key)
+            self._flush(key, reason="max_batch")
         elif action == "opened":
             if self.window > 0:
-                self._timers[key] = loop.call_later(self.window, self._flush, key)
+                self._timers[key] = loop.call_later(
+                    self.window, self._flush, key, "window"
+                )
             else:
                 # Zero window: dispatch on the next tick, so only
                 # arrivals of the *same* tick share the round.
-                loop.call_soon(self._flush, key)
+                loop.call_soon(self._flush, key, "tick")
         return await request.future
 
     # -- batching machinery (event-loop only) -----------------------------
-    def _flush(self, key: str) -> None:
+    def _flush(self, key: str, reason: str = "window") -> None:
         timer = self._timers.pop(key, None)
         if timer is not None:
             timer.cancel()
@@ -135,6 +156,11 @@ class ServeGateway:
         loop = asyncio.get_running_loop()
         B = np.column_stack([r.rhs for r in requests])
         self._batches += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "serve.batch", cat="serve", lane="serve",
+                tenant=key, size=len(requests), reason=reason,
+            )
         round_fut = asyncio.ensure_future(
             loop.run_in_executor(
                 self.pool.threads, self.pool.solve_batch, key, B
@@ -162,10 +188,17 @@ class ServeGateway:
         X = fut.result()
         now = asyncio.get_running_loop().time()
         k = len(requests)
+        tracer = self.tracer
         for j, r in enumerate(requests):
+            latency = now - r.arrival
             self._records.append(
-                RequestRecord(tenant=key, latency=now - r.arrival, batch_size=k)
+                RequestRecord(tenant=key, latency=latency, batch_size=k)
             )
+            if tracer is not None:
+                tracer.event(
+                    "serve.reply", cat="serve", lane="serve",
+                    tenant=key, latency=latency, batch_size=k,
+                )
             if not r.future.done():
                 r.future.set_result(X[:, j])
 
@@ -173,7 +206,7 @@ class ServeGateway:
     async def drain(self) -> None:
         """Flush every open batch and wait for in-flight rounds."""
         for key in self._batcher.open_keys():
-            self._flush(key)
+            self._flush(key, reason="drain")
         while self._inflight:
             await asyncio.gather(*list(self._inflight), return_exceptions=True)
 
@@ -186,3 +219,34 @@ class ServeGateway:
             wall_seconds=wall_seconds,
             cache_stats=self.pool.cache_stats(),
         )
+
+    def metrics_registry(self):
+        """A :class:`repro.observe.MetricsRegistry` view of the gateway.
+
+        Gauges are *live* callables over the gateway's counters (each
+        :meth:`repro.observe.MetricsRegistry.render` re-reads them), so
+        one registry built once can be scraped repeatedly.
+        """
+        from repro.observe import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.gauge("repro_serve_pending", fn=lambda: self._admitted)
+        reg.gauge("repro_serve_shed", fn=lambda: self._shed)
+        reg.gauge("repro_serve_batches", fn=lambda: self._batches)
+        reg.gauge("repro_serve_completed", fn=lambda: len(self._records))
+        return reg
+
+    def render_metrics(self, *, wall_seconds: float | None = None) -> str:
+        """Prometheus text scrape of the gateway (and its pool's cache).
+
+        With ``wall_seconds`` the completed-interval latency aggregates
+        (quantile gauges, histogram) are folded in too.
+        """
+        reg = self.metrics_registry()
+        if wall_seconds is not None:
+            reg.ingest_serve(self.stats(wall_seconds=wall_seconds))
+        else:
+            reg.ingest_cache(self.pool.cache_stats())
+        if self.tracer is not None:
+            reg.ingest_spans(self.tracer.spans())
+        return reg.render()
