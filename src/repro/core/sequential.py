@@ -30,6 +30,7 @@ seeded schedule.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -88,6 +89,15 @@ class SequentialResult:
     trace:
         The :class:`repro.observe.Tracer` holding the run's merged span
         timeline when the driver ran with ``trace=``; ``None`` otherwise.
+    dispatch:
+        How the synchronous rounds were driven: ``"barrier"`` (every
+        block waits on the global round) or ``"pipelined"``
+        (dependency-gated dispatch -- bit-identical iterates, no global
+        barrier).
+    gate_wait_seconds:
+        Pipelined runs only: cumulative seconds blocks spent idle
+        between finishing one round and having their dependencies ready
+        for the next (0.0 under the barrier).
     """
 
     x: np.ndarray
@@ -102,6 +112,8 @@ class SequentialResult:
     placement: dict | None = None
     wire: dict = field(default_factory=dict)
     trace: "object | None" = None
+    dispatch: str = "barrier"
+    gate_wait_seconds: float = 0.0
 
 
 def _resolve_executor(executor):
@@ -126,6 +138,138 @@ def _combine_core(partition: GeneralPartition, pieces: list[np.ndarray]) -> np.n
     return x
 
 
+#: How many rounds a block may run ahead of the slowest monitored round
+#: under pipelined dispatch.  Bounded for memory, and must stay strictly
+#: below the runtime's receive-:class:`~repro.runtime.wire.BufferPool`
+#: depth (4): a block can hold ``window + 1`` live round pieces at once,
+#: and each must still be backed by its own pooled buffer.
+_PIPELINE_WINDOW = 3
+
+
+def _pipelined_rounds(
+    A, b, partition, weighting, weights, stopping, ex, tracer, z0, callback
+):
+    """Dependency-gated synchronous rounds (no global barrier).
+
+    Block ``l``'s round-``k+1`` solve dispatches the moment the round-
+    ``k`` pieces of its gate set (its dependencies per the communication
+    pattern, plus itself) have arrived -- a straggling non-dependency
+    cannot stall it.  Iterates are bit-identical to the barrier driver:
+    every gated term of the local-copy combine uses exactly the round-
+    ``k`` piece the barrier would, and a non-gated term's weight is zero
+    at every column the solve reads, so the stale piece standing in for
+    it is multiplied away before it can reach the kernel.
+
+    Returns ``(x, iterations, converged, history, gate_wait_seconds)``.
+    """
+    # Lazy: repro.schedule builds on repro.core, so a module-level
+    # import here would be circular (same idiom as _resolve_executor).
+    from repro.schedule.pattern import dependency_gates
+
+    L = partition.nprocs
+    gates = dependency_gates(A, partition, weighting)
+    batched = b.ndim == 2
+    max_r = stopping.max_iterations
+    state = stopping.new_state()
+    x_prev = z0.copy()
+    history: list[float] = []
+    converged = False
+    iterations = 0
+    gate_wait = 0.0
+    #: rounds[r][l] = block l's round-r piece (pruned once no open gate
+    #: or monitor can still read it).
+    rounds: dict[int, dict[int, np.ndarray]] = {}
+    latest = [z0[partition.sets[k]] for k in range(L)]
+    submitted = [0] * L
+    t_done = [time.perf_counter()] * L
+    monitor = 1  # next round to fold into the convergence history
+    inflight = 0
+    stream = ex.open_stream()
+    try:
+        if max_r >= 1:
+            # Round 1 solves on the caller's start vector directly, like
+            # the barrier's initial Z.
+            for l in range(L):
+                stream.submit(l, z0)
+                submitted[l] = 1
+                inflight += 1
+        while inflight:
+            l, piece = stream.next_done()
+            inflight -= 1
+            rounds.setdefault(submitted[l], {})[l] = piece
+            latest[l] = piece
+            t_done[l] = time.perf_counter()
+            # Fold completed rounds into the history strictly in order:
+            # the monitor sequence (metric values, callback, stopping
+            # state) is exactly the barrier driver's.
+            stop = False
+            while monitor in rounds and len(rounds[monitor]) == L:
+                pieces = [rounds[monitor][k] for k in range(L)]
+                iterations = monitor
+                x_est = _combine_core(partition, pieces)
+                if stopping.metric == "residual":
+                    value = residual_norm(A, x_est, b)
+                else:
+                    value = max_norm(x_est - x_prev)
+                history.append(value)
+                x_prev = x_est
+                if callback is not None:
+                    callback(monitor, x_est)
+                if tracer is not None:
+                    tracer.event(
+                        "round", cat="round", lane="driver",
+                        round=monitor, dispatch="pipelined",
+                    )
+                if state.observe(value):
+                    converged = True
+                    stop = True
+                    break
+                if monitor >= max_r:
+                    stop = True
+                    break
+                monitor += 1
+            if stop:
+                break
+            # Drop rounds nothing can read any more -- the monitor has
+            # passed them and every block has dispatched beyond them.
+            low = min(min(submitted), monitor)
+            for r in [r for r in rounds if r < low]:
+                del rounds[r]
+            # Open gates: dispatch every block whose next round's
+            # dependencies are all in.
+            for m in range(L):
+                r_next = submitted[m] + 1
+                if r_next > max_r or r_next > monitor + _PIPELINE_WINDOW:
+                    continue
+                prev = rounds.get(r_next - 1, {})
+                if any(k not in prev for k in gates[m]):
+                    continue
+                z = np.zeros(b.shape)
+                for k, w in weights[m].items():
+                    wk = w[:, None] if batched else w
+                    src = prev.get(k)
+                    if src is None:
+                        # Not a gate: w vanishes at every column block
+                        # m's solve reads, so any round's piece works
+                        # (the value is multiplied away).
+                        src = latest[k]
+                    z[partition.sets[k]] += wk * src
+                now = time.perf_counter()
+                wait = now - t_done[m]
+                gate_wait += wait
+                if tracer is not None:
+                    tracer.add(
+                        "gate.wait", "wait", t_done[m], wait,
+                        lane="driver", block=m, round=r_next,
+                    )
+                stream.submit(m, z)
+                submitted[m] = r_next
+                inflight += 1
+    finally:
+        stream.close()
+    return x_prev, iterations, converged, history, gate_wait
+
+
 def multisplitting_iterate(
     A,
     b: np.ndarray,
@@ -141,6 +285,7 @@ def multisplitting_iterate(
     placement=None,
     fault_policy=None,
     trace=None,
+    dispatch: str = "barrier",
 ) -> SequentialResult:
     """Run the synchronous multisplitting-direct iteration in-process.
 
@@ -183,8 +328,22 @@ def multisplitting_iterate(
         (worker-side spans included on the distributed backends), and
         the tracer is returned on ``result.trace`` for export.  Tracing
         is observational only: iterates are bit-identical either way.
+    dispatch:
+        ``"barrier"`` (default): every round waits for all blocks, the
+        paper's synchronous mode verbatim.  ``"pipelined"``: block
+        ``l``'s next solve dispatches as soon as its *own* dependencies
+        (per :func:`repro.core.distributed.communication_pattern`, plus
+        itself) have delivered their current-round pieces -- a
+        straggler only stalls the blocks that actually read it.
+        Iterates, history, and callbacks are bit-identical to the
+        barrier; only the wall-clock schedule changes.  Time blocks
+        spent gated lands on ``result.gate_wait_seconds``.
     """
     stopping = stopping or StoppingCriterion()
+    if dispatch not in ("barrier", "pipelined"):
+        raise ValueError(
+            f"dispatch must be 'barrier' or 'pipelined', got {dispatch!r}"
+        )
     L = partition.nprocs
     b = np.asarray(b, dtype=float)
     ex, owns_executor = _resolve_executor(executor)
@@ -199,43 +358,50 @@ def multisplitting_iterate(
             A, b, partition.sets, solver,
             cache=cache, placement=placement, fault_policy=fault_policy,
         )
-        Z = [z0.copy() for _ in range(L)]
         weights = [weighting.update_weights(l) for l in range(L)]
-        state = stopping.new_state()
-        x_prev = z0.copy()
-        history: list[float] = []
-        converged = False
-        iterations = 0
-        batched = b.ndim == 2
-        for it in range(1, stopping.max_iterations + 1):
-            iterations = it
-            if tracer is None:
-                pieces = ex.solve_round(Z)
-            else:
-                t_round = tracer.now()
-                pieces = ex.solve_round(Z)
-                tracer.add(
-                    "round", "round", t_round, tracer.now() - t_round,
-                    lane="driver", round=it,
-                )
-            for l in range(L):
-                z_new = np.zeros(b.shape)
-                for k, w in weights[l].items():
-                    wk = w[:, None] if batched else w
-                    z_new[partition.sets[k]] += wk * pieces[k]
-                Z[l] = z_new
-            x_est = _combine_core(partition, pieces)
-            if stopping.metric == "residual":
-                value = residual_norm(A, x_est, b)
-            else:
-                value = max_norm(x_est - x_prev)
-            history.append(value)
-            x_prev = x_est
-            if callback is not None:
-                callback(it, x_est)
-            if state.observe(value):
-                converged = True
-                break
+        gate_wait = 0.0
+        if dispatch == "pipelined":
+            x_prev, iterations, converged, history, gate_wait = _pipelined_rounds(
+                A, b, partition, weighting, weights, stopping, ex, tracer,
+                z0, callback,
+            )
+        else:
+            Z = [z0.copy() for _ in range(L)]
+            state = stopping.new_state()
+            x_prev = z0.copy()
+            history = []
+            converged = False
+            iterations = 0
+            batched = b.ndim == 2
+            for it in range(1, stopping.max_iterations + 1):
+                iterations = it
+                if tracer is None:
+                    pieces = ex.solve_round(Z)
+                else:
+                    t_round = tracer.now()
+                    pieces = ex.solve_round(Z)
+                    tracer.add(
+                        "round", "round", t_round, tracer.now() - t_round,
+                        lane="driver", round=it,
+                    )
+                for l in range(L):
+                    z_new = np.zeros(b.shape)
+                    for k, w in weights[l].items():
+                        wk = w[:, None] if batched else w
+                        z_new[partition.sets[k]] += wk * pieces[k]
+                    Z[l] = z_new
+                x_est = _combine_core(partition, pieces)
+                if stopping.metric == "residual":
+                    value = residual_norm(A, x_est, b)
+                else:
+                    value = max_norm(x_est - x_prev)
+                history.append(value)
+                x_prev = x_est
+                if callback is not None:
+                    callback(it, x_est)
+                if state.observe(value):
+                    converged = True
+                    break
         result = SequentialResult(
             x=x_prev,
             iterations=iterations,
@@ -249,6 +415,8 @@ def multisplitting_iterate(
             placement=placement.summary() if placement is not None else None,
             wire=ex.wire_stats(),
             trace=tracer,
+            dispatch=dispatch,
+            gate_wait_seconds=gate_wait,
         )
     finally:
         ex.detach()

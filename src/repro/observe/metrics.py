@@ -232,8 +232,10 @@ class MetricsRegistry:
         attach = wire.get("attach_payload_bytes") or {}
         total = sum(attach.values()) if isinstance(attach, dict) else float(attach)
         self.counter(f"{prefix}_attach_payload_bytes_total").inc(total)
-        for key in ("vector_bytes_sent", "vector_bytes_received"):
+        for key in ("vector_bytes_sent", "vector_bytes_received", "copies_avoided"):
             self.counter(f"{prefix}_{key}_total").inc(wire.get(key, 0))
+        for key in ("serialize_seconds", "transmit_seconds"):
+            self.counter(f"{prefix}_{key}_total").inc(wire.get(key, 0.0))
 
     def ingest_result(self, result, prefix: str = "repro_solve") -> None:
         """Fold a finished solve (``SequentialResult``/``SolveResult``) in."""
@@ -248,6 +250,9 @@ class MetricsRegistry:
             self.counter(
                 f"{prefix}_block_seconds_total", labels={"block": str(l)}
             ).inc(seconds)
+        self.counter(f"{prefix}_gate_wait_seconds_total").inc(
+            getattr(result, "gate_wait_seconds", 0.0) or 0.0
+        )
         self.ingest_cache(getattr(result, "cache_stats", None))
         self.ingest_faults(getattr(result, "fault_stats", None))
         self.ingest_wire(getattr(result, "wire", None))

@@ -29,7 +29,7 @@ asynchronous driver: free-running block threads over
 
 from __future__ import annotations
 
-from repro.runtime.api import Executor
+from repro.runtime.api import Executor, SolveStream
 from repro.runtime.asynchronous import async_iterate
 from repro.runtime.inline import InlineExecutor
 from repro.runtime.processes import ProcessExecutor
@@ -46,8 +46,10 @@ from repro.runtime.seqlock import VersionedVector
 from repro.runtime.shm import SharedVectorPlane
 from repro.runtime.sockets import SocketExecutor, serve_worker
 from repro.runtime.threads import ThreadExecutor
+from repro.runtime.wire import BufferPool, FrameError, recv_frame, send_frame
 
 __all__ = [
+    "BufferPool",
     "ChaosExecutor",
     "CrashOnceSolver",
     "Executor",
@@ -55,13 +57,17 @@ __all__ = [
     "FaultPolicy",
     "FaultStats",
     "FlakySolver",
+    "FrameError",
     "InlineExecutor",
     "ProcessExecutor",
     "SharedVectorPlane",
     "SocketExecutor",
+    "SolveStream",
     "StragglerSolver",
     "ThreadExecutor",
     "VersionedVector",
+    "recv_frame",
+    "send_frame",
     "async_iterate",
     "available_backends",
     "get_executor",

@@ -62,13 +62,14 @@ import pickle
 import threading
 import time
 import traceback
+from collections import deque
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.direct.cache import CacheStats, FactorizationCache
 from repro.observe import estimate_clock_offset
-from repro.runtime.api import Executor, owned_rows_spec
+from repro.runtime.api import Executor, SolveStream, owned_rows_spec
 from repro.runtime.resilience import FaultPolicy, FaultStats, reassign_orphans
 from repro.runtime.shm import SharedVectorPlane
 
@@ -226,7 +227,12 @@ def _worker_main(rank: int, task_q, reply_conn) -> None:
                 reply_conn.send(("adopted", epoch, rank, dt))
             elif kind == "solve":
                 l = msg[2]
-                z = z_plane.read(l)
+                # Solve straight off the shared plane: a view, not a
+                # copy.  The ticket ordering guarantees the driver wrote
+                # block l's z and will not rewrite the slot until this
+                # reply lands, so the old worker-side read copy was pure
+                # overhead.
+                z = z_plane.slot(l)
                 if tracer is not None:
                     tracer.event(
                         "wire.recv", cat="wire", lane=lane,
@@ -235,6 +241,10 @@ def _worker_main(rank: int, task_q, reply_conn) -> None:
                 t0 = time.perf_counter()
                 piece = systems[l].solve_with(z)
                 dt = time.perf_counter() - t0
+                # Release the view before replying: a live export of the
+                # shm mmap would make a later binding release (close on
+                # the SharedMemory) raise BufferError.
+                del z
                 piece = np.asarray(piece, dtype=float)
                 if tracer is not None:
                     tracer.add("solve", "compute", t0, dt, lane=lane, block=l)
@@ -316,6 +326,11 @@ class ProcessExecutor(Executor):
         # Per-binding vector traffic through the shm planes (driver side).
         self._vector_bytes_sent = 0
         self._vector_bytes_received = 0
+        self._serialize_seconds = 0.0
+        self._transmit_seconds = 0.0
+        # Bytes the workers consumed as plane views instead of copies
+        # (the eliminated worker-side z read copy).
+        self._copies_avoided = 0
 
     # -- worker pool -----------------------------------------------------
     def _context(self):
@@ -480,9 +495,12 @@ class ProcessExecutor(Executor):
 
     def _spec_payload(self, owned: list[int]) -> bytes:
         """One worker's attach/adopt spec, pickled exactly once."""
-        return pickle.dumps(
+        t0 = time.perf_counter()
+        payload = pickle.dumps(
             self._worker_spec(owned), protocol=pickle.HIGHEST_PROTOCOL
         )
+        self._serialize_seconds += time.perf_counter() - t0
+        return payload
 
     def attach(
         self, A, b, sets, solver, *, cache=None, placement=None, fault_policy=None
@@ -539,6 +557,9 @@ class ProcessExecutor(Executor):
         self.attach_payload_bytes = {}
         self._vector_bytes_sent = 0
         self._vector_bytes_received = 0
+        self._serialize_seconds = 0.0
+        self._transmit_seconds = 0.0
+        self._copies_avoided = 0
         try:
             for w in range(W):
                 # Serialized exactly once: the byte count is the shipping
@@ -834,11 +855,15 @@ class ProcessExecutor(Executor):
         tracer = self._tracer
         pending: dict[int, int] = {}
         sent_bytes = 0
+        t_write = time.perf_counter()
         for l, z in tasks:
             arr = np.asarray(z, dtype=float)
             self._z_plane.write(l, arr)
             sent_bytes += arr.nbytes
+        self._transmit_seconds += time.perf_counter() - t_write
         self._vector_bytes_sent += sent_bytes
+        # The workers consume these bytes as plane views, not copies.
+        self._copies_avoided += sent_bytes
         if tracer is not None:
             tracer.event(
                 "wire.send", cat="wire", lane="driver",
@@ -922,6 +947,11 @@ class ProcessExecutor(Executor):
         # worker-side, in parallel, during attach).
         return [fn(item) for item in items]
 
+    def open_stream(self) -> "_ProcessStream":
+        if not self._attached:
+            raise RuntimeError("ProcessExecutor is not attached")
+        return _ProcessStream(self)
+
     # -- observability ---------------------------------------------------
     def block_seconds(self) -> dict[int, float]:
         return dict(self._block_seconds)
@@ -931,6 +961,9 @@ class ProcessExecutor(Executor):
             "attach_payload_bytes": dict(self.attach_payload_bytes),
             "vector_bytes_sent": int(self._vector_bytes_sent),
             "vector_bytes_received": int(self._vector_bytes_received),
+            "serialize_seconds": float(self._serialize_seconds),
+            "transmit_seconds": float(self._transmit_seconds),
+            "copies_avoided": int(self._copies_avoided),
         }
 
     def run_cache_stats(self) -> CacheStats | None:
@@ -991,3 +1024,84 @@ class ProcessExecutor(Executor):
         self._reply_conns = []
         self._live = []
         self._attached = False
+
+
+class _ProcessStream(SolveStream):
+    """Out-of-order solve stream over the shm planes.
+
+    ``submit`` writes the block's z slot and enqueues its ticket
+    immediately; ``next_done`` drains the reply pipes and hands back
+    pieces in finish order (copied off the plane -- the slot is live
+    shared state).  No mid-stream recovery: a worker death fails the
+    stream (the barrier path owns the FaultPolicy machinery).
+    """
+
+    def __init__(self, ex: "ProcessExecutor"):
+        self._ex = ex
+        self._ready: deque[tuple[int, np.ndarray]] = deque()
+        self._inflight = 0
+
+    def submit(self, l: int, z: np.ndarray) -> None:
+        ex = self._ex
+        l = int(l)
+        arr = np.asarray(z, dtype=float)
+        t0 = time.perf_counter()
+        ex._z_plane.write(l, arr)
+        ex._transmit_seconds += time.perf_counter() - t0
+        ex._vector_bytes_sent += arr.nbytes
+        ex._copies_avoided += arr.nbytes
+        ex._task_qs[ex._owner[l]].put(("solve", ex._epoch, l))
+        self._inflight += 1
+
+    def next_done(self) -> tuple[int, np.ndarray]:
+        ex = self._ex
+        if not self._ready:
+            if self._inflight <= 0:
+                raise RuntimeError("no solve in flight")
+            deadline = time.monotonic() + ex._reply_wait_seconds()
+            while not self._ready:
+                batch = ex._poll_replies(timeout=1.0)
+                for msg in batch:
+                    if msg[1] != ex._epoch:
+                        continue  # straggler from an aborted binding
+                    if msg[0] == "error":
+                        raise RuntimeError(
+                            f"runtime worker {msg[2]} failed:\n{msg[3]}"
+                        )
+                    if msg[0] != "done":  # pragma: no cover - protocol bug
+                        raise RuntimeError(
+                            f"expected 'done' reply, got {msg[0]!r}"
+                        )
+                    _, _, l, dt = msg
+                    ex._block_seconds[l] += dt
+                    piece = ex._piece_plane.read(l)
+                    ex._vector_bytes_received += piece.nbytes
+                    self._ready.append((l, piece))
+                if self._ready:
+                    break
+                dead = [
+                    ex._workers[w].name
+                    for w in ex._live
+                    if not ex._workers[w].is_alive()
+                ]
+                if dead:
+                    raise RuntimeError(
+                        f"runtime workers died mid-stream: {dead} "
+                        "(pipelined dispatch does not recover)"
+                    )
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        "process stream timed out waiting for a piece"
+                    )
+        self._inflight -= 1
+        return self._ready.popleft()
+
+    def close(self) -> None:
+        # Drain outstanding replies so stale tickets cannot bleed into a
+        # later barrier round's accounting.
+        try:
+            while self._inflight > 0:
+                self.next_done()
+        except RuntimeError:
+            self._inflight = 0
+        self._ready.clear()

@@ -5,11 +5,16 @@ contract the ROADMAP called for -- the protocol the grid simulator
 *prices* (:mod:`repro.grid`) and the process backend runs on one host,
 spoken over real sockets so worker processes may live anywhere:
 
-* **one stream per worker**, length-prefixed pickled frames
-  (:func:`send_msg` / :func:`recv_msg`); TCP gives per-worker FIFO, so
-  a strict send-one/recv-one pairing per worker needs no epochs on the
-  hot path (epochs still tag frames so stragglers from an aborted
-  binding are discarded, exactly like the process backend);
+* **one stream per worker**, self-describing frames from
+  :mod:`repro.runtime.wire`: pickle protocol-5 heads with the vector
+  bytes shipped *out of band* -- raw ``memoryview`` segments via
+  vectored ``sendmsg`` writes, received straight into preallocated
+  per-block buffers with ``recv_into`` (``wire_protocol="zerocopy"``,
+  the default; ``"pickled"`` keeps the seed's copying one-blob frames
+  as a measurable baseline).  TCP gives per-worker FIFO, so a strict
+  send-one/recv-one pairing per worker needs no epochs on the hot path
+  (epochs still tag frames so stragglers from an aborted binding are
+  discarded, exactly like the process backend);
 * **only the owned band rows cross the wire at attach**: each active
   worker's spec frame carries ``A[J_l, :]`` and ``b[J_l]`` for its
   *owned* blocks only -- never the full matrix -- so total attach
@@ -61,7 +66,6 @@ import os
 import pickle
 import queue
 import socket
-import struct
 import threading
 import time
 import traceback
@@ -72,48 +76,44 @@ import numpy as np
 
 from repro.direct.cache import CacheStats, FactorizationCache
 from repro.observe import estimate_clock_offset
-from repro.runtime.api import Executor, owned_rows_spec
+from repro.runtime.api import Executor, SolveStream, owned_rows_spec
 from repro.runtime.resilience import FaultPolicy, FaultStats, reassign_orphans
+from repro.runtime.wire import BufferPool, recv_frame, send_frame
 
 __all__ = ["SocketExecutor", "serve_worker", "send_msg", "recv_msg"]
-
-_HEADER = struct.Struct("!Q")
 
 #: Seconds the driver waits on one worker reply before declaring it dead.
 _REPLY_TIMEOUT = 300.0
 #: Seconds allowed for the TCP connect to each worker.
 _CONNECT_TIMEOUT = 20.0
 
+#: Accepted ``wire_protocol=`` values: protocol-5 out-of-band frames
+#: (the default) or the seed's copying in-band pickles (the measurable
+#: baseline, see ``benchmarks/bench_wire.py``).
+_WIRE_PROTOCOLS = ("zerocopy", "pickled")
+
 
 def send_msg(sock: socket.socket, obj) -> int:
-    """Write one length-prefixed pickled frame; returns its payload bytes."""
-    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_HEADER.pack(len(data)) + data)
-    return len(data)
+    """Write one control frame; returns its payload bytes.
 
-
-def _recv_exact(sock: socket.socket, count: int) -> bytes:
-    buf = bytearray()
-    while len(buf) < count:
-        chunk = sock.recv(count - len(buf))
-        if not chunk:
-            raise ConnectionError("socket closed mid-frame")
-        buf += chunk
-    return bytes(buf)
+    Control verbs (detach, trace, stats, ping, exit) are tiny and never
+    pooled, so they always take the default zero-copy framing.
+    """
+    return send_frame(sock, obj)["payload"]
 
 
 def recv_msg_sized(sock: socket.socket) -> tuple:
-    """Read one length-prefixed pickled frame; returns ``(obj, bytes)``.
+    """Read one frame; returns ``(obj, bytes)``.
 
     The byte count is the frame's payload size -- the receive-side twin
     of :func:`send_msg`'s return, used for wire accounting.
     """
-    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
-    return pickle.loads(_recv_exact(sock, length)), length
+    obj, info = recv_frame(sock)
+    return obj, info["payload"]
 
 
 def recv_msg(sock: socket.socket):
-    """Read one length-prefixed pickled frame."""
+    """Read one frame."""
     return recv_msg_sized(sock)[0]
 
 
@@ -149,12 +149,20 @@ def _serve_connection(
     solves = 0
     tracer = None
     lane = "worker"
+    # The solve path processes one frame at a time, and its z vector is
+    # dead once the piece is computed, so a single pooled key suffices:
+    # receive buffers rotate instead of reallocating every round.  Spec
+    # frames are sent non-transient and bypass the pool (their arrays
+    # stay referenced by ``systems``).
+    pool = BufferPool()
+    zero = True
     while True:
         t_wait = time.perf_counter()
         try:
-            msg, nbytes = recv_msg_sized(conn)
+            msg, info = recv_frame(conn, pool=pool, key="recv")
         except (ConnectionError, OSError):
             return False
+        nbytes = info["payload"]
         if tracer is not None:
             tracer.add(
                 "barrier.wait", "wait", t_wait,
@@ -168,16 +176,22 @@ def _serve_connection(
             # Exception (not BaseException): a Ctrl-C on a CLI worker
             # must still kill it, not be serialized back to the driver.
             if kind in ("attach", "adopt"):
-                spec = msg[2]
-                if spec.get("trace"):
+                # The binding frame is (verb, epoch, meta, spec-pickle):
+                # worker-specific knobs ride in the small meta dict so
+                # the spec bytes stay shareable across workers (the
+                # driver pickles each owned-set exactly once).
+                meta = msg[2]
+                spec = pickle.loads(msg[3])
+                zero = meta.get("wire", "zerocopy") == "zerocopy"
+                if meta.get("trace"):
                     if tracer is None:
                         from repro.observe import Tracer
 
                         tracer = Tracer()
                     # A socket worker has no rank of its own (it is just
                     # a stream peer); the driver names its lane in the
-                    # spec so merged timelines stay per-worker.
-                    lane = spec.get("lane", lane)
+                    # meta so merged timelines stay per-worker.
+                    lane = meta.get("lane", lane)
                     cache.set_tracer(tracer, lane=lane)
                 else:
                     tracer = None
@@ -240,13 +254,26 @@ def _serve_connection(
                 dt = time.perf_counter() - t0
                 if tracer is not None:
                     tracer.add("solve", "compute", t0, dt, lane=lane, block=l)
-                sent = send_msg(
-                    conn, ("done", epoch, l, np.asarray(piece, dtype=float), dt)
+                # The reply is transient on purpose: the driver pools its
+                # receive buffers per block, and rounds overwrite rounds.
+                winfo = send_frame(
+                    conn,
+                    ("done", epoch, l, np.asarray(piece, dtype=float), dt),
+                    zero_copy=zero,
+                    transient=True,
                 )
                 if tracer is not None:
+                    tracer.add(
+                        "wire.serialize", "wire", winfo["t_serialize"],
+                        winfo["serialize_seconds"], lane=lane, block=l,
+                    )
+                    tracer.add(
+                        "wire.transmit", "wire", winfo["t_transmit"],
+                        winfo["transmit_seconds"], lane=lane, block=l,
+                    )
                     tracer.event(
                         "wire.send", cat="wire", lane=lane,
-                        bytes=int(sent), block=l,
+                        bytes=int(winfo["payload"]), block=l,
                     )
                 solves += 1
                 if crash_after is not None and solves >= crash_after:
@@ -348,6 +375,11 @@ class SocketExecutor(Executor):
     start_method:
         ``multiprocessing`` start method for spawned loopback workers
         (same auto-pick rules as :class:`~repro.runtime.ProcessExecutor`).
+    wire_protocol:
+        ``"zerocopy"`` (default) ships vectors as out-of-band protocol-5
+        buffers with pooled ``recv_into`` receives; ``"pickled"`` keeps
+        the seed's copying in-band frames -- the measurable baseline for
+        ``benchmarks/bench_wire.py`` and an escape hatch.
     """
 
     name = "sockets"
@@ -359,6 +391,7 @@ class SocketExecutor(Executor):
         workers: int | None = None,
         reply_timeout: float = _REPLY_TIMEOUT,
         start_method: str | None = None,
+        wire_protocol: str = "zerocopy",
     ):
         if addresses is not None and workers is not None:
             raise ValueError("give at most one of addresses= or workers=")
@@ -368,10 +401,17 @@ class SocketExecutor(Executor):
             workers = os.cpu_count() or 1
         if workers is not None and workers < 1:
             raise ValueError("workers must be positive")
+        if wire_protocol not in _WIRE_PROTOCOLS:
+            raise ValueError(
+                f"wire_protocol must be one of {_WIRE_PROTOCOLS}, "
+                f"got {wire_protocol!r}"
+            )
         self.addresses = list(addresses) if addresses is not None else None
         self.workers = workers
         self.reply_timeout = reply_timeout
         self.start_method = start_method
+        self.wire_protocol = wire_protocol
+        self._zero = wire_protocol == "zerocopy"
         self._procs: list = []
         self._socks: list[socket.socket] = []
         self._sock_pids: list[int | None] = []
@@ -398,6 +438,16 @@ class SocketExecutor(Executor):
         self._wire_lock = threading.Lock()
         self._vector_bytes_sent = 0
         self._vector_bytes_received = 0
+        self._serialize_seconds = 0.0
+        self._transmit_seconds = 0.0
+        self._oob_bytes = 0
+        self._spec_pickles_reused = 0
+        #: Spec pickle bytes per owned tuple -- one pickle per distinct
+        #: owned set per binding, shared across attach and recovery.
+        self._spec_cache: dict[tuple[int, ...], bytes] = {}
+        #: Per-worker receive-buffer pools (driver side): pieces land in
+        #: rotating preallocated buffers instead of fresh allocations.
+        self._pools: dict[int, BufferPool] = {}
 
     # -- connection management -------------------------------------------
     def _context(self):
@@ -454,6 +504,7 @@ class SocketExecutor(Executor):
                 sock = socket.create_connection(addr, timeout=_CONNECT_TIMEOUT)
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 sock.settimeout(self.reply_timeout)
+                self._pools[len(self._socks)] = BufferPool()
                 self._socks.append(sock)
                 self._sock_pids.append(pid)
         except OSError as exc:
@@ -499,11 +550,18 @@ class SocketExecutor(Executor):
                 self._connect(self._spawn_loopback(missing))
         return self._live_ranks()
 
-    def _recv_reply(self, w: int, expected_kind: str) -> tuple:
-        """Next current-epoch frame from worker ``w`` (stragglers dropped)."""
+    def _recv_reply(self, w: int, expected_kind: str, *, key=None) -> tuple:
+        """Next current-epoch frame from worker ``w`` (stragglers dropped).
+
+        ``key`` opts into worker ``w``'s receive-buffer pool: a solve
+        reply's piece lands in a rotating preallocated buffer keyed by
+        its block (only frames the worker flagged transient are pooled,
+        so control replies always own their memory).
+        """
+        pool = self._pools.get(w) if key is not None else None
         while True:
             try:
-                msg, nbytes = recv_msg_sized(self._socks[w])
+                msg, info = recv_frame(self._socks[w], pool=pool, key=key)
             except (ConnectionError, OSError) as exc:
                 raise _WorkerGone(w, exc) from None
             if msg[1] != self._epoch:
@@ -516,22 +574,56 @@ class SocketExecutor(Executor):
                 )
             if msg[0] == "done":
                 with self._wire_lock:
-                    self._vector_bytes_received += nbytes
+                    self._vector_bytes_received += info["payload"]
+                    self._oob_bytes += info["oob_bytes"]
             return msg
 
     # -- binding ---------------------------------------------------------
-    def _worker_spec(self, owned: list[int], rank: int) -> dict:
-        """The attach/adopt payload for one worker: owned rows only."""
+    def _spec_bytes(self, owned: list[int]) -> bytes:
+        """The pickled spec for one owned set -- pickled exactly once.
+
+        Cached by owned tuple for the binding's lifetime: recovery
+        (respawn or adoption of the same block set) reuses the
+        attach-time bytes instead of re-walking the matrices.
+        Worker-specific knobs (lane, trace, wire mode) ride in the
+        frame's meta dict, which is what makes the payload shareable.
+        """
+        key = tuple(owned)
+        payload = self._spec_cache.get(key)
+        if payload is not None:
+            self._spec_pickles_reused += 1
+            return payload
         ctx = self._ctx
-        spec = owned_rows_spec(
-            ctx["A"], ctx["b"], ctx["sets"], ctx["solvers"], owned,
-            ctx["use_cache"],
+        t0 = time.perf_counter()
+        payload = pickle.dumps(
+            owned_rows_spec(
+                ctx["A"], ctx["b"], ctx["sets"], ctx["solvers"], owned,
+                ctx["use_cache"],
+            ),
+            protocol=5,
         )
-        # The worker does not know its own rank; ship its timeline lane
-        # (and whether to record at all) with the binding.
-        spec["trace"] = self._tracer is not None
-        spec["lane"] = f"worker-{rank}"
-        return spec
+        with self._wire_lock:
+            self._serialize_seconds += time.perf_counter() - t0
+        self._spec_cache[key] = payload
+        return payload
+
+    def _send_spec(self, verb: str, w: int, owned: list[int]) -> int:
+        """Ship one binding frame to worker ``w``; returns payload bytes."""
+        payload = self._spec_bytes(owned)
+        meta = {
+            "trace": self._tracer is not None,
+            "lane": f"worker-{w}",
+            "wire": self.wire_protocol,
+        }
+        info = send_frame(
+            self._socks[w],
+            (verb, self._epoch, meta, pickle.PickleBuffer(payload)),
+            zero_copy=self._zero,
+        )
+        with self._wire_lock:
+            self._serialize_seconds += info["serialize_seconds"]
+            self._transmit_seconds += info["transmit_seconds"]
+        return info["payload"]
 
     def attach(
         self, A, b, sets, solver, *, cache=None, placement=None, fault_policy=None
@@ -595,9 +687,16 @@ class SocketExecutor(Executor):
         # worker instead of W full copies.
         active = sorted({owner[l] for l in range(L)})
         self.attach_payload_bytes = {}
+        self._spec_cache = {}
+        self._spec_pickles_reused = 0
+        for pool in self._pools.values():
+            pool.clear()
         with self._wire_lock:
             self._vector_bytes_sent = 0
             self._vector_bytes_received = 0
+            self._serialize_seconds = 0.0
+            self._transmit_seconds = 0.0
+            self._oob_bytes = 0
         # Transactional attach: without a policy a worker death still
         # fails fast (there is no half-bound binding the caller could
         # use, and the corpse is marked so the *next* attach replaces or
@@ -608,11 +707,8 @@ class SocketExecutor(Executor):
         pending: list[int] = []
         for w in active:
             owned = [l for l in range(L) if owner[l] == w]
-            spec = self._worker_spec(owned, w)
             try:
-                self.attach_payload_bytes[w] = send_msg(
-                    self._socks[w], ("attach", self._epoch, spec)
-                )
+                self.attach_payload_bytes[w] = self._send_spec("attach", w, owned)
                 pending.append(w)
             except OSError as exc:
                 if fault_policy is None:
@@ -814,12 +910,11 @@ class SocketExecutor(Executor):
             by_adopter.setdefault(new_owner[l], []).append(l)
         for w, owned in sorted(by_adopter.items()):
             # The adoption refactor may legitimately exceed a tight solve
-            # deadline: run it under the long protocol timeout.
+            # deadline: run it under the long protocol timeout.  The spec
+            # bytes come from the binding's pickle cache: a respawned
+            # replacement (same owned set) ships without re-pickling.
             self._socks[w].settimeout(self.reply_timeout)
-            send_msg(
-                self._socks[w],
-                ("adopt", self._epoch, self._worker_spec(owned, w)),
-            )
+            self._send_spec("adopt", w, owned)
         for w in sorted(by_adopter):
             msg = self._recv_reply(w, "adopted")
             self._fault.refactor_seconds += msg[2]
@@ -857,15 +952,21 @@ class SocketExecutor(Executor):
                 # must surface to the caller, never be misread as a
                 # worker loss and "recovered" into an infinite refactor
                 # loop.
-                sent = send_msg(
-                    self._socks[w], ("solve", self._epoch, l, np.asarray(z, float))
+                info = send_frame(
+                    self._socks[w],
+                    ("solve", self._epoch, l, np.asarray(z, float)),
+                    zero_copy=self._zero,
+                    transient=True,
                 )
                 with self._wire_lock:
-                    self._vector_bytes_sent += sent
+                    self._vector_bytes_sent += info["payload"]
+                    self._serialize_seconds += info["serialize_seconds"]
+                    self._transmit_seconds += info["transmit_seconds"]
+                    self._oob_bytes += info["oob_bytes"]
             except (ConnectionError, OSError) as exc:
                 return done, tasks[i:], _WorkerGone(w, exc)
             try:
-                _, _, rl, piece, dt = self._recv_reply(w, "done")
+                _, _, rl, piece, dt = self._recv_reply(w, "done", key=l)
             except _WorkerGone as exc:
                 return done, tasks[i:], exc
             done.append((rl, piece, dt))
@@ -884,6 +985,7 @@ class SocketExecutor(Executor):
         if tracer is not None:
             with self._wire_lock:
                 sent0, recv0 = self._vector_bytes_sent, self._vector_bytes_received
+                ser0, tx0 = self._serialize_seconds, self._transmit_seconds
             t_wait = tracer.now()
         todo = list(tasks)
         while todo:
@@ -928,6 +1030,17 @@ class SocketExecutor(Executor):
             with self._wire_lock:
                 sent = self._vector_bytes_sent - sent0
                 received = self._vector_bytes_received - recv0
+                ser = self._serialize_seconds - ser0
+                tx = self._transmit_seconds - tx0
+            # Aggregated driver-lane split of the round's send cost:
+            # serialize (pickling) vs transmit (socket writes).  The
+            # per-frame detail lives on the worker lanes.
+            tracer.add(
+                "wire.serialize", "wire", t_wait, ser, lane="driver", bytes=sent,
+            )
+            tracer.add(
+                "wire.transmit", "wire", t_wait, tx, lane="driver", bytes=sent,
+            )
             tracer.event("wire.send", cat="wire", lane="driver", bytes=sent)
             tracer.event("wire.recv", cat="wire", lane="driver", bytes=received)
         return [pieces[l] for l in blocks]
@@ -937,6 +1050,11 @@ class SocketExecutor(Executor):
         # maps run inline (worker-side factorization already parallelises
         # the attach across machines).
         return [fn(item) for item in items]
+
+    def open_stream(self) -> "_SocketStream":
+        if not self._attached:
+            raise RuntimeError("SocketExecutor is not attached")
+        return _SocketStream(self)
 
     # -- observability ---------------------------------------------------
     def block_seconds(self) -> dict[int, float]:
@@ -948,6 +1066,14 @@ class SocketExecutor(Executor):
                 "attach_payload_bytes": dict(self.attach_payload_bytes),
                 "vector_bytes_sent": self._vector_bytes_sent,
                 "vector_bytes_received": self._vector_bytes_received,
+                "serialize_seconds": self._serialize_seconds,
+                "transmit_seconds": self._transmit_seconds,
+                # Bytes that crossed the wire out of band -- each one a
+                # byte that skipped the pickle/concat/unpickle copies the
+                # seed protocol paid (both directions, driver side).
+                "copies_avoided": self._oob_bytes,
+                "spec_pickles_reused": self._spec_pickles_reused,
+                "wire_protocol": self.wire_protocol,
             }
 
     def run_cache_stats(self) -> CacheStats | None:
@@ -1013,6 +1139,106 @@ class SocketExecutor(Executor):
         self._block_seconds = {}
         self._ctx = None
         self._placement = None
+        self._pools = {}
+        self._spec_cache = {}
+
+
+class _SocketStream(SolveStream):
+    """Out-of-order solve stream over the socket fleet.
+
+    The driver thread sends solve frames the moment a block's gates
+    open; one receive loop per active worker (on the executor's io
+    pool) collects that worker's replies in stream FIFO order and feeds
+    a shared completion queue.  Each loop only touches its socket when
+    a reply is actually due (a ``want`` queue of dispatched blocks), so
+    the per-request deadline keeps its meaning.  No mid-stream
+    recovery: a worker death fails the stream -- the barrier path owns
+    the FaultPolicy machinery.
+    """
+
+    def __init__(self, ex: "SocketExecutor"):
+        self._ex = ex
+        self._done_q: queue.Queue = queue.Queue()
+        self._want: dict[int, queue.Queue] = {}
+        self._futures = []
+        self._inflight = 0
+        timeout = ex._solve_timeout()
+        for w in ex._active_workers:
+            ex._socks[w].settimeout(timeout)
+            q: queue.Queue = queue.Queue()
+            self._want[w] = q
+            self._futures.append(ex._io_pool.submit(self._recv_loop, w, q))
+
+    def _recv_loop(self, w: int, want: queue.Queue) -> None:
+        ex = self._ex
+        while True:
+            l = want.get()
+            if l is None:
+                return
+            try:
+                _, _, rl, piece, dt = ex._recv_reply(w, "done", key=l)
+            except Exception as exc:
+                self._done_q.put(("error", exc))
+                return
+            # Per-block keys: each block belongs to exactly one worker,
+            # so only this loop writes this entry.
+            ex._block_seconds[rl] += dt
+            self._done_q.put(("done", (rl, piece)))
+
+    def submit(self, l: int, z) -> None:
+        l = int(l)
+        ex = self._ex
+        w = ex._owner[l]
+        try:
+            info = send_frame(
+                ex._socks[w],
+                ("solve", ex._epoch, l, np.asarray(z, float)),
+                zero_copy=ex._zero,
+                transient=True,
+            )
+        except (ConnectionError, OSError) as exc:
+            raise RuntimeError(
+                f"socket worker {w} died mid-stream: {exc}"
+            ) from exc
+        with ex._wire_lock:
+            ex._vector_bytes_sent += info["payload"]
+            ex._serialize_seconds += info["serialize_seconds"]
+            ex._transmit_seconds += info["transmit_seconds"]
+            ex._oob_bytes += info["oob_bytes"]
+        self._want[w].put(l)
+        self._inflight += 1
+
+    def next_done(self) -> tuple[int, np.ndarray]:
+        if self._inflight <= 0:
+            raise RuntimeError("no solve in flight")
+        try:
+            kind, payload = self._done_q.get(
+                timeout=self._ex._solve_timeout() + 30.0
+            )
+        except queue.Empty:
+            raise RuntimeError(
+                "socket stream timed out waiting for a piece"
+            ) from None
+        if kind == "error":
+            raise payload
+        self._inflight -= 1
+        return payload
+
+    def close(self) -> None:
+        # Drain outstanding replies first so the streams stay
+        # frame-aligned for any later barrier round, then stop the
+        # receive loops with their sentinels.
+        try:
+            while self._inflight > 0:
+                self.next_done()
+        except Exception:
+            self._inflight = 0
+        for q in self._want.values():
+            q.put(None)
+        for fut in self._futures:
+            fut.exception()
+        self._want = {}
+        self._futures = []
 
 
 def main(argv: list[str] | None = None) -> int:

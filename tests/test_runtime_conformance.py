@@ -309,6 +309,72 @@ class TestPartitionGeneralityConformance:
         np.testing.assert_array_equal(res.x, ref.x)
 
 
+class TestPipelinedDispatchConformance:
+    """Satellite: dependency-gated dispatch × partitions × backends.
+
+    ``dispatch="pipelined"`` submits block ``l``'s next solve as soon
+    as the round pieces it actually reads (per
+    :func:`repro.schedule.pattern.dependency_gates`) have landed,
+    instead of waiting for the global round barrier.  Because a
+    non-gated block's piece is multiplied by a zero weight at every
+    column the solve reads, the iterates must stay **bit-identical** to
+    the barrier driver -- on every decomposition shape, on every
+    backend.
+    """
+
+    @pytest.mark.parametrize("kind", PARTITION_KINDS)
+    def test_bit_identical_vs_barrier(self, backend, kind):
+        A, b, part, scheme = _general_problem(kind)
+        stopping = StoppingCriterion(tolerance=1e-300, max_iterations=6)
+        ref = multisplitting_iterate(
+            A, b, part, scheme, get_solver("scipy"), stopping=stopping
+        )
+        with _make_executor(backend) as ex:
+            res = multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"),
+                stopping=stopping, executor=ex, dispatch="pipelined",
+            )
+        assert res.dispatch == "pipelined"
+        assert res.gate_wait_seconds >= 0.0
+        assert res.history == ref.history
+        np.testing.assert_array_equal(res.x, ref.x)
+
+    def test_gates_cover_dependencies(self):
+        """Every gate set contains the block itself and its pattern deps."""
+        from repro.core.distributed import communication_pattern
+        from repro.schedule.pattern import dependency_gates
+
+        A, b, part, scheme = _problem()
+        gates = dependency_gates(A, part, scheme)
+        pattern = communication_pattern(part, scheme, A=A)
+        assert len(gates) == part.nprocs
+        for l, gate in enumerate(gates):
+            assert l in gate
+            assert set(pattern.deps[l]) <= set(gate)
+
+    def test_solver_mode_pipelined(self, backend):
+        """The solver facade exposes dispatch as ``mode="pipelined"``."""
+        from repro.core.solver import MultisplittingSolver
+        from repro.matrices import diagonally_dominant, rhs_for_solution
+
+        A = diagonally_dominant(96, dominance=1.5, bandwidth=4, seed=5)
+        b, _ = rhs_for_solution(A, seed=6)
+        ref = MultisplittingSolver(4, mode="sequential").solve(A, b)
+        with _make_executor(backend) as ex:
+            res = MultisplittingSolver(4, mode="pipelined", backend=ex).solve(A, b)
+        assert res.mode == "pipelined"
+        assert res.converged and ref.converged
+        assert res.iterations == ref.iterations
+        np.testing.assert_array_equal(res.x, ref.x)
+
+    def test_bad_dispatch_rejected(self):
+        A, b, part, scheme = _problem()
+        with pytest.raises(ValueError, match="dispatch"):
+            multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"), dispatch="eager"
+            )
+
+
 class TestCrashSafety:
     """Satellite regression: a dead worker must not hang (or fail) close."""
 
