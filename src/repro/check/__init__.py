@@ -1,0 +1,46 @@
+"""``repro.check`` -- model checking for the runtime's protocols.
+
+A deterministic interleaving explorer (:mod:`repro.check.engine`) over
+coroutine models of the concurrency protocols the executors implement
+(:mod:`repro.check.models`), checked against the shared invariant
+predicates (:mod:`repro.check.invariants`) that the live-executor
+conformance suite imports too.  ``python -m repro.check`` runs the full
+campaign (exhaustive small cases + seeded random walks) and prints a
+replayable trace for any violation.
+"""
+
+from repro.check.engine import (
+    ExploreResult,
+    Model,
+    RunResult,
+    SchedulerMessage,
+    SimThread,
+    ThreadState,
+    Violation,
+    cond_schedule,
+    explore,
+    explore_exhaustive,
+    explore_random,
+    format_violation,
+    replay,
+    run_schedule,
+    schedule,
+)
+
+__all__ = [
+    "ExploreResult",
+    "Model",
+    "RunResult",
+    "SchedulerMessage",
+    "SimThread",
+    "ThreadState",
+    "Violation",
+    "cond_schedule",
+    "explore",
+    "explore_exhaustive",
+    "explore_random",
+    "format_violation",
+    "replay",
+    "run_schedule",
+    "schedule",
+]

@@ -1,0 +1,420 @@
+"""Deterministic interleaving explorer: the model-checking engine.
+
+The chaos harness (:mod:`repro.runtime.resilience`) found the shared
+reply-queue SIGKILL deadlock **by luck** -- one seeded schedule happened
+to kill a worker inside the queue's critical section.  This module finds
+that class of bug *systematically*: protocols are ported to explicit-trap
+coroutines (a ``yield`` at every shared-state touchpoint), and a
+scheduler that owns every interleaving decision drives them --
+
+* **exhaustively** for small cases: depth-first over the schedule tree,
+  so every reachable interleaving of the model is visited exactly once;
+* by **seeded random walks** for larger cases: reproducible lightning
+  strikes over the same state space.
+
+Either way, a failing execution is summarised as a :class:`Violation`
+carrying its **trace** -- the list of scheduler choices that produced it.
+A trace is replayable (:func:`replay`): committing one makes a failing
+interleaving a one-line regression test that needs no exploration at
+all (see ``tests/test_check_regressions.py``).
+
+The coroutine protocol is the simsched one (two-enum handshake):
+
+* a model thread is a generator; it calls :func:`schedule` at every
+  point where the real code could be preempted, and
+  :func:`cond_schedule` where the real code would *wait* on a predicate
+  over shared state (a lock acquire, a queue read, a gate);
+* the engine ``POLL``\\ s every unfinished thread to classify it
+  ``READY``/``BLOCK``\\ ed, picks one ready thread, and ``CONT``\\ inues
+  it to its next trap;
+* no ready thread + unfinished threads = **deadlock**, the canonical
+  protocol violation.  Model invariants are additionally checked after
+  every single step, so transient bad states (a torn buffer that would
+  be repaired one step later) cannot hide.
+
+Models implement :class:`Model`: fresh mutable state per instance,
+``threads()`` returning named coroutine constructors, ``invariants()``
+returning named predicates over that state.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+__all__ = [
+    "Model",
+    "RunResult",
+    "ExploreResult",
+    "SchedulerMessage",
+    "SimThread",
+    "ThreadState",
+    "Violation",
+    "cond_schedule",
+    "explore",
+    "explore_exhaustive",
+    "explore_random",
+    "format_violation",
+    "replay",
+    "run_schedule",
+    "schedule",
+]
+
+
+class ThreadState(Enum):
+    """What a model thread reports to the engine."""
+
+    YIELD = auto()  #: reached a trap; awaiting classification
+    READY = auto()  #: poll answer: my wakeup predicate holds
+    BLOCK = auto()  #: poll answer: I am waiting on shared state
+
+
+class SchedulerMessage(Enum):
+    """What the engine sends into a model thread."""
+
+    POLL = auto()  #: classify yourself (READY/BLOCK), do not run
+    CONT = auto()  #: run to your next trap
+
+
+SimThread = Generator[ThreadState, SchedulerMessage, None]
+Predicate = Callable[[], bool]
+
+
+def cond_schedule(is_runnable: Predicate) -> SimThread:
+    """Trap until the engine schedules us *and* the predicate holds.
+
+    The one scheduling primitive: yields control to the engine; every
+    ``POLL`` re-evaluates ``is_runnable`` against current shared state
+    (READY/BLOCK), and a ``CONT`` returns control to the caller.  A
+    thread blocked here participates in deadlock detection.
+    """
+    cmd = yield ThreadState.YIELD
+    while True:
+        if cmd is SchedulerMessage.POLL:
+            if is_runnable():
+                cmd = yield ThreadState.READY
+            else:
+                cmd = yield ThreadState.BLOCK
+        elif cmd is SchedulerMessage.CONT:
+            return
+        else:  # pragma: no cover - protocol violation
+            raise RuntimeError(f"unexpected scheduler message {cmd!r}")
+
+
+def schedule() -> SimThread:
+    """An unconditional trap: any interleaving may happen here.
+
+    Place one at every shared-state touchpoint -- each read or write the
+    real code does not perform atomically with its neighbours.
+    """
+    yield from cond_schedule(lambda: True)
+
+
+class Model:
+    """One protocol under check: fresh state + threads + invariants.
+
+    Subclasses hold all shared state as instance attributes (a factory
+    constructs a fresh instance per explored execution) and implement:
+
+    ``threads()``
+        ``[(name, constructor), ...]`` -- each constructor returns a new
+        :data:`SimThread` generator closed over ``self``.
+    ``invariants()``
+        ``[(name, predicate), ...]`` -- checked after *every* scheduler
+        step; a predicate returning ``False`` is a violation.
+    ``deadlock_ok()``
+        Hook for models where some executions legitimately end with
+        blocked threads (default: a deadlock is always a violation).
+    """
+
+    name = "model"
+
+    def threads(self) -> list[tuple[str, Callable[[], SimThread]]]:
+        raise NotImplementedError
+
+    def invariants(self) -> list[tuple[str, Predicate]]:
+        return []
+
+    def deadlock_ok(self, blocked: list[str]) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One bad execution, with the schedule that reaches it.
+
+    ``kind`` is ``"deadlock"`` (no runnable thread, unfinished threads
+    remain), ``"invariant"`` (a model predicate failed), ``"bound"``
+    (the step budget ran out -- a livelock or an under-budgeted model),
+    or ``"error"`` (a model thread raised).  ``trace`` replays it.
+    """
+
+    kind: str
+    detail: str
+    trace: tuple[int, ...]
+    step: int
+    schedule_names: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return format_violation(self)
+
+
+@dataclass
+class RunResult:
+    """One executed schedule: its trace, branching structure, verdict."""
+
+    violation: Violation | None
+    trace: tuple[int, ...]  #: choice made at each step (index into ready set)
+    fanouts: tuple[int, ...]  #: how many threads were ready at each step
+    schedule_names: tuple[str, ...]  #: which thread ran at each step
+    steps: int
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+
+@dataclass
+class ExploreResult:
+    """Aggregate verdict of an exploration campaign."""
+
+    violation: Violation | None
+    runs: int = 0  #: schedules executed by the exhaustive pass
+    walks: int = 0  #: schedules executed by the random-walk pass
+    exhausted: bool = False  #: True iff the schedule tree was fully visited
+    model: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+
+def format_violation(v: Violation) -> str:
+    """Human-readable counterexample: verdict, schedule, replay line."""
+    lines = [f"{v.kind} at step {v.step}: {v.detail}"]
+    if v.schedule_names:
+        lines.append("schedule: " + " -> ".join(v.schedule_names))
+    lines.append(f"replayable trace: {list(v.trace)}")
+    return "\n".join(lines)
+
+
+def run_schedule(
+    model: Model,
+    chooser: Callable[[int], int],
+    *,
+    max_steps: int = 10_000,
+) -> RunResult:
+    """Execute one schedule of ``model``, the engine's inner loop.
+
+    ``chooser(n)`` picks which of the ``n`` currently-ready threads runs
+    next (ready threads are kept in spawn order, so a choice index is
+    stable across replays of a deterministic model).  Invariants are
+    checked after every step; the first failure ends the run.
+    """
+    named = model.threads()
+    invariants = model.invariants()
+    threads: list[tuple[str, SimThread]] = []
+    for tname, ctor in named:
+        gen = ctor()
+        state = next(gen)  # run to the first trap
+        if state is not ThreadState.YIELD:  # pragma: no cover - model bug
+            raise RuntimeError(f"thread {tname} spawned in state {state}")
+        threads.append((tname, gen))
+
+    trace: list[int] = []
+    fanouts: list[int] = []
+    names: list[str] = []
+
+    def check_invariants(step: int) -> Violation | None:
+        for iname, pred in invariants:
+            if not pred():
+                return Violation(
+                    "invariant", iname, tuple(trace), step, tuple(names)
+                )
+        return None
+
+    live = list(threads)
+    step = 0
+    violation = check_invariants(step)
+    while violation is None:
+        ready: list[tuple[str, SimThread]] = []
+        blocked: list[str] = []
+        still: list[tuple[str, SimThread]] = []
+        for tname, gen in live:
+            try:
+                state = gen.send(SchedulerMessage.POLL)
+            except StopIteration:
+                continue  # finished while answering: drop it
+            still.append((tname, gen))
+            if state is ThreadState.READY:
+                ready.append((tname, gen))
+            elif state is ThreadState.BLOCK:
+                blocked.append(tname)
+            else:  # pragma: no cover - model bug
+                raise RuntimeError(f"thread {tname} answered POLL with {state}")
+        live = still
+        if not ready:
+            if not live or model.deadlock_ok(blocked):
+                break  # all finished (or an accepted terminal blocking)
+            violation = Violation(
+                "deadlock",
+                f"no runnable thread; blocked: {blocked}",
+                tuple(trace),
+                step,
+                tuple(names),
+            )
+            break
+        if step >= max_steps:
+            violation = Violation(
+                "bound",
+                f"{max_steps}-step budget exhausted (livelock?)",
+                tuple(trace),
+                step,
+                tuple(names),
+            )
+            break
+        choice = chooser(len(ready))
+        if not (0 <= choice < len(ready)):  # pragma: no cover - chooser bug
+            raise RuntimeError(f"chooser picked {choice} of {len(ready)}")
+        tname, gen = ready[choice]
+        trace.append(choice)
+        fanouts.append(len(ready))
+        names.append(tname)
+        step += 1
+        try:
+            state = gen.send(SchedulerMessage.CONT)
+        except StopIteration:
+            live = [(n, g) for n, g in live if g is not gen]
+        except Exception as exc:
+            violation = Violation(
+                "error",
+                f"{tname} raised {exc!r}",
+                tuple(trace),
+                step,
+                tuple(names),
+            )
+            break
+        else:
+            if state is not ThreadState.YIELD:  # pragma: no cover - model bug
+                raise RuntimeError(f"thread {tname} continued into {state}")
+        violation = check_invariants(step)
+    return RunResult(violation, tuple(trace), tuple(fanouts), tuple(names), step)
+
+
+def replay(model_factory: Callable[[], Model], trace) -> RunResult:
+    """Re-execute one recorded schedule -- no exploration, one run.
+
+    Choices beyond the trace's end fall back to index 0 (the trace of a
+    violation stops at the violating step; the tail is forced anyway or
+    irrelevant).  This is what committed counterexamples call.
+    """
+    trace = list(trace)
+
+    def chooser(n: int) -> int:
+        if trace:
+            c = trace.pop(0)
+            return c if c < n else n - 1
+        return 0
+
+    return run_schedule(model_factory(), chooser)
+
+
+def explore_exhaustive(
+    model_factory: Callable[[], Model],
+    *,
+    max_runs: int = 100_000,
+    max_steps: int = 10_000,
+) -> ExploreResult:
+    """Visit every schedule of the model (depth-first, stateless replay).
+
+    A schedule is its choice list; executions are deterministic given
+    one, so the engine re-runs from scratch per branch (no state
+    snapshotting).  Each completed run reports the fanout at every step;
+    unvisited siblings (`choice + alternatives`) are pushed as prefixes.
+    Every finite choice sequence decomposes uniquely as
+    ``prefix-ending-in-a-nonzero-choice + zeros``, so each schedule is
+    executed exactly once.  Stops at the first violation, or when the
+    tree (or the ``max_runs`` budget) is exhausted.
+    """
+    stack: list[tuple[int, ...]] = [()]
+    runs = 0
+    name = model_factory().name
+    while stack and runs < max_runs:
+        prefix = stack.pop()
+        fixed = list(prefix)
+
+        def chooser(n: int) -> int:
+            if fixed:
+                c = fixed.pop(0)
+                if c >= n:  # pragma: no cover - nondeterministic model
+                    raise RuntimeError(
+                        "model is not deterministic under replay: "
+                        f"prefix choice {c} of {n} ready threads"
+                    )
+                return c
+            return 0
+        res = run_schedule(model_factory(), chooser, max_steps=max_steps)
+        runs += 1
+        if res.violation is not None:
+            return ExploreResult(res.violation, runs=runs, model=name)
+        for p in range(len(prefix), len(res.fanouts)):
+            for alt in range(1, res.fanouts[p]):
+                stack.append(res.trace[:p] + (alt,))
+    return ExploreResult(None, runs=runs, exhausted=not stack, model=name)
+
+
+def explore_random(
+    model_factory: Callable[[], Model],
+    *,
+    seed: int = 0,
+    walks: int = 200,
+    max_steps: int = 10_000,
+) -> ExploreResult:
+    """Seeded random walks: one uniform choice per step, ``walks`` runs.
+
+    Reproducible by construction -- the same seed replays the same walk
+    sequence -- and any violation's trace replays without the RNG.
+    """
+    rng = random.Random(seed)
+    name = model_factory().name
+    for i in range(walks):
+        res = run_schedule(
+            model_factory(), lambda n: rng.randrange(n), max_steps=max_steps
+        )
+        if res.violation is not None:
+            return ExploreResult(res.violation, walks=i + 1, model=name)
+    return ExploreResult(None, walks=walks, model=name)
+
+
+def explore(
+    model_factory: Callable[[], Model],
+    *,
+    max_runs: int = 100_000,
+    walks: int = 200,
+    seed: int = 0,
+    max_steps: int = 10_000,
+) -> ExploreResult:
+    """The default campaign: exhaustive first, random walks on top.
+
+    Small models are settled conclusively by the exhaustive pass
+    (``exhausted=True`` means the verdict covers *every* interleaving);
+    when the tree outgrows ``max_runs``, the seeded walks keep sampling
+    the deeper space the bounded pass could not finish.
+    """
+    res = explore_exhaustive(
+        model_factory, max_runs=max_runs, max_steps=max_steps
+    )
+    if res.violation is not None or res.exhausted:
+        return res
+    walked = explore_random(
+        model_factory, seed=seed, walks=walks, max_steps=max_steps
+    )
+    return ExploreResult(
+        walked.violation,
+        runs=res.runs,
+        walks=walked.walks,
+        exhausted=False,
+        model=res.model,
+    )

@@ -1,0 +1,129 @@
+"""The concurrency spec: invariant predicates shared by models and tests.
+
+Each predicate is a pure function over plain data (dicts, sets,
+sequences) so the *same* statement of correctness is checked in two
+places:
+
+* inside :mod:`repro.check.models`, after every step of every explored
+  interleaving (the model checker);
+* over the real executors' state in
+  ``tests/test_runtime_conformance.py`` (the conformance suite).
+
+A protocol change that breaks an invariant therefore fails both the
+exploration of its model and the live executors it ships in -- the
+models are the spec, not documentation.
+
+Predicates return ``None`` when the invariant holds and a human-readable
+message when it does not; ``holds()`` adapts them to the bool the engine
+expects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "holds",
+    "no_double_fold",
+    "no_orphans",
+    "no_torn_value",
+    "single_owner",
+    "versions_monotone",
+    "window_within_pool",
+]
+
+
+def holds(check: Callable[[], str | None]) -> Callable[[], bool]:
+    """Adapt a message-returning invariant to the engine's bool predicate."""
+    return lambda: check() is None
+
+
+def single_owner(
+    owners: Mapping[int, Iterable[int]],
+) -> str | None:
+    """Every block is owned by exactly one worker at a time.
+
+    ``owners`` maps block -> collection of workers currently claiming it.
+    Violated by double adoption: two recoveries re-homing the same
+    orphan, or an adopt racing a late reply from the presumed-dead owner.
+    """
+    for block, claim in owners.items():
+        claim = list(claim)
+        if len(claim) != 1:
+            return f"block {block} owned by {sorted(claim)} (want exactly 1)"
+    return None
+
+
+def no_orphans(
+    owner: Mapping[int, int],
+    live: Iterable[int],
+) -> str | None:
+    """After recovery settles, every block's owner is a live worker.
+
+    ``owner`` maps block -> worker rank; ``live`` is the set of ranks
+    still serving.  Violated when re-homing loses a block: the paper's
+    fixed-point iteration silently stalls on the missing piece.
+    """
+    alive = set(live)
+    lost = {l: w for l, w in owner.items() if w not in alive}
+    if lost:
+        return f"orphaned blocks (owner dead): {lost}"
+    return None
+
+
+def no_double_fold(folds: Sequence[int]) -> str | None:
+    """Each block's reply is folded into the round at most once.
+
+    ``folds`` is the sequence of block labels folded so far this round.
+    Violated by the requeue-vs-reply race: a hung-but-alive worker's
+    late reply landing *after* its block was re-dispatched means the
+    round combines two generations of the same piece.
+    """
+    seen: set[int] = set()
+    for l in folds:
+        if l in seen:
+            return f"block {l} folded twice in one round"
+        seen.add(l)
+    return None
+
+
+def no_torn_value(
+    value: Sequence[int],
+    published: Iterable[Sequence[int]],
+) -> str | None:
+    """A completed read observes some atomically-published snapshot.
+
+    ``value`` is the tuple a reader returned; ``published`` the set of
+    values a writer ever published (including the initial one).  A torn
+    read -- half old vector, half new -- is exactly the *invented piece*
+    the paper's asynchronous convergence proof does not tolerate.
+    """
+    pub = {tuple(p) for p in published}
+    if tuple(value) not in pub:
+        return f"torn read: {tuple(value)} not among published {sorted(pub)}"
+    return None
+
+
+def versions_monotone(versions: Sequence[int]) -> str | None:
+    """Successive version observations never decrease (seqlock clock)."""
+    for a, b in zip(versions, versions[1:]):
+        if b < a:
+            return f"version went backwards: {a} -> {b}"
+    return None
+
+
+def window_within_pool(window: int, depth: int) -> str | None:
+    """Pipelined dispatch window fits the receive buffer pool.
+
+    A block can hold ``window + 1`` live round pieces at once (the
+    in-window unfolded rounds plus the still-referenced latest piece),
+    and each must be backed by its own pooled buffer: ``window < depth``
+    or a frame lands in a buffer whose previous occupant is still being
+    combined (reuse-while-in-flight).
+    """
+    if not window < depth:
+        return (
+            f"pipeline window {window} must stay strictly below "
+            f"BufferPool depth {depth} (a block holds window + 1 live pieces)"
+        )
+    return None

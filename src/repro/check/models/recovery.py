@@ -1,0 +1,278 @@
+"""Models of the ``FaultPolicy`` recovery state machine.
+
+Two scenarios over the detect -> re-home -> re-dispatch protocol the
+process and socket executors share:
+
+* :class:`RecoveryModel` -- the **requeue-vs-reply race**: worker 0 is
+  *hung, not dead*.  A deadline breach (its own nondeterministic event)
+  may declare it lost and re-dispatch its block to worker 1 -- and then
+  the presumed-dead worker wakes up and delivers its reply anyway.  The
+  current protocol tags every dispatch with a ticket (the executors'
+  epoch/pending bookkeeping) and folds a reply only if its ticket is
+  current; ``late_reply_guard=False`` is the known-bug variant that
+  folds any outstanding block's reply, splicing a stale generation into
+  the round.
+* :class:`ReadoptionModel` -- **cascading recovery**: worker 0 dies,
+  its block is adopted by worker 1, then worker 1 dies too.  Re-homing
+  must work from the *live owner map*; ``track_adoptions=False`` is the
+  known-bug variant that computes the second casualty's orphans from
+  the initial assignment, stranding the adopted block on a dead owner
+  (:func:`~repro.check.invariants.no_orphans` fires, and the run also
+  deadlocks waiting for a reply that can never come).
+
+Both models keep recovery atomic within a driver step -- the real
+drivers run it single-threaded between polls -- while worker solves,
+replies, deaths, and wakeups interleave freely around it.
+"""
+
+from __future__ import annotations
+
+from repro.check.engine import Model, SimThread, cond_schedule, schedule
+from repro.check.invariants import (
+    holds,
+    no_double_fold,
+    no_orphans,
+    single_owner,
+)
+
+__all__ = ["ReadoptionModel", "RecoveryModel"]
+
+
+class RecoveryModel(Model):
+    """Hung worker, deadline breach, late reply: the requeue-vs-reply race."""
+
+    name = "recovery.late-reply"
+
+    def __init__(self, *, late_reply_guard: bool = True):
+        self.late_reply_guard = late_reply_guard
+        # Block l is dispatched to worker l with ticket 0.
+        self.owner = {0: 0, 1: 1}
+        self.ticket = {0: 0, 1: 0}
+        self.tasks = {0: [(0, 0)], 1: [(1, 0)]}
+        self.pipes: dict[int, list[tuple[int, int]]] = {0: [], 1: []}
+        self.remaining = {0, 1}
+        self.released = False  # the hung worker's eventual wakeup
+        self.breached = False  # worker 0's deadline expiry
+        self.detected = False
+        self.finished = False
+        #: (block, reply ticket, current ticket) at each fold.
+        self.folds: list[tuple[int, int, int]] = []
+
+    # -- threads -----------------------------------------------------
+
+    def _hung_worker(self) -> SimThread:
+        l, t = self.tasks[0].pop(0)
+        # Hung mid-solve: wakes only when released (or the run ends).
+        yield from cond_schedule(lambda: self.released or self.finished)
+        if self.finished:
+            return
+        self.pipes[0].append((l, t))  # the late (or not-so-late) reply
+
+    def _releaser(self) -> SimThread:
+        # Scheduler choice = when the straggler finally wakes up.
+        yield from schedule()
+        self.released = True
+
+    def _deadline(self) -> SimThread:
+        # Scheduler choice = when worker 0's reply deadline expires.
+        yield from schedule()
+        if not self.finished:
+            self.breached = True
+
+    def _healthy_worker(self) -> SimThread:
+        while True:
+            yield from cond_schedule(
+                lambda: bool(self.tasks[1]) or self.finished
+            )
+            if self.finished:
+                return
+            l, t = self.tasks[1].pop(0)
+            yield from schedule()  # the solve
+            self.pipes[1].append((l, t))
+            yield from schedule()
+
+    def _driver(self) -> SimThread:
+        while self.remaining:
+            yield from cond_schedule(
+                lambda: any(self.pipes.values())
+                or (self.breached and not self.detected)
+            )
+            if self.breached and not self.detected:
+                # Deadline reaping: declare worker 0 lost and re-home
+                # its outstanding block (atomic: the real recovery runs
+                # single-threaded between polls).
+                self.detected = True
+                if 0 in self.remaining and self.owner[0] == 0:
+                    self.owner[0] = 1
+                    self.ticket[0] += 1
+                    self.tasks[1].append((0, self.ticket[0]))
+            yield from schedule()
+            for w in (0, 1):
+                while self.pipes[w]:
+                    l, t = self.pipes[w].pop(0)
+                    if self.late_reply_guard and t != self.ticket[l]:
+                        continue  # stale generation: drop the straggler
+                    if l not in self.remaining:
+                        continue  # already folded this round
+                    self.folds.append((l, t, self.ticket[l]))
+                    self.remaining.discard(l)
+                    yield from schedule()
+        self.finished = True
+
+    def threads(self):
+        return [
+            ("driver", self._driver),
+            ("w0-hung", self._hung_worker),
+            ("w1", self._healthy_worker),
+            ("wakeup", self._releaser),
+            ("deadline", self._deadline),
+        ]
+
+    # -- invariants --------------------------------------------------
+
+    def _fresh_folds(self) -> str | None:
+        for l, t, current in self.folds:
+            if t != current:
+                return (
+                    f"stale generation folded: block {l} reply ticket {t} "
+                    f"accepted while current ticket was {current}"
+                )
+        return None
+
+    def invariants(self):
+        return [
+            ("fresh-generation-folds", holds(self._fresh_folds)),
+            (
+                "no-double-fold",
+                holds(lambda: no_double_fold([l for l, _, _ in self.folds])),
+            ),
+        ]
+
+
+class ReadoptionModel(Model):
+    """Two casualties in sequence: the adopted block must be re-homed."""
+
+    name = "recovery.readoption"
+
+    def __init__(self, *, track_adoptions: bool = True):
+        self.track_adoptions = track_adoptions
+        self.nworkers = 3
+        self.initial = {w: [w] for w in range(3)}  # block l starts on worker l
+        self.owner = {0: 0, 1: 1, 2: 2}
+        self.ticket = {0: 0, 1: 0, 2: 0}
+        self.tasks = {w: [(w, 0)] for w in range(3)}
+        self.pipes: dict[int, list[tuple[int, int]]] = {w: [] for w in range(3)}
+        self.remaining = {0, 1, 2}
+        self.killed: set[int] = set()
+        self.handled: set[int] = set()
+        self.finished = False
+        self.folds: list[tuple[int, int, int]] = []
+        #: block -> current-ticket claim holders (for single_owner).
+        self.claims = {l: {l} for l in range(3)}
+
+    # -- threads -----------------------------------------------------
+
+    def _worker(self, w: int) -> SimThread:
+        while True:
+            yield from cond_schedule(
+                lambda: bool(self.tasks[w])
+                or self.finished
+                or w in self.killed
+            )
+            if self.finished or w in self.killed:
+                return
+            l, t = self.tasks[w].pop(0)
+            yield from schedule()  # the solve
+            if w in self.killed:
+                return  # died mid-solve: no reply ever leaves
+            self.pipes[w].append((l, t))
+            yield from schedule()
+            if w in self.killed:
+                return
+
+    def _killer1(self) -> SimThread:
+        yield from schedule()
+        if not self.finished:
+            self.killed.add(0)
+
+    def _killer2(self) -> SimThread:
+        # The second casualty strikes only after the first recovery --
+        # the cascading case re-homing must survive.
+        yield from cond_schedule(lambda: bool(self.handled) or self.finished)
+        if self.finished:
+            return
+        yield from schedule()
+        if not self.finished:
+            self.killed.add(1)
+
+    def _driver(self) -> SimThread:
+        while self.remaining:
+            yield from cond_schedule(
+                lambda: any(self.pipes.values())
+                or bool(self.killed - self.handled)
+            )
+            for w in sorted(self.killed - self.handled):
+                # Recovery (atomic per casualty): re-home every block
+                # the dead worker still owes to the lowest live rank.
+                self.handled.add(w)
+                if self.track_adoptions:
+                    orphans = [
+                        l
+                        for l, o in sorted(self.owner.items())
+                        if o == w and l in self.remaining
+                    ]
+                else:
+                    # Known-bug variant: consult the *initial*
+                    # assignment, forgetting adoptions since.
+                    orphans = [
+                        l for l in self.initial[w] if l in self.remaining
+                    ]
+                live = [
+                    x for x in range(self.nworkers) if x not in self.killed
+                ]
+                if not live:
+                    break
+                target = live[0]
+                for l in orphans:
+                    self.owner[l] = target
+                    self.ticket[l] += 1
+                    self.claims[l] = {target}
+                    self.tasks[target].append((l, self.ticket[l]))
+            yield from schedule()
+            for w in range(self.nworkers):
+                while self.pipes[w]:
+                    l, t = self.pipes[w].pop(0)
+                    if t != self.ticket[l] or l not in self.remaining:
+                        continue  # stale generation or already folded
+                    self.folds.append((l, t, self.ticket[l]))
+                    self.remaining.discard(l)
+                    yield from schedule()
+        self.finished = True
+
+    def threads(self):
+        out = [("driver", self._driver)]
+        for w in range(self.nworkers):
+            out.append((f"w{w}", lambda w=w: self._worker(w)))
+        out.append(("kill-w0", self._killer1))
+        out.append(("kill-w1", self._killer2))
+        return out
+
+    # -- invariants --------------------------------------------------
+
+    def _quiescent_no_orphans(self) -> str | None:
+        if self.killed - self.handled:
+            return None  # recovery pending: dead owners are expected
+        live = [w for w in range(self.nworkers) if w not in self.killed]
+        return no_orphans(
+            {l: self.owner[l] for l in self.remaining}, live
+        )
+
+    def invariants(self):
+        return [
+            ("no-orphans-at-quiescence", holds(self._quiescent_no_orphans)),
+            ("single-owner", holds(lambda: single_owner(self.claims))),
+            (
+                "no-double-fold",
+                holds(lambda: no_double_fold([l for l, _, _ in self.folds])),
+            ),
+        ]

@@ -1,0 +1,112 @@
+"""Model of :class:`repro.runtime.seqlock.VersionedVector`.
+
+One writer publishes ``writes`` successive values into a two-word
+buffer under the seqlock protocol (version to odd, write both words,
+version to even); ``readers`` concurrent readers each complete one read.
+The buffer is two words precisely so a *torn* read -- half of one
+publication spliced onto half of another -- is representable: that is
+the "invented piece" the asynchronous convergence theory cannot
+tolerate.
+
+Checked against the shared invariants: every completed read is some
+atomically-published snapshot (:func:`~repro.check.invariants.
+no_torn_value`) and the versions a reader observes never decrease
+(:func:`~repro.check.invariants.versions_monotone`).  Engine deadlock
+detection doubles as the reader/writer progress check: a reader parked
+on an odd version must always be released by the writer's second
+increment.
+
+``recheck=False`` is the known-bug variant: the reader skips the
+version re-check after copying (keeping only the odd-version entry
+check), which admits the classic seqlock tear -- read word 0 of the old
+value, lose the race to a full write, read word 1 of the new one.
+"""
+
+from __future__ import annotations
+
+from repro.check.engine import Model, SimThread, cond_schedule, schedule
+from repro.check.invariants import holds, no_torn_value, versions_monotone
+
+__all__ = ["SeqlockModel"]
+
+
+class SeqlockModel(Model):
+    """Seqlock writer vs concurrent readers, word-granular traps."""
+
+    name = "seqlock"
+
+    def __init__(self, *, writes: int = 2, readers: int = 2, recheck: bool = True):
+        self.writes = writes
+        self.nreaders = readers
+        self.recheck = recheck
+        # Shared state, exactly the real object's fields.
+        self.version = 0
+        self.buf = [0, 0]
+        # Invariant bookkeeping (not visible to the protocol).
+        self.published = [(0, 0)]
+        self.read_values: list[tuple[int, int]] = []
+        self.seen_versions: dict[int, list[int]] = {
+            r: [] for r in range(readers)
+        }
+
+    # -- threads -----------------------------------------------------
+
+    def _writer(self) -> SimThread:
+        for v in range(1, self.writes + 1):
+            self.version += 1  # odd: write in progress
+            yield from schedule()
+            self.buf[0] = v
+            yield from schedule()
+            self.buf[1] = v
+            yield from schedule()
+            self.version += 1  # even: stable
+            self.published.append((v, v))
+            yield from schedule()
+
+    def _reader(self, r: int) -> SimThread:
+        while True:
+            v0 = self.version
+            self.seen_versions[r].append(v0)
+            yield from schedule()
+            if v0 & 1:
+                # Real code spins/sleeps until the writer finishes; in
+                # the model the reader blocks until the version moves
+                # (a pure spin would make the schedule tree infinite).
+                yield from cond_schedule(lambda: self.version != v0)
+                continue
+            a = self.buf[0]
+            yield from schedule()
+            b = self.buf[1]
+            yield from schedule()
+            if not self.recheck or self.version == v0:
+                self.read_values.append((a, b))
+                return
+            # version moved while copying: retry (bounded by #writes)
+
+    def threads(self):
+        out = [("writer", self._writer)]
+        for r in range(self.nreaders):
+            out.append((f"reader{r}", lambda r=r: self._reader(r)))
+        return out
+
+    # -- invariants --------------------------------------------------
+
+    def _untorn(self) -> str | None:
+        for val in self.read_values:
+            msg = no_torn_value(val, self.published)
+            if msg:
+                return msg
+        return None
+
+    def _monotone(self) -> str | None:
+        for seq in self.seen_versions.values():
+            msg = versions_monotone(seq)
+            if msg:
+                return msg
+        return None
+
+    def invariants(self):
+        return [
+            ("no-torn-read", holds(self._untorn)),
+            ("versions-monotone", holds(self._monotone)),
+        ]

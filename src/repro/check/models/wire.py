@@ -1,0 +1,236 @@
+"""Models of the executor wire protocol: reply transport + epochs.
+
+Two models of the same scenario -- a fleet solving one round while a
+SIGKILL takes out a worker at a scheduler-chosen instant:
+
+* :class:`SharedQueueModel` -- the **old** (pre-PR 4) protocol: every
+  worker replies through one shared queue whose put is guarded by a
+  cross-process lock.  The known-bug fixture: a worker killed *inside*
+  the critical section leaks the lock, every survivor's reply blocks
+  forever, recovery re-dispatches onto survivors that can no longer
+  reply, and the driver waits on a queue nobody can fill.  The chaos
+  harness tripped over this once by luck; the explorer derives it as
+  the inevitable consequence of one schedule choice.
+* :class:`PipeReplyModel` -- the current protocol: one private reply
+  pipe per worker (no shared lock to leak; a dead worker's pipe just
+  ends), epoch-tagged replies with straggler filtering, strict one-
+  reply-per-dispatch pairing, and the fold guard (``processes.py``'s
+  "a requeued block may answer twice").  Explored clean -- and each
+  guard has a knob proving it is load-bearing: ``filter_epochs=False``
+  folds a stale frame from an aborted binding, ``requeue_guard=False``
+  folds both generations of a block whose dead owner had already piped
+  its reply before recovery requeued it (an interleaving this explorer
+  found during this model's development -- the real code's guard was
+  confirmed against it).
+
+Invariant: :func:`~repro.check.invariants.no_double_fold` over the
+driver's fold log; deadlock detection is the engine's.
+"""
+
+from __future__ import annotations
+
+from repro.check.engine import Model, SimThread, cond_schedule, schedule
+from repro.check.invariants import holds, no_double_fold
+
+__all__ = ["PipeReplyModel", "SharedQueueModel"]
+
+
+class SharedQueueModel(Model):
+    """Old protocol: one shared reply queue + lock. The PR 4 deadlock."""
+
+    name = "wire.shared-queue"
+
+    def __init__(self, *, workers: int = 2):
+        self.nworkers = workers
+        self.nblocks = workers  # one block per worker to start
+        self.assigned = {w: [w] for w in range(workers)}
+        self.tasks = {w: [w] for w in range(workers)}
+        self.lock: int | None = None  # rank holding the queue lock
+        self.queue: list[int] = []
+        self.killed: int | None = None
+        self.recovered = False
+        self.finished = False
+        self.fold_log: list[int] = []
+
+    # -- threads -----------------------------------------------------
+
+    def _worker(self, w: int) -> SimThread:
+        while True:
+            yield from cond_schedule(
+                lambda: self.killed == w or self.finished or bool(self.tasks[w])
+            )
+            if self.killed == w or self.finished:
+                return
+            l = self.tasks[w].pop(0)
+            yield from schedule()  # the solve itself (pure, preemptible)
+            if self.killed == w:
+                return
+            # Reply through the shared queue: acquire the put lock.
+            yield from cond_schedule(
+                lambda: self.killed == w or self.lock is None
+            )
+            if self.killed == w:
+                return  # died waiting: lock untouched
+            self.lock = w
+            yield from schedule()  # SIGKILL window: mid-put, lock held
+            if self.killed == w:
+                return  # died inside the critical section: LOCK LEAKS
+            self.queue.append(l)
+            self.lock = None
+            yield from schedule()
+            if self.killed == w:
+                return
+
+    def _killer(self) -> SimThread:
+        # Always runnable: the scheduler choosing when to run this step
+        # IS the nondeterministic SIGKILL instant.
+        yield from schedule()
+        if not self.finished:
+            self.killed = 0
+
+    def _driver(self) -> SimThread:
+        done: set[int] = set()
+        while len(done) < self.nblocks:
+            yield from cond_schedule(
+                lambda: bool(self.queue)
+                or (self.killed is not None and not self.recovered)
+            )
+            while self.queue:
+                l = self.queue.pop(0)
+                self.fold_log.append(l)
+                done.add(l)
+                yield from schedule()
+            if self.killed is not None and not self.recovered:
+                self.recovered = True
+                # Recovery: requeue the dead worker's unfinished blocks
+                # onto a survivor...which must reply through the same
+                # shared queue.
+                orphans = [
+                    l for l in self.assigned[self.killed] if l not in done
+                ]
+                survivor = min(
+                    w for w in range(self.nworkers) if w != self.killed
+                )
+                self.tasks[survivor].extend(orphans)
+                yield from schedule()
+        self.finished = True
+
+    def threads(self):
+        out = [("driver", self._driver)]
+        for w in range(self.nworkers):
+            out.append((f"w{w}", lambda w=w: self._worker(w)))
+        out.append(("sigkill", self._killer))
+        return out
+
+    def invariants(self):
+        return [("no-double-fold", holds(lambda: no_double_fold(self.fold_log)))]
+
+
+class PipeReplyModel(Model):
+    """Current protocol: per-worker reply pipes + epoch filtering."""
+
+    name = "wire.pipes"
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        filter_epochs: bool = True,
+        requeue_guard: bool = True,
+        stale_frame: bool = True,
+    ):
+        self.nworkers = workers
+        self.nblocks = workers
+        self.filter_epochs = filter_epochs
+        self.requeue_guard = requeue_guard
+        self.epoch = 1  # current binding epoch
+        self.assigned = {w: [w] for w in range(workers)}
+        self.tasks = {w: [w] for w in range(workers)}
+        # One private pipe per worker; entries are (block, epoch).
+        self.pipes: dict[int, list[tuple[int, int]]] = {
+            w: [] for w in range(workers)
+        }
+        if stale_frame:
+            # A straggler from an aborted earlier binding still sitting
+            # in worker 0's pipe when the round starts.
+            self.pipes[0].append((0, 0))
+        self.killed: int | None = None
+        self.recovered = False
+        self.finished = False
+        self.fold_log: list[int] = []
+        self.folded_epochs: list[int] = []
+
+    # -- threads -----------------------------------------------------
+
+    def _worker(self, w: int) -> SimThread:
+        while True:
+            yield from cond_schedule(
+                lambda: self.killed == w or self.finished or bool(self.tasks[w])
+            )
+            if self.killed == w or self.finished:
+                return
+            l = self.tasks[w].pop(0)
+            yield from schedule()  # the solve (preemptible)
+            if self.killed == w:
+                return
+            # Reply down the worker's OWN pipe: no shared lock exists.
+            # A SIGKILL here loses at most this worker's reply; the
+            # pipe's other end just reads EOF.
+            self.pipes[w].append((l, self.epoch))
+            yield from schedule()
+            if self.killed == w:
+                return
+
+    def _killer(self) -> SimThread:
+        yield from schedule()
+        if not self.finished:
+            self.killed = 0
+
+    def _driver(self) -> SimThread:
+        done: set[int] = set()
+        while len(done) < self.nblocks:
+            yield from cond_schedule(
+                lambda: any(self.pipes.values())
+                or (self.killed is not None and not self.recovered)
+            )
+            for w in range(self.nworkers):
+                while self.pipes[w]:
+                    l, epoch = self.pipes[w].pop(0)
+                    if self.filter_epochs and epoch != self.epoch:
+                        continue  # straggler from a dead binding: drop
+                    if self.requeue_guard and l in done:
+                        continue  # a requeued block may answer twice
+                    self.fold_log.append(l)
+                    self.folded_epochs.append(epoch)
+                    done.add(l)
+                    yield from schedule()
+            if self.killed is not None and not self.recovered:
+                self.recovered = True
+                orphans = [
+                    l for l in self.assigned[self.killed] if l not in done
+                ]
+                survivor = min(
+                    w for w in range(self.nworkers) if w != self.killed
+                )
+                self.tasks[survivor].extend(orphans)
+                yield from schedule()
+        self.finished = True
+
+    def threads(self):
+        out = [("driver", self._driver)]
+        for w in range(self.nworkers):
+            out.append((f"w{w}", lambda w=w: self._worker(w)))
+        out.append(("sigkill", self._killer))
+        return out
+
+    def invariants(self):
+        return [
+            ("no-double-fold", holds(lambda: no_double_fold(self.fold_log))),
+            # The epoch filter's contract: nothing from another binding
+            # generation ever reaches the fold (a stale frame carries
+            # stale *values*; the labels alone cannot show that).
+            (
+                "current-epoch-folds-only",
+                lambda: all(e == self.epoch for e in self.folded_epochs),
+            ),
+        ]

@@ -166,6 +166,18 @@ def _pipelined_rounds(
     # import here would be circular (same idiom as _resolve_executor).
     from repro.schedule.pattern import dependency_gates
 
+    # Construction-time guard on the window/pool-depth invariant: the
+    # two constants live in different layers and are only compatible by
+    # agreement, so a future depth change must fail loudly here instead
+    # of silently reintroducing buffer reuse-while-in-flight (the torn
+    # fold repro.check.models.pipeline exhibits at window == depth).
+    from repro.check.invariants import window_within_pool
+    from repro.runtime.wire import DEFAULT_POOL_DEPTH
+
+    window_msg = window_within_pool(_PIPELINE_WINDOW, DEFAULT_POOL_DEPTH)
+    if window_msg is not None:
+        raise RuntimeError(f"pipelined dispatch misconfigured: {window_msg}")
+
     L = partition.nprocs
     gates = dependency_gates(A, partition, weighting)
     batched = b.ndim == 2

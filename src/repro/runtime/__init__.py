@@ -40,6 +40,7 @@ from repro.runtime.resilience import (
     FaultPolicy,
     FaultStats,
     FlakySolver,
+    StallOnceSolver,
     StragglerSolver,
 )
 from repro.runtime.seqlock import VersionedVector
@@ -63,6 +64,7 @@ __all__ = [
     "SharedVectorPlane",
     "SocketExecutor",
     "SolveStream",
+    "StallOnceSolver",
     "StragglerSolver",
     "ThreadExecutor",
     "VersionedVector",

@@ -869,15 +869,17 @@ class ProcessExecutor(Executor):
                 "wire.send", cat="wire", lane="driver",
                 bytes=int(sent_bytes), blocks=len(tasks),
             )
+        dispatched: dict[int, float] = {}
+        t_dispatch = time.monotonic()
         for l, _ in tasks:
             w = self._owner[l]
             self._task_qs[w].put(("solve", self._epoch, l))
             pending[l] = w
+            dispatched[l] = t_dispatch
         remaining = set(blocks)
         policy = self._policy
         hb = policy.heartbeat_interval if policy is not None else 1.0
-        round_start = time.monotonic()
-        hard_deadline = round_start + self._reply_wait_seconds()
+        hard_deadline = t_dispatch + self._reply_wait_seconds()
         t_wait = tracer.now() if tracer is not None else 0.0
         while remaining:
             batch = self._poll_replies(timeout=hb)
@@ -894,11 +896,27 @@ class ProcessExecutor(Executor):
                     _, _, l, dt = msg
                     if l in remaining:  # a requeued block may answer twice
                         remaining.discard(l)
-                        pending.pop(l, None)
+                        w_from = pending.pop(l, None)
                         self._block_seconds[l] += dt
-                continue
-            # Heartbeat: no reply this interval -- check for corpses, then
-            # for deadline breaches (hung/slow workers count as lost).
+                        if w_from is not None:
+                            # A reply is proof of life for ITS worker
+                            # only: refresh the clocks of that worker's
+                            # other queued blocks (a deep queue on a
+                            # live worker is not a hang), but never a
+                            # peer's.
+                            t_reply = time.monotonic()
+                            for l2 in remaining:
+                                if pending.get(l2) == w_from:
+                                    dispatched[l2] = t_reply
+                if not remaining:
+                    break
+            # Corpse/deadline sweep runs every iteration, replies or not:
+            # each outstanding block keeps the clock of its dispatch (or
+            # its worker's last reply), so one chatty worker's steady
+            # replies cannot keep resetting a shared round deadline and
+            # mask a hung peer (the interleaving explorer's
+            # requeue-vs-reply model is the spec for what recovery may
+            # do with the late reply).
             now = time.monotonic()
             dead = sorted(
                 {w for w in self._live if not self._workers[w].is_alive()}
@@ -914,8 +932,13 @@ class ProcessExecutor(Executor):
                     )
                 continue
             if not dead and policy.deadline is not None:
-                if now - round_start > policy.deadline:
-                    dead = sorted({pending[l] for l in remaining if l in pending})
+                dead = sorted(
+                    {
+                        pending[l]
+                        for l in remaining
+                        if l in pending and now - dispatched[l] > policy.deadline
+                    }
+                )
             if not dead:
                 if now > hard_deadline:
                     raise RuntimeError(
@@ -924,8 +947,13 @@ class ProcessExecutor(Executor):
                     )
                 continue
             self._recover(dead, remaining, pending)
-            round_start = time.monotonic()  # a fresh deadline after recovery
-            hard_deadline = round_start + self._reply_wait_seconds()
+            # Fresh clocks for every still-outstanding block: recovery
+            # itself (respawn + adopt acks) takes wall time no worker
+            # should be billed for.
+            now = time.monotonic()
+            for l in remaining:
+                dispatched[l] = now
+            hard_deadline = now + self._reply_wait_seconds()
         if tracer is not None:
             tracer.add(
                 "barrier.wait", "wait", t_wait, tracer.now() - t_wait,

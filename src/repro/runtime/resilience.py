@@ -68,6 +68,7 @@ __all__ = [
     "FaultStats",
     "FlakySolver",
     "InjectedFault",
+    "StallOnceSolver",
     "StragglerSolver",
 ]
 
@@ -686,6 +687,72 @@ class CrashOnceSolver(DirectSolver):
                 os.close(fd)
                 os._exit(1)
         return self.inner.factor(A)
+
+
+class _StallOnceFactorization(Factorization):
+    """Factors whose first fleet-wide solve stalls (delegating the rest)."""
+
+    def __init__(self, inner: Factorization, owner: "StallOnceSolver"):
+        self._inner = inner
+        self._owner = owner
+        self.stats = inner.stats
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        self._owner._maybe_stall()
+        return self._inner.solve(b)
+
+    def solve_many(self, B: np.ndarray) -> np.ndarray:
+        self._owner._maybe_stall()
+        return self._inner.solve_many(B)
+
+
+class StallOnceSolver(DirectSolver):
+    """Wrap a kernel so exactly one solve call fleet-wide stalls.
+
+    The hung-not-dead knob for *recovery* tests: unlike
+    :class:`StragglerSolver` (whose call counter is per process, so an
+    adopting survivor re-solving the orphaned block hits call 1 again
+    and stalls in cascade), the stall is claimed through an atomic
+    sentinel file (``O_CREAT | O_EXCL``, the :class:`CrashOnceSolver`
+    idiom) -- the first eligible solve anywhere sleeps ``seconds``,
+    every later one (the re-dispatched solve on the adopter included)
+    runs normally, so the recovered run completes.  Wrap just one
+    block's solver to hang exactly that block.
+
+    ``worker_only`` (default) records the constructing process's pid and
+    never stalls it, keeping driver-side reference solves immune.
+    """
+
+    name = "stall-once"
+
+    def __init__(
+        self,
+        inner: DirectSolver,
+        sentinel_path,
+        *,
+        seconds: float = 5.0,
+        worker_only: bool = True,
+    ):
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.inner = inner
+        self.sentinel_path = str(sentinel_path)
+        self.seconds = seconds
+        self.worker_only = worker_only
+        self._owner_pid = os.getpid()
+
+    def _maybe_stall(self) -> None:
+        if self.worker_only and os.getpid() == self._owner_pid:
+            return
+        try:
+            fd = os.open(self.sentinel_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return  # somebody already hung here; solve normally
+        os.close(fd)
+        time.sleep(self.seconds)
+
+    def factor(self, A) -> Factorization:
+        return _StallOnceFactorization(self.inner.factor(A), self)
 
 
 class _StragglerFactorization(Factorization):

@@ -29,6 +29,13 @@ import numpy as np
 
 __all__ = ["VersionedVector"]
 
+#: Odd-version retries before a reader stops burning its core: the
+#: write section is a handful of bytecodes, so a healthy writer clears
+#: it within a few GIL yields; past this the writer is descheduled and
+#: the reader parks instead of hot-spinning.
+_SPIN_LIMIT = 100
+_BACKOFF_SECONDS = 5e-5
+
 
 class VersionedVector:
     """One block's published piece, safely readable while being replaced.
@@ -61,11 +68,19 @@ class VersionedVector:
         The version is a monotone publication counter (0 for the initial
         value); callers use it to detect whether a dependency has changed
         since their last read.
+
+        Retries back off: a write is a few bytecodes, so the first
+        retries only yield the GIL (``sleep(0)``), but a writer
+        descheduled mid-publication must not pin this reader's core --
+        after a bounded spin the reader parks for 50us per retry
+        (still far below a solve, so staleness is unaffected).
         """
+        spins = 0
         while True:
             v0 = self._version
             if v0 & 1:
-                time.sleep(0)  # writer mid-flight: yield and retry
+                spins += 1
+                time.sleep(0 if spins <= _SPIN_LIMIT else _BACKOFF_SECONDS)
                 continue
             out = self._buf.copy()
             if self._version == v0:

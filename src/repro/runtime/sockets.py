@@ -550,18 +550,26 @@ class SocketExecutor(Executor):
                 self._connect(self._spawn_loopback(missing))
         return self._live_ranks()
 
-    def _recv_reply(self, w: int, expected_kind: str, *, key=None) -> tuple:
+    def _recv_reply(
+        self, w: int, expected_kind: str, *, key=None, deadline: float | None = None
+    ) -> tuple:
         """Next current-epoch frame from worker ``w`` (stragglers dropped).
 
         ``key`` opts into worker ``w``'s receive-buffer pool: a solve
         reply's piece lands in a rotating preallocated buffer keyed by
         its block (only frames the worker flagged transient are pooled,
-        so control replies always own their memory).
+        so control replies always own their memory).  ``deadline`` is an
+        *absolute* monotonic bound on getting the expected reply: it
+        spans straggler frames and partial receives alike, so neither a
+        trickling peer nor a backlog of stale frames can stretch one
+        block's reply past the armed fault deadline.
         """
         pool = self._pools.get(w) if key is not None else None
         while True:
             try:
-                msg, info = recv_frame(self._socks[w], pool=pool, key=key)
+                msg, info = recv_frame(
+                    self._socks[w], pool=pool, key=key, deadline=deadline
+                )
             except (ConnectionError, OSError) as exc:
                 raise _WorkerGone(w, exc) from None
             if msg[1] != self._epoch:
@@ -935,13 +943,17 @@ class SocketExecutor(Executor):
         errors still raise.
         """
         done: list[tuple[int, np.ndarray, float]] = []
-        try:
-            self._socks[w].settimeout(self._solve_timeout())
-        except OSError as exc:
-            # The stream is already broken: every task is undone and the
-            # caller's recovery owns the diagnosis.
-            return done, list(tasks), _WorkerGone(w, exc)
+        timeout = self._solve_timeout()
         for i, (l, z) in enumerate(tasks):
+            try:
+                # Re-arm the base timeout per task: a deadline-bounded
+                # receive below may leave the socket with whatever sliver
+                # of time remained, and the next send must not inherit it.
+                self._socks[w].settimeout(timeout)
+            except OSError as exc:
+                # The stream is already broken: the rest of the batch is
+                # undone and the caller's recovery owns the diagnosis.
+                return done, tasks[i:], _WorkerGone(w, exc)
             try:
                 # A send to a dead peer is a worker death exactly like a
                 # failed recv (whether it surfaces here or on the reply is
@@ -966,7 +978,11 @@ class SocketExecutor(Executor):
             except (ConnectionError, OSError) as exc:
                 return done, tasks[i:], _WorkerGone(w, exc)
             try:
-                _, _, rl, piece, dt = self._recv_reply(w, "done", key=l)
+                # Per-block deadline: absolute from this block's dispatch,
+                # so stragglers and trickled chunks cannot extend it.
+                _, _, rl, piece, dt = self._recv_reply(
+                    w, "done", key=l, deadline=time.monotonic() + timeout
+                )
             except _WorkerGone as exc:
                 return done, tasks[i:], exc
             done.append((rl, piece, dt))

@@ -47,6 +47,7 @@ import time
 
 __all__ = [
     "BufferPool",
+    "DEFAULT_POOL_DEPTH",
     "FrameError",
     "MAX_FRAME_BUFFERS",
     "MAX_FRAME_BUFFER_BYTES",
@@ -56,6 +57,13 @@ __all__ = [
     "send_frame",
     "transmit_frame",
 ]
+
+#: Receive-pool rotation depth: how many takes of one key before a
+#: buffer is reused.  The pipelined dispatch window is gated against
+#: this (``window < depth``, asserted by the pipelined driver and
+#: model-checked in ``repro.check.models.pipeline``): a block holds up
+#: to ``window + 1`` live round pieces, each needing its own buffer.
+DEFAULT_POOL_DEPTH = 4
 
 #: ``head_len:u64 | nbuf:u32 | flags:u8`` -- the fixed frame prefix.
 FRAME_PREFIX = struct.Struct("!QIB")
@@ -101,7 +109,7 @@ class BufferPool:
     Callers that retain pieces longer must copy them.
     """
 
-    def __init__(self, depth: int = 4):
+    def __init__(self, depth: int = DEFAULT_POOL_DEPTH):
         if depth < 2:
             raise ValueError("depth must be at least 2 (one in use, one filling)")
         self.depth = depth
@@ -217,41 +225,85 @@ def send_frame(sock, obj, *, zero_copy: bool = True, transient: bool = False) ->
 # ---------------------------------------------------------------------------
 
 
-def _recv_into_exact(sock, view: memoryview) -> None:
+def _arm_deadline(sock, deadline: float | None) -> None:
+    """Bound the next receive syscall by an *absolute* monotonic deadline.
+
+    A per-syscall ``settimeout`` restarts whenever any byte arrives, so
+    a peer trickling one chunk per interval can extend a "bounded" read
+    forever.  Re-arming the socket with the *remaining* time before
+    every syscall makes the bound absolute: when the deadline passes,
+    the read fails as :class:`FrameError` no matter how chatty the
+    stream has been.
+    """
+    if deadline is None:
+        return
+    remaining = deadline - time.monotonic()
+    if remaining <= 0:
+        raise FrameError("reply deadline exceeded mid-frame")
+    sock.settimeout(remaining)
+
+
+def _recv_into_exact(sock, view: memoryview, deadline: float | None = None) -> None:
     """Fill ``view`` completely from the socket (zero-copy receive)."""
     off = 0
     total = view.nbytes
     while off < total:
-        n = sock.recv_into(view[off:])
+        _arm_deadline(sock, deadline)
+        try:
+            n = sock.recv_into(view[off:])
+        except TimeoutError as exc:
+            if deadline is not None:
+                # The armed remainder expired inside the syscall: same
+                # verdict as catching it before (FrameError routes into
+                # the caller's worker-gone recovery; TimeoutError not).
+                raise FrameError("reply deadline exceeded mid-frame") from exc
+            raise
         if n == 0:
             raise FrameError("socket closed mid-frame")
         off += n
 
 
-def _read_exact(sock, nbytes: int) -> bytearray:
+def _read_exact(sock, nbytes: int, deadline: float | None = None) -> bytearray:
     buf = bytearray(nbytes)
     if nbytes:
-        _recv_into_exact(sock, memoryview(buf))
+        _recv_into_exact(sock, memoryview(buf), deadline)
     return buf
 
 
-def _read_exact_legacy(sock, nbytes: int) -> bytes:
+def _read_exact_legacy(sock, nbytes: int, deadline: float | None = None) -> bytes:
     """The seed protocol's chunk-accumulating receive (baseline mode)."""
     buf = bytearray()
     while len(buf) < nbytes:
-        chunk = sock.recv(nbytes - len(buf))
+        _arm_deadline(sock, deadline)
+        try:
+            chunk = sock.recv(nbytes - len(buf))
+        except TimeoutError as exc:
+            if deadline is not None:
+                raise FrameError("reply deadline exceeded mid-frame") from exc
+            raise
         if not chunk:
             raise FrameError("socket closed mid-frame")
         buf += chunk
     return bytes(buf)
 
 
-def recv_frame(sock, *, pool: BufferPool | None = None, key=None):
+def recv_frame(
+    sock,
+    *,
+    pool: BufferPool | None = None,
+    key=None,
+    deadline: float | None = None,
+):
     """Read one frame; returns ``(obj, info)``.
 
     ``info`` carries ``payload`` (head + buffer bytes received, the
     twin of :func:`send_frame`'s count) and ``oob_bytes`` (bytes that
-    arrived straight into their final buffers).  Out-of-band buffers are
+    arrived straight into their final buffers).  ``deadline`` (an
+    absolute ``time.monotonic`` instant) bounds the *whole* frame read:
+    every receive syscall is re-armed with the remaining time, so a
+    trickling peer cannot stretch one reply past it (the per-block
+    reply deadline the executors' fault policies arm).  Out-of-band
+    buffers are
     taken from ``pool`` under ``(key, i)`` when the frame is flagged
     transient and a pool is given; otherwise each gets a fresh
     ``bytearray`` (still received in place -- pooling only removes the
@@ -259,7 +311,7 @@ def recv_frame(sock, *, pool: BufferPool | None = None, key=None):
     buffers=...)`` are *backed by* those buffers: a pooled piece stays
     valid for ``pool.depth`` further frames of the same key.
     """
-    prefix = _read_exact(sock, FRAME_PREFIX.size)
+    prefix = _read_exact(sock, FRAME_PREFIX.size, deadline)
     head_len, nbuf, flags = FRAME_PREFIX.unpack(bytes(prefix))
     if head_len > MAX_FRAME_HEAD_BYTES:
         raise FrameError(f"frame head of {head_len} bytes exceeds the limit")
@@ -267,16 +319,16 @@ def recv_frame(sock, *, pool: BufferPool | None = None, key=None):
         raise FrameError(f"frame declares {nbuf} buffers (max {MAX_FRAME_BUFFERS})")
     lens: list[int] = []
     if nbuf:
-        table = _read_exact(sock, _BUF_LEN.size * nbuf)
+        table = _read_exact(sock, _BUF_LEN.size * nbuf, deadline)
         for i in range(nbuf):
             (n,) = _BUF_LEN.unpack_from(table, i * _BUF_LEN.size)
             if n > MAX_FRAME_BUFFER_BYTES:
                 raise FrameError(f"frame buffer of {n} bytes exceeds the limit")
             lens.append(n)
     if flags & FLAG_LEGACY:
-        head = _read_exact_legacy(sock, head_len)
+        head = _read_exact_legacy(sock, head_len, deadline)
     else:
-        head = _read_exact(sock, head_len)
+        head = _read_exact(sock, head_len, deadline)
     bufs: list[bytearray] = []
     for i, n in enumerate(lens):
         if pool is not None and flags & FLAG_TRANSIENT:
@@ -284,7 +336,7 @@ def recv_frame(sock, *, pool: BufferPool | None = None, key=None):
         else:
             buf = bytearray(n)
         if n:
-            _recv_into_exact(sock, memoryview(buf))
+            _recv_into_exact(sock, memoryview(buf), deadline)
         bufs.append(buf)
     try:
         obj = pickle.loads(head, buffers=bufs)

@@ -1,0 +1,269 @@
+"""Unit tests of the interleaving explorer's engine (repro.check.engine).
+
+Tiny purpose-built models pin down the scheduler contract: exhaustive
+enumeration visits every schedule exactly once, deadlock/invariant/
+bound/error verdicts each fire on the execution that earns them, blocked
+threads really wait for their predicates, and a violation's trace
+replays to the same verdict with no exploration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import (
+    Model,
+    Violation,
+    cond_schedule,
+    explore,
+    explore_exhaustive,
+    explore_random,
+    format_violation,
+    replay,
+    run_schedule,
+    schedule,
+)
+
+
+class _TwoSteppers(Model):
+    """Two independent threads, two traps each: 4!/(2!2!) = 6 schedules."""
+
+    name = "toy.steppers"
+
+    def __init__(self):
+        self.log = []
+
+    def _t(self, label):
+        for i in range(2):
+            yield from schedule()
+            self.log.append((label, i))
+
+    def threads(self):
+        return [("a", lambda: self._t("a")), ("b", lambda: self._t("b"))]
+
+
+class _Handoff(Model):
+    """Producer fills a queue the consumer blocks on."""
+
+    name = "toy.handoff"
+
+    def __init__(self):
+        self.queue = []
+        self.got = []
+
+    def _producer(self):
+        for v in range(2):
+            yield from schedule()
+            self.queue.append(v)
+
+    def _consumer(self):
+        for _ in range(2):
+            yield from cond_schedule(lambda: bool(self.queue))
+            self.got.append(self.queue.pop(0))
+
+    def threads(self):
+        return [("prod", self._producer), ("cons", self._consumer)]
+
+    def invariants(self):
+        # The consumer can never overtake the producer.
+        return [("fifo", lambda: self.got == sorted(self.got))]
+
+
+class _AbbaDeadlock(Model):
+    """The classic lock-order inversion: reachable deadlock."""
+
+    name = "toy.abba"
+
+    def __init__(self):
+        self.locks = {"a": None, "b": None}
+
+    def _t(self, me, first, second):
+        yield from cond_schedule(lambda: self.locks[first] is None)
+        self.locks[first] = me
+        yield from schedule()
+        yield from cond_schedule(lambda: self.locks[second] is None)
+        self.locks[second] = me
+        yield from schedule()
+        self.locks[second] = None
+        self.locks[first] = None
+
+    def threads(self):
+        return [
+            ("t0", lambda: self._t(0, "a", "b")),
+            ("t1", lambda: self._t(1, "b", "a")),
+        ]
+
+
+class _TransientBad(Model):
+    """A thread that breaks the invariant and repairs it one step later.
+
+    Catches engines that only check invariants at quiescence: the bad
+    state exists for exactly one scheduling step.
+    """
+
+    name = "toy.transient"
+
+    def __init__(self):
+        self.x = 0
+
+    def _t(self):
+        yield from schedule()
+        self.x = 1  # torn state...
+        yield from schedule()
+        self.x = 0  # ...repaired
+
+    def threads(self):
+        return [("w", self._t)]
+
+    def invariants(self):
+        return [("x-is-zero", lambda: self.x == 0)]
+
+
+class TestRunSchedule:
+    def test_zero_choice_schedule_runs_to_completion(self):
+        m = _TwoSteppers()
+        res = run_schedule(m, lambda n: 0)
+        assert res.ok and res.steps == 4
+        assert m.log == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+        # fanouts record how many threads were ready at each step.
+        assert res.fanouts == (2, 2, 1, 1)
+        assert res.schedule_names == ("a", "a", "b", "b")
+
+    def test_deadlock_detected_with_trace(self):
+        # Alternate strictly: t0 takes a, t1 takes b, both wait forever.
+        res = replay(_AbbaDeadlock, [0, 1])
+        assert res.violation is not None
+        assert res.violation.kind == "deadlock"
+        assert "t0" in res.violation.detail and "t1" in res.violation.detail
+
+    def test_deadlock_ok_hook_accepts_terminal_blocking(self):
+        class Accepting(_AbbaDeadlock):
+            def deadlock_ok(self, blocked):
+                return set(blocked) == {"t0", "t1"}
+
+        res = replay(Accepting, [0, 1])
+        assert res.ok
+
+    def test_transient_invariant_break_is_caught(self):
+        res = run_schedule(_TransientBad(), lambda n: 0)
+        assert res.violation is not None
+        assert res.violation.kind == "invariant"
+        assert res.violation.detail == "x-is-zero"
+
+    def test_bound_verdict_on_livelock(self):
+        class Spinner(Model):
+            def threads(self):
+                def t():
+                    while True:
+                        yield from schedule()
+
+                return [("spin", t)]
+
+        res = run_schedule(Spinner(), lambda n: 0, max_steps=25)
+        assert res.violation is not None and res.violation.kind == "bound"
+        assert res.steps == 25
+
+    def test_error_verdict_captures_exception(self):
+        class Raiser(Model):
+            def threads(self):
+                def t():
+                    yield from schedule()
+                    raise ValueError("boom")
+
+                return [("bad", t)]
+
+        res = run_schedule(Raiser(), lambda n: 0)
+        assert res.violation is not None and res.violation.kind == "error"
+        assert "boom" in res.violation.detail
+
+
+class TestExploreExhaustive:
+    def test_visits_every_schedule_exactly_once(self):
+        res = explore_exhaustive(_TwoSteppers)
+        assert res.ok and res.exhausted
+        assert res.runs == 6  # 4!/(2!2!) interleavings of aabb
+
+    def test_three_singletons_give_factorial_runs(self):
+        class Three(Model):
+            def threads(self):
+                def t():
+                    yield from schedule()
+
+                return [(f"t{i}", t) for i in range(3)]
+
+        res = explore_exhaustive(Three)
+        assert res.exhausted and res.runs == 6  # 3!
+
+    def test_finds_the_abba_deadlock(self):
+        res = explore_exhaustive(_AbbaDeadlock)
+        assert res.violation is not None
+        assert res.violation.kind == "deadlock"
+
+    def test_budget_exhaustion_reported_not_hidden(self):
+        res = explore_exhaustive(_TwoSteppers, max_runs=3)
+        assert res.ok and not res.exhausted and res.runs == 3
+
+    def test_consumer_waits_for_producer(self):
+        res = explore_exhaustive(_Handoff)
+        assert res.ok and res.exhausted
+
+
+class TestReplayAndRandom:
+    def test_violation_trace_replays_to_same_verdict(self):
+        found = explore_exhaustive(_AbbaDeadlock)
+        again = replay(_AbbaDeadlock, found.violation.trace)
+        assert again.violation is not None
+        assert again.violation.kind == found.violation.kind
+        assert again.violation.trace == found.violation.trace
+
+    def test_replay_pads_and_clamps(self):
+        # Short trace: tail falls back to choice 0 and still finishes.
+        assert replay(_TwoSteppers, [1]).ok
+        # Oversized choices clamp to the last ready thread.
+        assert replay(_TwoSteppers, [99, 99, 99, 99]).ok
+
+    def test_random_walks_are_seed_deterministic(self):
+        a = explore_random(_AbbaDeadlock, seed=3, walks=200)
+        b = explore_random(_AbbaDeadlock, seed=3, walks=200)
+        assert a.violation is not None and b.violation is not None
+        assert a.violation.trace == b.violation.trace
+        assert a.walks == b.walks
+
+    def test_explore_skips_walks_when_exhausted(self):
+        res = explore(_TwoSteppers)
+        assert res.exhausted and res.walks == 0
+
+    def test_explore_falls_back_to_walks(self):
+        res = explore(_TwoSteppers, max_runs=2, walks=7)
+        assert res.ok and not res.exhausted
+        assert res.runs == 2 and res.walks == 7
+
+
+class TestFormatting:
+    def test_counterexample_carries_replay_line(self):
+        v = Violation("deadlock", "stuck", (0, 1, 0), 3, ("a", "b", "a"))
+        text = format_violation(v)
+        assert "deadlock at step 3" in text
+        assert "a -> b -> a" in text
+        assert "replayable trace: [0, 1, 0]" in text
+        assert str(v) == text
+
+    def test_nondeterministic_replay_is_an_error(self):
+        class Shrinking(Model):
+            """Fanout 2 on the first run, 1 under any nonzero prefix."""
+
+            def __init__(self):
+                self.n = 2
+
+            def threads(self):
+                def t():
+                    yield from schedule()
+
+                return [(f"t{i}", t) for i in range(2)]
+
+        # A prefix choice >= the ready count must raise, not wedge.
+        def chooser(n):
+            return 5
+
+        with pytest.raises(RuntimeError, match="chooser picked"):
+            run_schedule(_TwoSteppers(), chooser)

@@ -1,0 +1,189 @@
+"""The protocol models under their checker (repro.check.models).
+
+Two halves, mirroring the REGISTRY split:
+
+* every *current-protocol* model explores clean under a bounded budget
+  (the CI ``modelcheck`` job runs the deep campaign; this is the fast
+  tripwire for model edits);
+* every *known-bug fixture* still reproduces its violation -- a fixture
+  that stops failing means the checker lost its teeth, so these assert
+  the violation's kind and invariant by name.
+
+Plus unit tests of the shared invariant predicates themselves: the same
+functions run inside the explored models and over the real executors in
+``tests/test_runtime_conformance.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import explore, explore_exhaustive, explore_random
+from repro.check.invariants import (
+    no_double_fold,
+    no_orphans,
+    no_torn_value,
+    single_owner,
+    versions_monotone,
+    window_within_pool,
+)
+from repro.check.models import (
+    REGISTRY,
+    PipelineModel,
+    PipeReplyModel,
+    ReadoptionModel,
+    RecoveryModel,
+    SeqlockModel,
+    SharedQueueModel,
+)
+
+_CLEAN = sorted(n for n, (_, bad, _) in REGISTRY.items() if not bad)
+_FIXTURES = sorted(n for n, (_, bad, _) in REGISTRY.items() if bad)
+
+
+class TestRegistryShape:
+    def test_every_entry_is_well_formed(self):
+        for name, (factory, expect, budget) in REGISTRY.items():
+            model = factory()
+            assert model.threads(), name
+            assert model.invariants() or isinstance(
+                model, SharedQueueModel
+            ), f"{name}: no invariants and not the deadlock fixture"
+            assert isinstance(expect, bool)
+            assert set(budget) <= {"max_runs", "walks"}
+
+    def test_fresh_state_per_factory_call(self):
+        for name, (factory, _, _) in REGISTRY.items():
+            assert factory() is not factory(), name
+
+
+class TestCurrentProtocolsClean:
+    """Bounded sweep of each shipped protocol's model: no violations."""
+
+    @pytest.mark.parametrize("name", _CLEAN)
+    def test_explores_clean(self, name):
+        factory, _, _ = REGISTRY[name]
+        res = explore(factory, max_runs=1_500, walks=150, seed=1)
+        assert res.ok, f"{name}:\n{res.violation}"
+
+
+class TestFixturesStillBite:
+    """Each knob that disables a real guard must reproduce its bug."""
+
+    def test_shared_queue_deadlocks(self):
+        # The PR 4 bug: SIGKILL inside the reply queue's critical
+        # section leaks the lock.  Bounded DFS misses it (the deadlock
+        # needs the killer to strike deep in one branch); the seeded
+        # walks land on it in a handful of tries -- the reason explore()
+        # runs both strategies.
+        res = explore_random(SharedQueueModel, seed=0, walks=100)
+        assert res.violation is not None
+        assert res.violation.kind == "deadlock"
+        assert "driver" in res.violation.detail
+
+    def test_unguarded_requeue_double_folds(self):
+        # Found by the explorer while this model was being written: a
+        # worker killed after piping its reply but before the driver
+        # drained it gets its block requeued, and both generations fold.
+        # processes.py's "a requeued block may answer twice" guard is
+        # what the requeue_guard knob models.
+        res = explore_random(
+            lambda: PipeReplyModel(requeue_guard=False), seed=0, walks=400
+        )
+        assert res.violation is not None
+        assert res.violation.kind == "invariant"
+        assert res.violation.detail == "no-double-fold"
+
+    def test_unfiltered_epoch_folds_stale_frame(self):
+        # Without the filter, the pre-seeded frame from the aborted
+        # binding reaches the fold on the very first drain -- caught by
+        # the epoch-tracking invariant (the labels alone can't see it:
+        # the requeue guard dedups the block number either way).
+        res = explore_exhaustive(
+            lambda: PipeReplyModel(filter_epochs=False), max_runs=200
+        )
+        assert res.violation is not None
+        assert res.violation.kind == "invariant"
+        assert res.violation.detail == "current-epoch-folds-only"
+
+    def test_unfiltered_late_reply_folds_dead_generation(self):
+        res = explore_exhaustive(
+            lambda: RecoveryModel(late_reply_guard=False), max_runs=100
+        )
+        assert res.violation is not None
+        assert res.violation.kind == "invariant"
+        assert res.violation.detail == "fresh-generation-folds"
+
+    def test_stale_assignment_orphans_a_block(self):
+        # Recovery consulting the attach-time assignment instead of the
+        # live owner map loses blocks adopted in an earlier recovery.
+        res = explore_random(
+            lambda: ReadoptionModel(track_adoptions=False), seed=0, walks=100
+        )
+        assert res.violation is not None
+        assert res.violation.kind == "invariant"
+        assert res.violation.detail == "no-orphans-at-quiescence"
+
+    def test_seqlock_without_recheck_tears(self):
+        res = explore_random(
+            lambda: SeqlockModel(recheck=False), seed=0, walks=100
+        )
+        assert res.violation is not None
+        assert res.violation.kind == "invariant"
+        assert res.violation.detail == "no-torn-read"
+
+    def test_window_eq_depth_tears_a_fold(self):
+        # This one fails on the very first (all-zeros) schedule: with
+        # window == depth the steady state itself recycles a buffer a
+        # fold is still reading.  No race required -- which is why the
+        # construction-time window < depth assert is safe to enforce.
+        res = explore_exhaustive(
+            lambda: PipelineModel(window=4, depth=4), max_runs=10
+        )
+        assert res.violation is not None
+        assert res.violation.kind == "invariant"
+        assert res.violation.detail == "reads-see-intact-buffers"
+
+
+class TestInvariantPredicates:
+    """The shared spec functions, exercised as plain functions."""
+
+    def test_single_owner(self):
+        assert single_owner({0: [1], 1: [2]}) is None
+        msg = single_owner({0: [1, 2]})
+        assert msg is not None and "block 0" in msg
+        assert single_owner({3: []}) is not None  # unowned is also wrong
+
+    def test_no_orphans(self):
+        assert no_orphans({0: 1, 1: 1}, live=[1]) is None
+        msg = no_orphans({0: 0, 1: 1}, live=[1])
+        assert msg is not None and "orphaned" in msg
+
+    def test_no_double_fold(self):
+        assert no_double_fold([0, 1, 2]) is None
+        msg = no_double_fold([0, 1, 0])
+        assert msg is not None and "folded twice" in msg
+
+    def test_no_torn_value(self):
+        pub = [(0, 0), (1, 1)]
+        assert no_torn_value((1, 1), pub) is None
+        msg = no_torn_value((0, 1), pub)
+        assert msg is not None and "torn read" in msg
+
+    def test_versions_monotone(self):
+        assert versions_monotone([1, 1, 2, 4]) is None
+        msg = versions_monotone([2, 1])
+        assert msg is not None and "backwards" in msg
+
+    def test_window_within_pool(self):
+        assert window_within_pool(3, 4) is None
+        for w, d in [(4, 4), (5, 4)]:
+            msg = window_within_pool(w, d)
+            assert msg is not None and "strictly below" in msg
+
+    def test_real_pipeline_constants_satisfy_the_spec(self):
+        # The same check repro.core.sequential enforces at construction.
+        from repro.core.sequential import _PIPELINE_WINDOW
+        from repro.runtime.wire import DEFAULT_POOL_DEPTH
+
+        assert window_within_pool(_PIPELINE_WINDOW, DEFAULT_POOL_DEPTH) is None

@@ -32,6 +32,7 @@ from repro.runtime import (
     InlineExecutor,
     ProcessExecutor,
     SocketExecutor,
+    StallOnceSolver,
     StragglerSolver,
     async_iterate,
 )
@@ -204,6 +205,87 @@ class TestProcessRecovery:
             np.testing.assert_array_equal(res.x, ref.x)
             assert res.fault_stats.workers_lost >= 1
             assert elapsed < 25.0  # nowhere near the 30 s stall
+        finally:
+            ex.close()
+
+
+class TestPerBlockDeadline:
+    """The chatty-worker masking bug (found by the interleaving
+    explorer's recovery model, fixed in this PR): the deadline sweep
+    used to run only when a reply poll came back *empty*, so one worker
+    streaming replies faster than the heartbeat postponed hung-peer
+    detection until its own queue drained.  The fix keys each
+    outstanding block to its worker's last proof of life (dispatch or
+    that worker's latest reply), checked every iteration."""
+
+    def test_chatty_worker_cannot_mask_hung_peer(self, tmp_path):
+        import threading
+
+        n, L = 84, 21
+        A = diagonally_dominant(n, dominance=1.5, bandwidth=3, seed=7)
+        b, _ = rhs_for_solution(A, seed=8)
+        part = uniform_bands(n, L).to_general()
+        # Block 0 alone on worker 0, hung far past the deadline; the 20
+        # chatty blocks on worker 1 each reply every ~0.15 s -- faster
+        # than the 0.2 s heartbeat, so the old code's reply polls never
+        # came back empty (and its deadline check never ran) until the
+        # chatty queue drained at ~3 s.
+        plan = Placement(
+            strategy="test",
+            n=n,
+            workers=(WorkerSlot(name="hung"), WorkerSlot(name="chatty")),
+            sizes=(4,) * L,
+            assignment=(0,) + (1,) * (L - 1),
+        )
+        kernels = [
+            StallOnceSolver(
+                get_solver("scipy"), tmp_path / "hang.sentinel", seconds=30.0
+            )
+        ] + [
+            StragglerSolver(get_solver("scipy"), seconds=0.15, slow_calls=(1,))
+            for _ in range(L - 1)
+        ]
+        ex = ProcessExecutor(max_workers=2)
+        try:
+            ex.attach(
+                A, b, part.sets, kernels,
+                placement=plan,
+                fault_policy=FaultPolicy(heartbeat_interval=0.2, deadline=0.6),
+            )
+            z = np.zeros(b.shape)
+            result: dict = {}
+
+            def _round():
+                result["pieces"] = ex.solve_round([z] * L)
+
+            t = threading.Thread(target=_round, daemon=True)
+            t0 = time.monotonic()
+            t.start()
+            # The regression observable: the hung worker must be
+            # declared lost at ~deadline (0.6 s), well before the
+            # chatty stream runs dry.  Pre-fix code stays at 0 here.
+            detected_at = None
+            while time.monotonic() - t0 < 2.0:
+                if ex.fault_stats().workers_lost >= 1:
+                    detected_at = time.monotonic() - t0
+                    break
+                time.sleep(0.05)
+            t.join(timeout=60.0)
+            assert not t.is_alive()
+            assert detected_at is not None, (
+                "hung worker not detected while its peer streamed replies"
+            )
+            # The chatty worker survived its deep-but-live queue: its
+            # replies refreshed its own blocks' clocks, so only the
+            # silent worker breached.
+            assert ex.fault_stats().workers_lost == 1
+            assert 1 in ex.alive_workers()
+            # And the recovered round is still bit-identical.
+            inline = InlineExecutor()
+            inline.attach(A, b, part.sets, get_solver("scipy"))
+            ref = inline.solve_round([z] * L)
+            for x, y in zip(result["pieces"], ref):
+                np.testing.assert_array_equal(x, y)
         finally:
             ex.close()
 

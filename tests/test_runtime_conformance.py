@@ -589,3 +589,56 @@ class TestFaultConformance:
         # refactors (worker-local caches die with their worker) but can
         # never lose factorizations.
         assert stats.misses >= part.nprocs or stats.hits > 0
+
+
+class TestInvariantConformance:
+    """The explorer's spec predicates over *real* executor state.
+
+    ``repro.check.invariants`` is one statement of correctness checked
+    in two places: after every step of every explored model schedule
+    (``tests/test_check_models.py``), and here -- over the live owner
+    maps the actual process/socket executors maintain through recovery.
+    A protocol change that breaks the spec fails both suites.
+    """
+
+    @pytest.mark.parametrize("name", ["processes", "sockets"])
+    def test_recovery_leaves_no_orphans_single_owners(self, name):
+        from repro.check.invariants import no_orphans, single_owner
+
+        A, b, part, _ = _problem()
+        ex = _make_executor(name)
+        try:
+            ex.attach(A, b, part.sets, get_solver("scipy"), fault_policy=_POLICY)
+            z = np.zeros(b.shape)
+            ex.solve_round([z] * part.nprocs)
+            assert ex.kill_worker(0)
+            ex.solve_round([z] * part.nprocs)  # recovers mid-call
+            alive = ex.alive_workers()
+            # Post-recovery quiescence: every block is owned, owned
+            # once, and owned by a live worker -- exactly what the
+            # readoption model asserts at its own quiescent states.
+            assert no_orphans(ex._owner, alive) is None
+            claims = {l: [w] for l, w in ex._owner.items()}
+            assert single_owner(claims) is None
+            assert set(ex._owner) == set(range(part.nprocs))
+        finally:
+            ex.close()
+
+    @pytest.mark.parametrize("name", ["processes", "sockets"])
+    def test_respawn_recovery_also_satisfies_the_spec(self, name):
+        from repro.check.invariants import no_orphans
+
+        A, b, part, _ = _problem()
+        ex = _make_executor(name)
+        try:
+            ex.attach(
+                A, b, part.sets, get_solver("scipy"),
+                fault_policy=FaultPolicy(heartbeat_interval=0.1, respawn=True),
+            )
+            z = np.zeros(b.shape)
+            ex.solve_round([z] * part.nprocs)
+            assert ex.kill_worker(1)
+            ex.solve_round([z] * part.nprocs)
+            assert no_orphans(ex._owner, ex.alive_workers()) is None
+        finally:
+            ex.close()

@@ -387,3 +387,114 @@ class TestSocketExecutorProtocols:
             assert ex.wire_stats()["spec_pickles_reused"] >= 1
         finally:
             ex.close()
+
+
+# ---------------------------------------------------------------------------
+# absolute receive deadlines + the window/pool-depth contract
+# ---------------------------------------------------------------------------
+
+
+class TestReceiveDeadline:
+    """recv_frame's deadline is an *absolute* monotonic bound."""
+
+    def test_generous_deadline_receives_normally(self):
+        import time
+
+        obj = {"x": np.arange(32.0)}
+        a, b = socket.socketpair()
+        try:
+            t = threading.Thread(target=lambda: send_frame(a, obj))
+            t.start()
+            out, _ = recv_frame(b, deadline=time.monotonic() + 30.0)
+            t.join(timeout=30.0)
+            _assert_identical(out, obj)
+        finally:
+            a.close()
+            b.close()
+
+    def test_expired_deadline_fails_fast(self):
+        import time
+
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00\x01")  # data waiting changes nothing
+            with pytest.raises(FrameError, match="deadline"):
+                recv_frame(b, deadline=time.monotonic() - 1.0)
+        finally:
+            a.close()
+            b.close()
+
+    def test_trickling_sender_cannot_extend_the_bound(self):
+        """The hole the deadline closes: a per-syscall timeout restarts
+        whenever any byte arrives, so a peer dribbling one byte per
+        interval could wedge the driver forever while looking alive.
+        The absolute bound expires regardless of arrival rate."""
+        import time
+
+        segments, _, _, _ = encode_frame({"x": np.arange(512.0)})
+        payload = b"".join(bytes(s) for s in segments)
+        a, b = socket.socketpair()
+        stop = threading.Event()
+
+        def _trickle():
+            for i in range(len(payload)):
+                if stop.is_set():
+                    return
+                try:
+                    a.sendall(payload[i : i + 1])
+                except OSError:
+                    return
+                time.sleep(0.02)
+
+        t = threading.Thread(target=_trickle, daemon=True)
+        t.start()
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(FrameError, match="deadline"):
+                recv_frame(b, deadline=t0 + 0.3)
+            elapsed = time.monotonic() - t0
+            # Bytes kept arriving every 20 ms; only the absolute bound
+            # can have fired, and promptly.
+            assert elapsed < 5.0
+        finally:
+            stop.set()
+            a.close()
+            b.close()
+            t.join(timeout=10.0)
+
+
+class TestWindowPoolContract:
+    """The pipelined window and the BufferPool depth are one invariant."""
+
+    def test_default_depth_is_the_shared_constant(self):
+        from repro.runtime.wire import DEFAULT_POOL_DEPTH
+
+        pool = BufferPool()
+        assert pool.depth == DEFAULT_POOL_DEPTH
+
+    def test_shipped_constants_satisfy_the_spec(self):
+        from repro.check.invariants import window_within_pool
+        from repro.core.sequential import _PIPELINE_WINDOW
+        from repro.runtime.wire import DEFAULT_POOL_DEPTH
+
+        assert window_within_pool(_PIPELINE_WINDOW, DEFAULT_POOL_DEPTH) is None
+
+    def test_pipelined_driver_refuses_bad_window(self, monkeypatch):
+        """The construction-time guard: window == depth must fail loudly
+        before any round runs (the model shows the torn fold it would
+        otherwise reintroduce -- see pipeline.window-eq-depth)."""
+        import repro.core.sequential as seq
+        from repro.core import make_weighting, multisplitting_iterate, uniform_bands
+        from repro.core.stopping import StoppingCriterion
+        from repro.direct import get_solver
+        from repro.matrices import diagonally_dominant, rhs_for_solution
+        from repro.runtime.wire import DEFAULT_POOL_DEPTH
+
+        monkeypatch.setattr(seq, "_PIPELINE_WINDOW", DEFAULT_POOL_DEPTH)
+        A, b, part, scheme = _executor_problem()
+        with pytest.raises(RuntimeError, match="pipelined dispatch misconfigured"):
+            multisplitting_iterate(
+                A, b, part, scheme, get_solver("scipy"),
+                stopping=StoppingCriterion(tolerance=1e-300, max_iterations=2),
+                dispatch="pipelined",
+            )
