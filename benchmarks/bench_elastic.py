@@ -1,0 +1,163 @@
+"""Measures the cost of elastic churn: halve the fleet, then double it.
+
+The elasticity claim of :mod:`repro.schedule.elastic` is not just "the
+run completes" -- grow/shrink must be *cheap*: a round-boundary diff of
+the balanced plan plus an ``adopt`` of the moved blocks, never a restart
+or a renumbering.  This benchmark runs the same fixed-iteration
+multisplitting problem three times:
+
+* **inline**: the single-process reference (the bit-identity oracle);
+* **undisturbed**: 8 worker processes, the fleet never changes;
+* **elastic**: identical, except the fleet is shrunk to 4 workers about
+  40% of the way through the outer iteration and grown back to 8 at
+  ~55%, with the :class:`ElasticController` re-balancing blocks across
+  each membership change.
+
+Asserted on every host:
+
+* the elastic run converges to iterates **bit-identical** to the inline
+  reference (residual history and final vector);
+* the membership counters reflect exactly one shrink and one grow, with
+  at least one block migrated each way and zero faults;
+* total wall-clock stays within ``MAX_SLOWDOWN`` of the undisturbed run
+  -- the shrunk window necessarily runs on half the compute, so the
+  bound prices re-planning + migration, not magic.
+
+On low-core hosts the wall-clock ratio is printed but skipped
+(``REPRO_BENCH_STRICT=1`` forces it).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from bench_output import emit
+from conftest import run_once
+
+from repro.core import make_weighting, multisplitting_iterate, uniform_bands
+from repro.core.stopping import StoppingCriterion
+from repro.direct import get_solver
+from repro.matrices import poisson_2d, rhs_for_solution
+from repro.runtime import ProcessExecutor
+from repro.schedule import ElasticController
+
+GRID = 70  # 4900 unknowns
+BLOCKS = 8
+WORKERS = 8
+OUTER_ITERATIONS = 30
+SHRINK_ROUND = 12  # ~40% through: retire half the fleet
+GROW_ROUND = 17  # ~55% through: bring it back
+#: Wall-clock bound for the elastic run relative to undisturbed.  Five
+#: of thirty rounds run on half the fleet (~1.08x ideal); the rest of
+#: the headroom prices the two re-plans and the block migrations.
+MAX_SLOWDOWN = 1.2
+
+
+class _ChurnController(ElasticController):
+    """Shrink half the fleet at one round, grow it back at another.
+
+    The injected membership events go through the public ``shrink`` /
+    ``grow`` verbs; the base class then notices the version change and
+    re-balances -- the production loop with a deterministic trigger."""
+
+    def __init__(self, executor, nblocks):
+        super().__init__(executor, nblocks)
+        self.retired: list[int] = []
+        self.added: list[int] = []
+
+    def maybe_replan(self, round_index: int) -> int:
+        if round_index == SHRINK_ROUND:
+            live = sorted(self.executor.alive_workers())
+            self.retired = self.executor.shrink(live[-(WORKERS // 2):])
+        if round_index == GROW_ROUND:
+            self.added = self.executor.grow(WORKERS // 2)
+        return super().maybe_replan(round_index)
+
+
+def elastic_experiment():
+    A = poisson_2d(GRID)
+    b, _ = rhs_for_solution(A, seed=1)
+    part = uniform_bands(A.shape[0], BLOCKS).to_general()
+    scheme = make_weighting("ownership", part)
+    stopping = StoppingCriterion(tolerance=1e-300, max_iterations=OUTER_ITERATIONS)
+    kernel = get_solver("scipy")
+
+    out = {}
+    out["inline"] = multisplitting_iterate(
+        A, b, part, scheme, kernel, stopping=stopping
+    )
+
+    with ProcessExecutor(max_workers=WORKERS) as ex:
+        t0 = time.perf_counter()
+        out["steady"] = multisplitting_iterate(
+            A, b, part, scheme, kernel, stopping=stopping, executor=ex
+        )
+        out["steady_s"] = time.perf_counter() - t0
+
+    with ProcessExecutor(max_workers=WORKERS) as ex:
+        controller = _ChurnController(ex, part.nprocs)
+        t0 = time.perf_counter()
+        out["elastic"] = multisplitting_iterate(
+            A, b, part, scheme, kernel,
+            stopping=stopping, executor=ex, elastic=controller,
+        )
+        out["elastic_s"] = time.perf_counter() - t0
+        out["controller"] = controller
+    return out
+
+
+def test_halve_then_double_mid_solve(benchmark):
+    out = run_once(benchmark, elastic_experiment)
+    inline, elastic = out["inline"], out["elastic"]
+    controller = out["controller"]
+    fault = elastic.fault_stats
+    slowdown = out["elastic_s"] / max(out["steady_s"], 1e-9)
+    cpus = os.cpu_count() or 1
+    print()
+    print(f"n={GRID * GRID}, {BLOCKS} blocks on {WORKERS} workers, "
+          f"{OUTER_ITERATIONS} outer iterations; shrink to "
+          f"{WORKERS // 2} at round {SHRINK_ROUND}, regrow at {GROW_ROUND}")
+    print(f"  undisturbed: {out['steady_s']:7.3f} s")
+    print(f"  elastic    : {out['elastic_s']:7.3f} s  ({slowdown:4.2f}x; "
+          f"replans={controller.replans} "
+          f"blocks_migrated={fault.blocks_migrated} "
+          f"migration={fault.migration_seconds * 1e3:.1f} ms)")
+
+    # Churn never changed a bit of the math.
+    assert elastic.iterations == inline.iterations == OUTER_ITERATIONS
+    assert elastic.history == inline.history
+    np.testing.assert_array_equal(elastic.x, inline.x)
+    np.testing.assert_array_equal(out["steady"].x, inline.x)
+    # The injected schedule is fully reflected in the counters.
+    assert len(controller.retired) == WORKERS // 2
+    assert len(controller.added) == WORKERS // 2
+    assert controller.replans >= 2
+    assert fault.grow_events == 1 and fault.shrink_events == 1
+    assert fault.blocks_migrated >= WORKERS // 2
+    assert fault.workers_lost == 0 and not fault.any_faults
+
+    emit("elastic", [
+        ("steady_seconds", out["steady_s"], "s"),
+        ("elastic_seconds", out["elastic_s"], "s"),
+        ("slowdown", slowdown, "x"),
+        ("replans", controller.replans, "count"),
+        ("blocks_migrated", fault.blocks_migrated, "count"),
+        ("migration_seconds", fault.migration_seconds, "s"),
+        ("grow_events", fault.grow_events, "count"),
+        ("shrink_events", fault.shrink_events, "count"),
+    ], seed=1)
+
+    strict = os.environ.get("REPRO_BENCH_STRICT") == "1"
+    if cpus >= 4 or strict:
+        assert slowdown <= MAX_SLOWDOWN, (
+            f"elastic churn cost {slowdown:.2f}x exceeds the "
+            f"{MAX_SLOWDOWN}x bound"
+        )
+    else:
+        print(
+            f"{cpus}-core host: wall-clock ratio assertion skipped "
+            "(set REPRO_BENCH_STRICT=1 to force it)"
+        )

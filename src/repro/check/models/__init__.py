@@ -14,7 +14,11 @@ Each module ports one runtime protocol to explicit-trap coroutines:
   protocol: torn reads, version monotonicity, reader/writer progress;
 * :mod:`repro.check.models.pipeline` -- pipelined dispatch gating vs the
   receive ``BufferPool``: buffer reuse-while-in-flight, out-of-window
-  dispatch, gating deadlock.
+  dispatch, gating deadlock;
+* :mod:`repro.check.models.elastic` -- the elastic membership protocol:
+  grow/shrink migration must land on a quiescent round boundary, since
+  it moves ownership *without* bumping the epoch (mid-round adoption
+  double-folds a block or splices a stale round's piece).
 
 Every model class takes keyword knobs selecting the *current* protocol
 (the default -- explored clean) or a historical/hypothetical broken
@@ -25,6 +29,7 @@ triples for ``python -m repro.check``.
 
 from __future__ import annotations
 
+from repro.check.models.elastic import ElasticModel
 from repro.check.models.pipeline import PipelineModel
 from repro.check.models.recovery import ReadoptionModel, RecoveryModel
 from repro.check.models.seqlock import SeqlockModel
@@ -32,6 +37,7 @@ from repro.check.models.wire import PipeReplyModel, SharedQueueModel
 
 __all__ = [
     "REGISTRY",
+    "ElasticModel",
     "PipeReplyModel",
     "PipelineModel",
     "ReadoptionModel",
@@ -80,6 +86,11 @@ REGISTRY: dict[str, tuple] = {
         False,
         {"max_runs": 8_000, "walks": 300},
     ),
+    "elastic.migration": (
+        lambda: ElasticModel(),
+        False,
+        {"max_runs": 20_000, "walks": 300},
+    ),
     # -- known-bug fixtures: must reproduce their violation ----------
     "wire.shared-queue": (
         lambda: SharedQueueModel(),
@@ -115,5 +126,10 @@ REGISTRY: dict[str, tuple] = {
         lambda: PipelineModel(window=4, depth=4),
         True,
         {"max_runs": 200, "walks": 100},
+    ),
+    "elastic.mid-round-migration": (
+        lambda: ElasticModel(boundary_guard=False),
+        True,
+        {"max_runs": 2_000, "walks": 300},
     ),
 }

@@ -31,6 +31,7 @@ seeded schedule.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -125,6 +126,26 @@ def _resolve_executor(executor):
 
         return InlineExecutor(), True
     return executor, False
+
+
+def _resolve_elastic(elastic, ex, nblocks: int, tracer):
+    """Build the per-run elastic controller (or pass one through).
+
+    ``elastic`` may be ``True`` (default policy), an
+    :class:`repro.schedule.ElasticPolicy`, or a pre-built
+    :class:`repro.schedule.ElasticController`.  Constructed *after*
+    attach on purpose: the controller snapshots the executor's
+    membership version and block-seconds baseline at creation.
+    """
+    if elastic is None or elastic is False:
+        return None
+    # Lazy: repro.schedule builds on repro.core (same idiom as above).
+    from repro.schedule.elastic import ElasticController, ElasticPolicy
+
+    if isinstance(elastic, ElasticController):
+        return elastic
+    policy = elastic if isinstance(elastic, ElasticPolicy) else None
+    return ElasticController(ex, nblocks, policy=policy, tracer=tracer)
 
 
 def _combine_core(partition: GeneralPartition, pieces: list[np.ndarray]) -> np.ndarray:
@@ -298,6 +319,7 @@ def multisplitting_iterate(
     fault_policy=None,
     trace=None,
     dispatch: str = "barrier",
+    elastic=None,
 ) -> SequentialResult:
     """Run the synchronous multisplitting-direct iteration in-process.
 
@@ -350,12 +372,34 @@ def multisplitting_iterate(
         Iterates, history, and callbacks are bit-identical to the
         barrier; only the wall-clock schedule changes.  Time blocks
         spent gated lands on ``result.gate_wait_seconds``.
+    elastic:
+        ``True``, an :class:`repro.schedule.ElasticPolicy`, or a
+        pre-built :class:`repro.schedule.ElasticController`: arm the
+        elastic re-planning loop.  Once per round, at the quiescent
+        barrier, the controller reacts to fleet membership changes
+        (``Executor.grow`` / ``Executor.shrink``, a recovery) or
+        measured calibration drift by re-balancing the block-to-worker
+        assignment and migrating only the moved blocks.  Partition
+        sizes never change, so iterates stay bit-identical to the
+        undisturbed run.  Requires barrier dispatch (pipelined rounds
+        are never quiescent): under ``dispatch="pipelined"`` the flag
+        warns and is ignored.  Migration counters land on
+        ``fault_stats`` (``grow_events`` / ``shrink_events`` /
+        ``blocks_migrated`` / ``migration_seconds``).
     """
     stopping = stopping or StoppingCriterion()
     if dispatch not in ("barrier", "pipelined"):
         raise ValueError(
             f"dispatch must be 'barrier' or 'pipelined', got {dispatch!r}"
         )
+    if elastic and dispatch == "pipelined":
+        warnings.warn(
+            "elastic re-planning needs the quiescent round barrier; "
+            "ignored under dispatch='pipelined'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        elastic = None
     L = partition.nprocs
     b = np.asarray(b, dtype=float)
     ex, owns_executor = _resolve_executor(executor)
@@ -371,6 +415,7 @@ def multisplitting_iterate(
             cache=cache, placement=placement, fault_policy=fault_policy,
         )
         weights = [weighting.update_weights(l) for l in range(L)]
+        controller = _resolve_elastic(elastic, ex, L, tracer)
         gate_wait = 0.0
         if dispatch == "pipelined":
             x_prev, iterations, converged, history, gate_wait = _pipelined_rounds(
@@ -414,6 +459,12 @@ def multisplitting_iterate(
                 if state.observe(value):
                     converged = True
                     break
+                if controller is not None:
+                    # Quiescent boundary: every piece of this round is
+                    # folded and nothing is in flight, so membership
+                    # changes (grow/shrink from the callback, a chaos
+                    # injection, a recovery) are safe to act on now.
+                    controller.maybe_replan(it)
         result = SequentialResult(
             x=x_prev,
             iterations=iterations,
@@ -456,6 +507,7 @@ def chaotic_iterate(
     placement=None,
     fault_policy=None,
     trace=None,
+    elastic=None,
 ) -> SequentialResult:
     """Emulate an asynchronous execution with bounded delays.
 
@@ -488,6 +540,12 @@ def chaotic_iterate(
     deterministic for a given seed on every backend).  For scheduling-
     driven rather than seeded asynchrony, see
     :func:`repro.runtime.async_iterate`.
+
+    ``elastic`` arms the same per-step elastic re-planning loop as
+    :func:`multisplitting_iterate`: each global step is a quiescent
+    point (the selected solves are a closed barrier batch), so
+    membership changes migrate blocks between steps without touching
+    the seeded schedule or the iterates.
     """
     if not (0.0 < update_probability <= 1.0):
         raise ValueError("update_probability must lie in (0, 1]")
@@ -529,6 +587,7 @@ def chaotic_iterate(
         row_sums = np.abs(A).sum(axis=1)
         norm_A = float(np.max(np.asarray(row_sums))) if partition.n else 0.0
         residual_tolerance = stopping.tolerance * max(1.0, norm_A)
+        controller = _resolve_elastic(elastic, ex, L, tracer)
         for it in range(1, stopping.max_iterations + 1):
             iterations = it
             new_pieces = [p.copy() for p in pieces]
@@ -581,6 +640,10 @@ def chaotic_iterate(
                     break
                 state.reset()
                 updated_since_bad.clear()
+            if controller is not None:
+                # Each step's batch is closed before the next begins, so
+                # the step boundary is quiescent for migration purposes.
+                controller.maybe_replan(it)
         result = SequentialResult(
             x=x_prev,
             iterations=iterations,

@@ -261,6 +261,15 @@ class MultisplittingSolver:
         Facade-level tracing default: ``True`` or a
         :class:`repro.observe.Tracer` makes every :meth:`solve` record
         its span timeline (a per-call ``trace=`` still overrides).
+    elastic:
+        ``True`` or an :class:`repro.schedule.ElasticPolicy`: arm
+        elastic re-planning in the sequential/pipelined modes
+        (forwarded to :func:`repro.core.sequential.multisplitting_iterate`
+        -- the fleet may :meth:`~repro.runtime.Executor.grow` and
+        :meth:`~repro.runtime.Executor.shrink` mid-solve, with moved
+        blocks migrated at quiescent round boundaries; pipelined
+        dispatch warns and ignores it).  The simulated distributed
+        modes have no live fleet and ignore the flag.
     """
 
     def __init__(
@@ -282,6 +291,7 @@ class MultisplittingSolver:
         fault_policy=None,
         partition_strategy: str = "bands",
         trace=None,
+        elastic=None,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -329,6 +339,7 @@ class MultisplittingSolver:
             self.cache = cache
         self.backend = backend
         self.fault_policy = fault_policy
+        self.elastic = elastic
         # Facade-level tracing default: every solve() records onto this
         # tracer unless the call passes its own ``trace=``.
         from repro.observe import resolve_trace
@@ -572,6 +583,7 @@ class MultisplittingSolver:
                 x0=x0, cache=self.cache, executor=self._get_executor(),
                 placement=plan, fault_policy=self.fault_policy, trace=trace,
                 dispatch="pipelined" if self.mode == "pipelined" else "barrier",
+                elastic=self.elastic,
             )
             return SolveResult(
                 x=seq.x,

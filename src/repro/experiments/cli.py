@@ -92,6 +92,13 @@ def main(argv: list[str] | None = None) -> int:
         "the schwarz weighting",
     )
     parser.add_argument(
+        "--elastic",
+        action="store_true",
+        help="enable elastic re-planning on the solvers (live on the "
+        "runtime-driven sequential/pipelined modes: membership changes "
+        "and calibration drift re-balance blocks mid-solve)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -114,7 +121,7 @@ def main(argv: list[str] | None = None) -> int:
         result = run_experiment(
             name, scale=args.scale, backend=args.backend,
             placement=args.placement, partition=args.partition,
-            trace=tracer,
+            trace=tracer, elastic=args.elastic,
         )
         elapsed = time.time() - t0
         print(format_table(result))

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import abc
 import time
+import warnings
 from collections import deque
 from typing import Callable, Iterable, Sequence
 
@@ -283,6 +284,75 @@ class Executor(abc.ABC):
     def nblocks(self) -> int:
         """Number of blocks in the current binding (0 when detached)."""
         return 0
+
+    # -- elastic membership ----------------------------------------------
+    def membership_version(self) -> int:
+        """Monotone counter bumped whenever fleet membership changes.
+
+        Grow, shrink, and mid-solve recovery (a worker lost and its
+        blocks re-homed) each bump it, so an elastic re-planning loop
+        can detect "the fleet changed since I last planned" with one
+        integer compare per round.  Backends without separate workers
+        never change membership and always return 0.
+        """
+        return 0
+
+    def grow(self, workers=1) -> list[int]:
+        """Add workers to the fleet mid-binding; returns the new ranks.
+
+        ``workers`` is a count of backend-owned workers to spawn, or (for
+        backends that can reach remote machines) a sequence of host
+        addresses to connect to.  New workers come up idle -- they own no
+        blocks until :meth:`migrate` (or the elastic re-planning loop)
+        assigns them some.  Backends without separate workers have
+        nothing to grow: the default warns and returns ``[]``.
+        """
+        warnings.warn(
+            f"{type(self).__name__} has no separate workers; grow() is a no-op",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return []
+
+    def shrink(self, workers) -> list[int]:
+        """Gracefully retire workers; returns the ranks actually retired.
+
+        ``workers`` is a sequence of worker ranks.  Unlike a crash, a
+        shrink is *planned*: the retiring workers' owned blocks are
+        re-homed onto survivors via the adopt path first (counted as
+        migrations, not faults), their cache counters are folded into
+        the aggregate so :meth:`run_cache_stats` stays monotonic, and
+        only then do they exit.  At least one worker must survive.
+        Backends without separate workers warn and return ``[]``.
+        """
+        warnings.warn(
+            f"{type(self).__name__} has no separate workers; shrink() is a no-op",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return []
+
+    def migrate(self, assignment: dict) -> int:
+        """Re-home blocks per ``assignment`` (block -> worker rank).
+
+        Diffs the desired assignment against the live owner map and
+        moves **only the changed blocks**, shipping each gaining worker
+        one adopt payload (re-factoring through the adopter's cache --
+        iterates are unaffected because a block solve is a pure function
+        of ``(block, z)``).  Must be called at a quiescent point (no
+        solves in flight).  Returns the number of blocks moved; backends
+        without worker identity return 0.
+        """
+        return 0
+
+    def owner_map(self) -> dict:
+        """The live block-to-worker assignment (block -> worker rank).
+
+        The plan the elastic re-planner diffs a fresh assignment
+        against.  A copy: mutating it changes nothing.  Backends
+        without worker identity return ``{}``.
+        """
+        return {}
 
     # -- lifecycle -------------------------------------------------------
     def close(self) -> None:

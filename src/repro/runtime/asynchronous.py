@@ -67,6 +67,7 @@ def async_iterate(
     quiescence_timeout: float = 0.5,
     fault_policy=None,
     trace=None,
+    elastic=None,
 ) -> SequentialResult:
     """Solve ``A x = b`` with one free-running thread per block.
 
@@ -111,7 +112,22 @@ def async_iterate(
         ``block-N`` lanes, monitor residual samples, and respawn fault
         events.  Purely observational -- the iterate path is whatever
         the scheduler produced either way.
+    elastic:
+        Accepted for signature parity with the synchronous drivers and
+        ignored with a warning: this driver runs one free-running
+        thread per block with no executor fleet underneath -- there is
+        no membership to grow or shrink, and no quiescent round
+        boundary to migrate at.
     """
+    if elastic:
+        import warnings
+
+        warnings.warn(
+            "async_iterate has no worker fleet; elastic= is a no-op "
+            "(one free-running thread per block)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     stopping = stopping or StoppingCriterion(consecutive=3)
     tracer = resolve_trace(trace)
     b = np.asarray(b, dtype=float)

@@ -319,6 +319,17 @@ class ProcessExecutor(Executor):
         self._policy: FaultPolicy | None = None
         self._fault = FaultStats()
         self._spec_ctx: dict | None = None
+        # Fleet membership generation: bumped by attach, grow, shrink,
+        # and mid-solve recovery, so an elastic re-planner can detect
+        # change with one integer compare.  Lifetime-monotone (never
+        # reset) by design.
+        self._membership_version = 0
+        # Monotonic cache accounting: counters already folded from
+        # retired/dead workers, plus each live worker's last-polled
+        # delta (folded at death so a crash cannot make the aggregate
+        # go backwards).  Both are per-binding (reset at attach).
+        self._cache_retired = CacheStats()
+        self._cache_last: dict[int, CacheStats] = {}
         #: Pickled payload bytes of the last attach, per worker rank --
         #: the observable for the owned-rows-only shipping guarantee
         #: (mirrors ``SocketExecutor.attach_payload_bytes``).
@@ -539,6 +550,9 @@ class ProcessExecutor(Executor):
         self._use_cache = cache is not None
         self._policy = fault_policy
         self._fault = FaultStats()
+        self._cache_retired = CacheStats()
+        self._cache_last = {}
+        self._membership_version += 1
         self._epoch += 1
         # Retained for recovery: an adoption re-ships exactly this context
         # (trimmed to the orphaned blocks) to the new owner.
@@ -733,6 +747,157 @@ class ProcessExecutor(Executor):
     def fault_stats(self) -> FaultStats:
         return self._fault.snapshot()
 
+    # -- elastic membership ----------------------------------------------
+    def membership_version(self) -> int:
+        return self._membership_version
+
+    def owner_map(self) -> dict:
+        return dict(self._owner)
+
+    def grow(self, workers=1) -> list[int]:
+        """Spawn fresh worker processes into the live binding.
+
+        The new workers join idle (no blocks) at brand-new ranks -- a
+        rank is never reused, so per-slot accounting (payload bytes,
+        cache deltas) can never alias an old worker's counters.  Route
+        blocks onto them with :meth:`migrate`.
+        """
+        if not self._attached:
+            raise RuntimeError("ProcessExecutor is not attached")
+        if not isinstance(workers, int):
+            raise TypeError(
+                "ProcessExecutor.grow takes a worker count; "
+                "host lists are a SocketExecutor concept"
+            )
+        if workers <= 0:
+            return []
+        added: list[int] = []
+        for _ in range(workers):
+            rank = len(self._workers)
+            self._spawn_at(rank)
+            self._live.append(rank)
+            added.append(rank)
+        self._fault.grow_events += 1
+        self._membership_version += 1
+        if self._tracer is not None:
+            self._tracer.event(
+                "elastic.grow", cat="elastic", lane="driver",
+                workers=list(added),
+            )
+        return added
+
+    def shrink(self, workers) -> list[int]:
+        """Gracefully retire live workers, re-homing their blocks first.
+
+        ``workers`` is either an explicit list of ranks or an int count
+        (the highest-ranked live workers are chosen).  Unlike a crash,
+        retirement is bookkept as scheduling, not fault: the retirees'
+        cache counters are folded into the run aggregate *before* they
+        exit (so ``run_cache_stats`` stays monotonic), their blocks
+        migrate to the deterministic least-loaded survivors via
+        ``adopt``, and only then does each retiree get its exit ticket.
+        Must be called at a quiescent round boundary (no solves in
+        flight).  Returns the ranks actually retired.
+        """
+        if not self._attached:
+            raise RuntimeError("ProcessExecutor is not attached")
+        alive = self.alive_workers()
+        if isinstance(workers, int):
+            victims = sorted(alive)[-workers:] if workers > 0 else []
+        else:
+            wanted = {int(w) for w in workers}
+            victims = [w for w in alive if w in wanted]
+        victims = sorted(set(victims))
+        survivors = [w for w in alive if w not in set(victims)]
+        if not victims:
+            return []
+        if not survivors:
+            raise ValueError("shrink would retire the whole fleet")
+        # Final cache poll before the retirees go away: their per-binding
+        # delta moves into the retired accumulator so the run aggregate
+        # keeps counting what they did.
+        if self._use_cache:
+            for w in victims:
+                self._task_qs[w].put(("stats", self._epoch))
+            for _, _, rank, delta in self._collect("stats", len(victims)):
+                self._cache_retired.merge_in(delta)
+                self._cache_last.pop(rank, None)
+        orphans = sorted(
+            l for l, w in self._owner.items() if w in set(victims)
+        )
+        new_owner = reassign_orphans(orphans, self._owner, survivors)
+        self._dispatch_migration(new_owner)
+        for w in victims:
+            self._task_qs[w].put(("exit",))
+            self._live.remove(w)
+        for w in victims:
+            self._workers[w].join(timeout=10.0)
+            if self._workers[w].is_alive():  # pragma: no cover - stuck worker
+                self._workers[w].kill()
+                self._workers[w].join(timeout=5.0)
+        self._fault.shrink_events += 1
+        self._membership_version += 1
+        if self._tracer is not None:
+            self._tracer.event(
+                "elastic.shrink", cat="elastic", lane="driver",
+                workers=list(victims), blocks=len(orphans),
+            )
+        return victims
+
+    def migrate(self, assignment: dict) -> int:
+        """Re-home blocks per ``assignment`` (block -> live worker rank).
+
+        Only the entries that actually move an existing block to a
+        *different* live worker are shipped -- each adopter re-factors
+        the moved blocks through its own cache via the ``adopt`` verb.
+        Returns the number of blocks moved.
+        """
+        if not self._attached:
+            raise RuntimeError("ProcessExecutor is not attached")
+        alive = set(self.alive_workers())
+        moved: dict[int, int] = {}
+        for l, w in assignment.items():
+            l, w = int(l), int(w)
+            if l not in self._owner:
+                raise KeyError(f"unknown block {l}")
+            if w not in alive:
+                raise ValueError(f"migration target {w} is not a live worker")
+            if self._owner[l] != w:
+                moved[l] = w
+        return self._dispatch_migration(moved)
+
+    def _dispatch_migration(self, new_owner: dict[int, int]) -> int:
+        """Ship ``adopt`` tickets for a planned (non-fault) re-homing.
+
+        The elastic counterpart of :meth:`_rehome_dead`: same verb, same
+        owned-rows payload, but billed to the migration counters
+        (``blocks_migrated`` / ``migration_seconds``) instead of the
+        fault ones, because nothing was lost -- the z slots still hold
+        the round's values and the next dispatch simply lands elsewhere.
+        """
+        moved = {
+            l: w for l, w in new_owner.items() if self._owner.get(l) != w
+        }
+        if not moved:
+            return 0
+        by_adopter: dict[int, list[int]] = {}
+        for l, w in moved.items():
+            by_adopter.setdefault(w, []).append(l)
+        for w, owned in sorted(by_adopter.items()):
+            self._task_qs[w].put(
+                ("adopt", self._epoch, self._spec_payload(sorted(owned)))
+            )
+        for msg in self._collect("adopted", len(by_adopter)):
+            self._fault.migration_seconds += msg[3]
+        self._owner.update(moved)
+        self._fault.blocks_migrated += len(moved)
+        if self._tracer is not None:
+            self._tracer.event(
+                "elastic.migrate", cat="elastic", lane="driver",
+                blocks=len(moved), adopters=sorted(by_adopter),
+            )
+        return len(moved)
+
     def _kill_silently(self, rank: int) -> None:
         proc = self._workers[rank]
         if proc.is_alive():  # a hung (deadline-breaching) worker
@@ -756,8 +921,12 @@ class ProcessExecutor(Executor):
             self._kill_silently(w)
             self._live.remove(w)
             self._fault.workers_lost += 1
+            # A dead worker can no longer answer a stats poll: fold its
+            # last-polled cache delta so the aggregate stays monotonic.
+            self._cache_retired.merge_in(self._cache_last.pop(w, None))
             if tracer is not None:
                 tracer.event("worker.lost", cat="fault", lane="driver", worker=w)
+        self._membership_version += 1
         if (
             self._policy.max_worker_losses is not None
             and self._fault.workers_lost > self._policy.max_worker_losses
@@ -1000,9 +1169,15 @@ class ProcessExecutor(Executor):
         live = [w for w in self._live if self._workers[w].is_alive()]
         for w in live:
             self._task_qs[w].put(("stats", self._epoch))
-        merged = CacheStats()
-        for _, _, _, delta in self._collect("stats", len(live)):
+        # Start from the counters already banked from retired/dead
+        # workers, then add each live worker's cumulative per-binding
+        # delta -- so respawn, grow, and shrink can never make the run
+        # aggregate go backwards.
+        merged = self._cache_retired.snapshot()
+        for _, _, rank, delta in self._collect("stats", len(live)):
             merged.merge_in(delta)
+            if delta is not None:
+                self._cache_last[rank] = delta
         return merged
 
     # -- lifecycle -------------------------------------------------------

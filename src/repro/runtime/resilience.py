@@ -100,6 +100,18 @@ class FaultStats:
     delays_injected / replies_dropped:
         Chaos-harness counters: artificial stalls and solve replies
         discarded (and re-requested) by :class:`ChaosExecutor`.
+    grow_events / shrink_events:
+        Planned membership changes (:meth:`~repro.runtime.api.Executor.grow`
+        / :meth:`~repro.runtime.api.Executor.shrink`).  Elastic by
+        design, **not** faults: they never flip :attr:`any_faults`.
+    blocks_migrated:
+        Block ownerships moved by planned migration (shrink re-homing or
+        an elastic re-plan's :meth:`~repro.runtime.api.Executor.migrate`)
+        -- distinct from ``blocks_requeued``, which counts *fault*
+        recovery.
+    migration_seconds:
+        Wall-clock spent re-factoring migrated blocks on their new
+        owners (measured where the refactor ran, worker-side).
     """
 
     workers_lost: int = 0
@@ -108,6 +120,10 @@ class FaultStats:
     refactor_seconds: float = 0.0
     delays_injected: int = 0
     replies_dropped: int = 0
+    grow_events: int = 0
+    shrink_events: int = 0
+    blocks_migrated: int = 0
+    migration_seconds: float = 0.0
 
     def merge_in(self, delta: "FaultStats | None") -> None:
         """Accumulate another counter set into this one (in place)."""
@@ -119,6 +135,10 @@ class FaultStats:
         self.refactor_seconds += delta.refactor_seconds
         self.delays_injected += delta.delays_injected
         self.replies_dropped += delta.replies_dropped
+        self.grow_events += delta.grow_events
+        self.shrink_events += delta.shrink_events
+        self.blocks_migrated += delta.blocks_migrated
+        self.migration_seconds += delta.migration_seconds
 
     def snapshot(self) -> "FaultStats":
         """An independent copy of the current counters."""
@@ -126,7 +146,11 @@ class FaultStats:
 
     @property
     def any_faults(self) -> bool:
-        """Whether anything at all went wrong (or was injected)."""
+        """Whether anything at all went *wrong* (or was injected).
+
+        Planned elasticity (grow/shrink/migration counters) is excluded:
+        an elastic re-plan is scheduling, not a fault.
+        """
         return bool(
             self.workers_lost
             or self.blocks_requeued
@@ -228,9 +252,9 @@ def reassign_orphans(
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One scheduled fault (also the injector's log record)."""
+    """One scheduled fault or churn event (also the injector's log record)."""
 
-    kind: str  #: ``"crash"`` | ``"delay"`` | ``"drop"``
+    kind: str  #: ``"crash"`` | ``"delay"`` | ``"drop"`` | ``"grow"`` | ``"shrink"``
     round: int
     worker: int | None = None
     block: int | None = None
@@ -262,6 +286,8 @@ class FaultInjector:
         crash_rounds: Sequence[int] = (),
         delay_rounds: Sequence[int] = (),
         drop_rounds: Sequence[int] = (),
+        grow_rounds: Sequence[int] = (),
+        shrink_rounds: Sequence[int] = (),
         crash_rate: float = 0.0,
         delay_rate: float = 0.0,
         drop_rate: float = 0.0,
@@ -283,6 +309,8 @@ class FaultInjector:
         self.crash_rounds = frozenset(int(r) for r in crash_rounds)
         self.delay_rounds = frozenset(int(r) for r in delay_rounds)
         self.drop_rounds = frozenset(int(r) for r in drop_rounds)
+        self.grow_rounds = frozenset(int(r) for r in grow_rounds)
+        self.shrink_rounds = frozenset(int(r) for r in shrink_rounds)
         self.crash_rate = crash_rate
         self.delay_rate = delay_rate
         self.drop_rate = drop_rate
@@ -335,6 +363,14 @@ class FaultInjector:
         ):
             block = blocks[int(self._rng.integers(len(blocks)))]
             events.append(FaultEvent("drop", round_index, block=block))
+        # Membership churn (explicit rounds only: churn is a scenario
+        # shape, not a stochastic background).  A shrink never targets
+        # the last live worker -- the fleet must stay solvable.
+        if round_index in self.grow_rounds:
+            events.append(FaultEvent("grow", round_index))
+        if round_index in self.shrink_rounds and len(live_workers) > 1:
+            victim = live_workers[int(self._rng.integers(len(live_workers)))]
+            events.append(FaultEvent("shrink", round_index, worker=victim))
         self.log.extend(events)
         return events
 
@@ -393,6 +429,7 @@ class ChaosExecutor(Executor):
         self._virtual = not self._inner_killable()
         self._vowner: dict[int, int] = {}
         self._vlive: list[int] = []
+        self._vmembership = 0
         self._timers: list[threading.Timer] = []
 
     def _inner_killable(self) -> bool:
@@ -468,7 +505,31 @@ class ChaosExecutor(Executor):
         else:
             self._vowner.update(reassign_orphans(orphans, self._vowner, self._vlive))
         self._fault.blocks_requeued += len(orphans)
+        self._vmembership += 1
         return orphans
+
+    def _virtual_grow(self) -> list[int]:
+        """Emulate a join: a fresh (idle) rank appears in the fleet."""
+        new = max(
+            max(self._vlive, default=-1),
+            max(self._vowner.values(), default=-1),
+        ) + 1
+        self._vlive.append(new)
+        self._fault.grow_events += 1
+        self._vmembership += 1
+        return [new]
+
+    def _virtual_shrink(self, worker: int) -> list[int]:
+        """Emulate a planned retirement: migrate, do not count a fault."""
+        if worker not in self._vlive or len(self._vlive) <= 1:
+            return []
+        self._vlive = [w for w in self._vlive if w != worker]
+        orphans = sorted(l for l, w in self._vowner.items() if w == worker)
+        self._vowner.update(reassign_orphans(orphans, self._vowner, self._vlive))
+        self._fault.shrink_events += 1
+        self._fault.blocks_migrated += len(orphans)
+        self._vmembership += 1
+        return [worker]
 
     def solve_blocks(
         self, tasks: Sequence[tuple[int, np.ndarray]]
@@ -488,17 +549,30 @@ class ChaosExecutor(Executor):
                 self._fault.delays_injected += 1
         orphaned: set[int] = set()
         for ev in events:
-            if ev.kind != "crash":
-                continue
-            if tracer is not None:
-                tracer.event(
-                    "chaos.crash", cat="fault", lane="driver",
-                    round=self._round, worker=ev.worker,
-                )
-            if self._virtual:
-                orphaned.update(self._virtual_crash(ev.worker))
-            else:
-                self._kill(ev.worker)
+            if ev.kind == "crash":
+                if tracer is not None:
+                    tracer.event(
+                        "chaos.crash", cat="fault", lane="driver",
+                        round=self._round, worker=ev.worker,
+                    )
+                if self._virtual:
+                    orphaned.update(self._virtual_crash(ev.worker))
+                else:
+                    self._kill(ev.worker)
+            elif ev.kind == "grow":
+                if tracer is not None:
+                    tracer.event(
+                        "chaos.grow", cat="elastic", lane="driver",
+                        round=self._round,
+                    )
+                self.grow(1)
+            elif ev.kind == "shrink":
+                if tracer is not None:
+                    tracer.event(
+                        "chaos.shrink", cat="elastic", lane="driver",
+                        round=self._round, worker=ev.worker,
+                    )
+                self.shrink([ev.worker])
         pieces = list(self.inner.solve_blocks(tasks))
         index_of = {l: i for i, (l, _) in enumerate(tasks)}
         # Emulated crash: the victim's round replies are "lost" -- discard
@@ -543,6 +617,48 @@ class ChaosExecutor(Executor):
         merged = self._fault.snapshot()
         merged.merge_in(self.inner.fault_stats())
         return merged
+
+    # -- elastic membership ----------------------------------------------
+    def membership_version(self) -> int:
+        return self.inner.membership_version() + self._vmembership
+
+    def grow(self, workers=1) -> list[int]:
+        if self._virtual:
+            count = len(workers) if isinstance(workers, (list, tuple)) else int(workers)
+            added: list[int] = []
+            for _ in range(max(0, count)):
+                added.extend(self._virtual_grow())
+            return added
+        return self.inner.grow(workers)
+
+    def shrink(self, workers) -> list[int]:
+        if self._virtual:
+            retired: list[int] = []
+            for w in workers:
+                retired.extend(self._virtual_shrink(int(w)))
+            return retired
+        return self.inner.shrink(workers)
+
+    def migrate(self, assignment: dict) -> int:
+        if self._virtual:
+            moved = 0
+            for l, w in assignment.items():
+                w = int(w)
+                if w in self._vlive and self._vowner.get(l) not in (None, w):
+                    self._vowner[l] = w
+                    moved += 1
+            self._fault.blocks_migrated += moved
+            return moved
+        return self.inner.migrate(assignment)
+
+    def alive_workers(self) -> list[int]:
+        """Live ranks (virtual map for in-process backends)."""
+        return self._live_workers()
+
+    def owner_map(self) -> dict:
+        if self._virtual:
+            return dict(self._vowner)
+        return self.inner.owner_map()
 
     @property
     def nblocks(self) -> int:

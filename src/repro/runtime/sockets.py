@@ -412,6 +412,7 @@ class SocketExecutor(Executor):
         self.start_method = start_method
         self.wire_protocol = wire_protocol
         self._zero = wire_protocol == "zerocopy"
+        self._mp_ctx = None
         self._procs: list = []
         self._socks: list[socket.socket] = []
         self._sock_pids: list[int | None] = []
@@ -427,6 +428,19 @@ class SocketExecutor(Executor):
         self._fault = FaultStats()
         self._ctx: dict | None = None
         self._placement = None
+        # Fleet membership generation: bumped by attach, grow, shrink,
+        # and recovery.  Lifetime-monotone (never reset), so an elastic
+        # re-planner detects change with one integer compare.
+        self._membership_version = 0
+        # Monotonic cache accounting (per binding): counters banked from
+        # retired/dead workers, each live worker's last-polled delta
+        # (banked at loss so a crash cannot move the aggregate
+        # backwards), and the set of workers bound this epoch (only
+        # they hold current-epoch counters -- polling an idle worker
+        # would read some older binding's delta).
+        self._cache_retired = CacheStats()
+        self._cache_last: dict[int, CacheStats] = {}
+        self._bound_workers: set[int] = set()
         self._slot_of: dict[int, int] = {}
         self._pending_pids: list[int] | None = None
         #: Pickled payload bytes of the last attach, per worker rank --
@@ -451,16 +465,22 @@ class SocketExecutor(Executor):
 
     # -- connection management -------------------------------------------
     def _context(self):
-        method = self.start_method
-        if method is None:
-            available = mp.get_all_start_methods()
-            if "fork" in available and threading.active_count() == 1:
-                method = "fork"
-            elif "forkserver" in available:
-                method = "forkserver"
-            else:
-                method = "spawn"
-        return mp.get_context(method)
+        # Picked at first spawn and cached (like ProcessExecutor): a
+        # mid-run grow() must spawn its workers the same way the attach
+        # spawned the original fleet, not re-decide based on whatever
+        # threads (the io pool) exist by then.
+        if self._mp_ctx is None:
+            method = self.start_method
+            if method is None:
+                available = mp.get_all_start_methods()
+                if "fork" in available and threading.active_count() == 1:
+                    method = "fork"
+                elif "forkserver" in available:
+                    method = "forkserver"
+                else:
+                    method = "spawn"
+            self._mp_ctx = mp.get_context(method)
+        return self._mp_ctx
 
     def _spawn_loopback(self, count: int) -> list[tuple[str, int]]:
         """Start ``count`` owned loopback workers; returns their addresses."""
@@ -654,6 +674,9 @@ class SocketExecutor(Executor):
         sets_list = [np.asarray(rows, dtype=np.int64) for rows in sets]
         self._policy = fault_policy
         self._fault = FaultStats()
+        self._cache_retired = CacheStats()
+        self._cache_last = {}
+        self._membership_version += 1
         self._placement = placement
         live = self._ensure_connected(
             min_workers=placement.nworkers if placement is not None else 1,
@@ -694,6 +717,7 @@ class SocketExecutor(Executor):
         # matching b entries) -- attach traffic is ~1/W of the matrix per
         # worker instead of W full copies.
         active = sorted({owner[l] for l in range(L)})
+        self._bound_workers = set(active)
         self.attach_payload_bytes = {}
         self._spec_cache = {}
         self._spec_pickles_reused = 0
@@ -837,6 +861,188 @@ class SocketExecutor(Executor):
     def fault_stats(self) -> FaultStats:
         return self._fault.snapshot()
 
+    # -- elastic membership ----------------------------------------------
+    def membership_version(self) -> int:
+        return self._membership_version
+
+    def owner_map(self) -> dict:
+        return dict(self._owner)
+
+    def grow(self, workers=1) -> list[int]:
+        """Add workers to the live fleet; returns their new ranks.
+
+        ``workers`` is an int count (owned loopback workers are spawned)
+        or a list of ``(host, port)`` addresses of externally started
+        workers (see :func:`serve_worker`) -- the only way to grow a
+        fixed ``addresses=`` fleet, which has no processes to spawn.
+        New workers join idle at brand-new ranks (a rank is never
+        reused); route blocks onto them with :meth:`migrate`.
+        """
+        if not self._attached:
+            raise RuntimeError("SocketExecutor is not attached")
+        first_new = len(self._socks)
+        if isinstance(workers, int):
+            if workers <= 0:
+                return []
+            if self.addresses is not None:
+                raise ValueError(
+                    "a fixed address set cannot grow by count; pass the "
+                    "new workers' (host, port) addresses"
+                )
+            self._connect(self._spawn_loopback(workers))
+        else:
+            addrs = [(str(h), int(p)) for h, p in workers]
+            if not addrs:
+                return []
+            self._connect(addrs, pids=[None] * len(addrs))
+            if self.addresses is not None:
+                self.addresses.extend(addrs)
+        added = list(range(first_new, len(self._socks)))
+        self._fault.grow_events += 1
+        self._membership_version += 1
+        if self._tracer is not None:
+            self._tracer.event(
+                "elastic.grow", cat="elastic", lane="driver",
+                workers=list(added),
+            )
+        return added
+
+    def shrink(self, workers) -> list[int]:
+        """Gracefully retire live workers, re-homing their blocks first.
+
+        ``workers`` is an explicit list of ranks or an int count (the
+        highest-ranked live workers are chosen).  Retirement is
+        scheduling, not fault: the retirees' cache counters are banked
+        before they go (``run_cache_stats`` stays monotonic), their
+        blocks migrate to the deterministic least-loaded survivors via
+        ``adopt``, then each retiree is disconnected -- owned loopback
+        workers get the terminal ``exit`` verb, external workers just
+        lose this driver's connection (their accept loop survives).
+        Must be called at a quiescent round boundary.  Returns the
+        ranks actually retired.
+        """
+        if not self._attached:
+            raise RuntimeError("SocketExecutor is not attached")
+        alive = self._live_ranks()
+        if isinstance(workers, int):
+            victims = sorted(alive)[-workers:] if workers > 0 else []
+        else:
+            wanted = {int(w) for w in workers}
+            victims = [w for w in alive if w in wanted]
+        victims = sorted(set(victims))
+        survivors = [w for w in alive if w not in set(victims)]
+        if not victims:
+            return []
+        if not survivors:
+            raise ValueError("shrink would retire the whole fleet")
+        # Final cache poll before the retirees disconnect: their
+        # per-binding delta moves into the retired accumulator.
+        if self._use_cache:
+            polled = [w for w in victims if w in self._bound_workers]
+            for w in polled:
+                self._socks[w].settimeout(self.reply_timeout)
+                send_msg(self._socks[w], ("stats", self._epoch))
+            for w in polled:
+                _, _, delta = self._recv_reply(w, "stats")
+                self._cache_retired.merge_in(delta)
+                self._cache_last.pop(w, None)
+        orphans = sorted(l for l, w in self._owner.items() if w in set(victims))
+        new_owner = reassign_orphans(orphans, self._owner, survivors)
+        self._dispatch_migration(new_owner)
+        owned = self.addresses is None
+        for w in victims:
+            try:
+                if owned:
+                    self._socks[w].settimeout(2.0)
+                    send_msg(self._socks[w], ("exit",))
+                self._socks[w].shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._socks[w].close()
+            # Lost-set membership excludes the rank from liveness; the
+            # fault counters are untouched (this is not a failure).
+            self._lost.add(w)
+            self._bound_workers.discard(w)
+        if owned:
+            for w in victims:
+                pid = self._sock_pids[w]
+                proc = (
+                    next((p for p in self._procs if p.pid == pid), None)
+                    if pid else None
+                )
+                if proc is not None:
+                    proc.join(timeout=10.0)
+                    if proc.is_alive():  # pragma: no cover - stuck worker
+                        proc.kill()
+                        proc.join(timeout=5.0)
+        self._active_workers = sorted(set(self._owner.values()))
+        self._fault.shrink_events += 1
+        self._membership_version += 1
+        if self._tracer is not None:
+            self._tracer.event(
+                "elastic.shrink", cat="elastic", lane="driver",
+                workers=list(victims), blocks=len(orphans),
+            )
+        return victims
+
+    def migrate(self, assignment: dict) -> int:
+        """Re-home blocks per ``assignment`` (block -> live worker rank).
+
+        Only entries that move an existing block to a *different* live
+        worker are shipped; each adopter re-factors its new blocks
+        through its local cache via ``adopt``.  Returns the number of
+        blocks moved.
+        """
+        if not self._attached:
+            raise RuntimeError("SocketExecutor is not attached")
+        alive = set(self._live_ranks())
+        moved: dict[int, int] = {}
+        for l, w in assignment.items():
+            l, w = int(l), int(w)
+            if l not in self._owner:
+                raise KeyError(f"unknown block {l}")
+            if w not in alive:
+                raise ValueError(f"migration target {w} is not a live worker")
+            if self._owner[l] != w:
+                moved[l] = w
+        return self._dispatch_migration(moved)
+
+    def _dispatch_migration(self, new_owner: dict[int, int]) -> int:
+        """Ship ``adopt`` frames for a planned (non-fault) re-homing.
+
+        The elastic counterpart of :meth:`_recover`'s adoption leg: same
+        verb, same owned-rows spec bytes, but billed to the migration
+        counters (``blocks_migrated`` / ``migration_seconds``) instead
+        of the fault ones -- nothing was lost, the next dispatch simply
+        lands elsewhere.
+        """
+        moved = {
+            l: w for l, w in new_owner.items() if self._owner.get(l) != w
+        }
+        if not moved:
+            return 0
+        by_adopter: dict[int, list[int]] = {}
+        for l, w in moved.items():
+            by_adopter.setdefault(w, []).append(l)
+        for w, owned in sorted(by_adopter.items()):
+            # The refactor may exceed a tight solve deadline: run it
+            # under the long protocol timeout, like recovery adoption.
+            self._socks[w].settimeout(self.reply_timeout)
+            self._send_spec("adopt", w, sorted(owned))
+        for w in sorted(by_adopter):
+            msg = self._recv_reply(w, "adopted")
+            self._fault.migration_seconds += msg[2]
+        self._owner.update(moved)
+        self._bound_workers.update(by_adopter)
+        self._active_workers = sorted(set(self._owner.values()))
+        self._fault.blocks_migrated += len(moved)
+        if self._tracer is not None:
+            self._tracer.event(
+                "elastic.migrate", cat="elastic", lane="driver",
+                blocks=len(moved), adopters=sorted(by_adopter),
+            )
+        return len(moved)
+
     def _adoption_candidates(self, dead_rank: int, live: list[int]) -> list[int]:
         """Candidate adopters, re-derived from the placement plan.
 
@@ -868,6 +1074,10 @@ class SocketExecutor(Executor):
                 continue
             self._lost.add(w)
             self._fault.workers_lost += 1
+            # A dead worker can no longer answer a stats poll: bank its
+            # last-polled cache delta so the aggregate stays monotonic.
+            self._cache_retired.merge_in(self._cache_last.pop(w, None))
+            self._bound_workers.discard(w)
             if tracer is not None:
                 tracer.event("worker.lost", cat="fault", lane="driver", worker=w)
             pid = self._sock_pids[w]
@@ -927,7 +1137,9 @@ class SocketExecutor(Executor):
             msg = self._recv_reply(w, "adopted")
             self._fault.refactor_seconds += msg[2]
         self._owner.update(new_owner)
+        self._bound_workers.update(by_adopter)
         self._active_workers = sorted(set(self._owner.values()))
+        self._membership_version += 1
 
     # -- solving ---------------------------------------------------------
     def _run_worker_tasks(
@@ -1095,16 +1307,23 @@ class SocketExecutor(Executor):
     def run_cache_stats(self) -> CacheStats | None:
         if not self._attached or not self._use_cache:
             return None
-        # Only the binding's active workers hold current-epoch counters;
-        # an idle worker's delta would describe some older binding.
-        active = [w for w in self._active_workers if w not in self._lost]
-        for w in active:
+        # Only workers bound this epoch hold current-epoch counters (an
+        # idle worker's delta would describe some older binding) -- and
+        # a bound worker stays polled even after migration empties it,
+        # so its hits never vanish from the aggregate.
+        polled = sorted(w for w in self._bound_workers if w not in self._lost)
+        for w in polled:
             self._socks[w].settimeout(self.reply_timeout)
             send_msg(self._socks[w], ("stats", self._epoch))
-        merged = CacheStats()
-        for w in active:
+        # Start from the counters banked from retired/dead workers, then
+        # add each live worker's cumulative per-binding delta -- respawn,
+        # grow, and shrink can never move the aggregate backwards.
+        merged = self._cache_retired.snapshot()
+        for w in polled:
             _, _, delta = self._recv_reply(w, "stats")
             merged.merge_in(delta)
+            if delta is not None:
+                self._cache_last[w] = delta
         return merged
 
     # -- lifecycle -------------------------------------------------------
@@ -1157,6 +1376,8 @@ class SocketExecutor(Executor):
         self._placement = None
         self._pools = {}
         self._spec_cache = {}
+        self._cache_last = {}
+        self._bound_workers = set()
 
 
 class _SocketStream(SolveStream):

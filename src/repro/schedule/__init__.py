@@ -22,6 +22,12 @@ live micro-benchmarks of the actual workers
 from __future__ import annotations
 
 from repro.schedule.calibrate import calibrated_placement, measure_worker_speeds
+from repro.schedule.elastic import (
+    ElasticController,
+    ElasticPolicy,
+    balanced_assignment,
+    fixed_point_placement,
+)
 from repro.schedule.pattern import (
     message_bytes_matrix,
     partition_placement,
@@ -39,12 +45,16 @@ from repro.schedule.plan import (
 )
 
 __all__ = [
+    "ElasticController",
+    "ElasticPolicy",
     "Placement",
     "WorkerSlot",
+    "balanced_assignment",
     "band_comm_costs",
     "calibrated_placement",
     "cluster_placement",
     "cost_model_placement",
+    "fixed_point_placement",
     "iteration_cost_model",
     "measure_worker_speeds",
     "message_bytes_matrix",

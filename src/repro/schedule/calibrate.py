@@ -119,8 +119,17 @@ def measure_worker_speeds(
             )
     seconds = []
     for rounds in samples:
-        med = float(np.median(rounds))
-        kept = [s for s in rounds if s <= outlier_factor * med]
+        # A non-finite delta (a clock anomaly, a worker restarted
+        # mid-probe) would poison the median -- every comparison with
+        # NaN is False, so the guard below would discard *all* samples.
+        finite = [s for s in rounds if np.isfinite(s)]
+        med = float(np.median(finite)) if finite else 1e-9
+        kept = [s for s in finite if s <= outlier_factor * med]
+        if not kept:
+            # The guard discarded everything (single poisoned round,
+            # no finite samples at all): fall back to the raw median
+            # rather than dividing by zero.
+            kept = [med]
         seconds.append(sum(kept) / len(kept))
     raw = [1.0 / s for s in seconds]
     mean = sum(raw) / len(raw)

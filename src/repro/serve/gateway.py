@@ -126,12 +126,20 @@ class ServeGateway:
                 "serve.admit", cat="serve", lane="serve",
                 tenant=key, pending=self._admitted,
             )
-        request = PendingRequest(
-            rhs=np.asarray(b, dtype=float),
-            future=loop.create_future(),
-            arrival=loop.time(),
-        )
-        action = self._batcher.add(key, request)
+        try:
+            request = PendingRequest(
+                rhs=np.asarray(b, dtype=float),
+                future=loop.create_future(),
+                arrival=loop.time(),
+            )
+            action = self._batcher.add(key, request)
+        except BaseException:
+            # The admission slot is this request's until the batcher
+            # owns it; from then on the flush/complete path accounts
+            # for it exactly once.  A failure in between (ragged rhs,
+            # unknown tenant) must hand the slot back or it leaks.
+            self._admitted -= 1
+            raise
         if action == "flush":
             self._flush(key, reason="max_batch")
         elif action == "opened":
@@ -154,18 +162,30 @@ class ServeGateway:
         if not requests:
             return  # benign race: max-batch flush beat the window timer
         loop = asyncio.get_running_loop()
-        B = np.column_stack([r.rhs for r in requests])
+        try:
+            B = np.column_stack([r.rhs for r in requests])
+            round_fut = asyncio.ensure_future(
+                loop.run_in_executor(
+                    self.pool.threads, self.pool.solve_batch, key, B
+                )
+            )
+        except BaseException as exc:
+            # A dispatch that fails synchronously (mismatched rhs
+            # lengths, a shut-down pool) never reaches _complete;
+            # the batch's admission slots must be returned and its
+            # futures failed *here*, or a timer-fired flush strands
+            # the callers forever with the slots still held.
+            self._admitted -= len(requests)
+            for r in requests:
+                if not r.future.done():
+                    r.future.set_exception(exc)
+            return
         self._batches += 1
         if self.tracer is not None:
             self.tracer.event(
                 "serve.batch", cat="serve", lane="serve",
                 tenant=key, size=len(requests), reason=reason,
             )
-        round_fut = asyncio.ensure_future(
-            loop.run_in_executor(
-                self.pool.threads, self.pool.solve_batch, key, B
-            )
-        )
         self._inflight.add(round_fut)
         round_fut.add_done_callback(
             lambda fut, key=key, requests=requests: self._complete(

@@ -29,6 +29,7 @@ from repro.check.invariants import (
 )
 from repro.check.models import (
     REGISTRY,
+    ElasticModel,
     PipelineModel,
     PipeReplyModel,
     ReadoptionModel,
@@ -131,6 +132,41 @@ class TestFixturesStillBite:
         assert res.violation is not None
         assert res.violation.kind == "invariant"
         assert res.violation.detail == "no-torn-read"
+
+    def test_mid_round_migration_violates_single_owner(self):
+        # Elastic migration applied the moment a membership change is
+        # noticed -- instead of at the quiescent round boundary -- hands
+        # a block to the adopter while the old owner's solve for the
+        # same round is still in flight.
+        res = explore_exhaustive(
+            lambda: ElasticModel(boundary_guard=False), max_runs=2_000
+        )
+        assert res.violation is not None
+        assert res.violation.kind == "invariant"
+        assert res.violation.detail == "single-owner"
+
+    def test_mid_round_migration_also_corrupts_the_folds(self):
+        # The ownership overlap is not just bookkeeping: with the
+        # single-owner witness removed, the explorer still finds the
+        # data corruption itself -- a previous round's piece spliced
+        # into a later round (and, on other schedules, a double fold).
+        class _FoldInvariantsOnly(ElasticModel):
+            def invariants(self):
+                return [
+                    (name, fn)
+                    for name, fn in super().invariants()
+                    if name != "single-owner"
+                ]
+
+        res = explore_random(
+            lambda: _FoldInvariantsOnly(boundary_guard=False),
+            seed=0, walks=300,
+        )
+        assert res.violation is not None
+        assert res.violation.kind == "invariant"
+        assert res.violation.detail in (
+            "fresh-round-folds", "no-double-fold-per-round",
+        )
 
     def test_window_eq_depth_tears_a_fold(self):
         # This one fails on the very first (all-zeros) schedule: with

@@ -169,6 +169,61 @@ class TestCacheMechanics:
         with pytest.raises(ValueError):
             FactorizationCache(capacity=0)
 
+    def test_resize_shrink_fires_on_evict_outside_the_lock(self):
+        """Regression: a re-entrant ``on_evict`` (one that consults the
+        cache it was called from) must not deadlock -- the shrink path
+        fires callbacks only after releasing the cache lock."""
+        solver = get_solver("dense")
+        observed: list[tuple] = []
+        cache = FactorizationCache(
+            # The callback re-enters the (non-reentrant) cache lock:
+            # held-at-callback would deadlock here, not just misbehave.
+            on_evict=lambda key: observed.append(
+                (key, cache.contains(key), len(cache))
+            )
+        )
+        mats = [random_spd(6, s) for s in range(4)]
+        keys = [cache.key_for(solver, M) for M in mats]
+        for M, k in zip(mats, keys):
+            cache.factor(solver, M, key=k)
+        dropped = cache.resize(2)
+        assert dropped == 2
+        assert [k for k, _, _ in observed] == keys[:2]  # LRU order
+        # the entry was already gone and the table consistent in-callback
+        assert all(not present and size == 2 for _, present, size in observed)
+        assert cache.stats.evictions == 2
+
+    def test_resize_none_unbounds_and_keeps_counters(self):
+        solver = get_solver("dense")
+        cache = FactorizationCache(capacity=2)
+        mats = [random_spd(6, s) for s in range(3)]
+        for M in mats:
+            cache.factor(solver, M)
+        assert cache.stats.evictions == 1
+        assert cache.resize(None) == 0
+        assert cache.capacity is None
+        assert cache.stats.evictions == 1  # counters survive the unbound
+        # genuinely unbounded again: re-admitting everything evicts nothing
+        for M in mats:
+            cache.factor(solver, M)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 1
+        with pytest.raises(ValueError):
+            cache.resize(0)
+
+    def test_factor_path_eviction_callback_is_reentrant_safe(self):
+        """The admission-driven eviction (factor past capacity) uses the
+        same outside-the-lock callback contract as resize."""
+        solver = get_solver("dense")
+        seen: list[int] = []
+        cache = FactorizationCache(
+            capacity=1, on_evict=lambda key: seen.append(len(cache))
+        )
+        cache.factor(solver, random_spd(6, 0))
+        cache.factor(solver, random_spd(6, 1))  # evicts the first entry
+        assert seen == [1]
+        assert cache.stats.evictions == 1
+
     def test_dtype_distinguishes_sparse_fingerprints(self):
         """Byte-identical buffers under different dtypes must not collide."""
         data_i = np.array([1, 2], dtype=np.int64)

@@ -336,6 +336,50 @@ class TestCalibration:
         with pytest.raises(ValueError):
             measure_worker_speeds(ex, 2, repeats=0)
 
+    def test_poisoned_round_cannot_break_the_outlier_guard(self):
+        """Regression: a NaN round delta (clock anomaly, worker restart
+        mid-probe) used to poison the worker's median -- every comparison
+        with NaN is False, the guard discarded *all* samples, and the
+        mean divided by zero.  The guard must drop non-finite samples and
+        still return finite positive speeds."""
+
+        class _PoisonedInline(InlineExecutor):
+            def __init__(self):
+                super().__init__()
+                self.calls = 0
+
+            def block_seconds(self):
+                out = dict(super().block_seconds())
+                self.calls += 1
+                if self.calls == 2:  # second snapshot: one NaN delta pair
+                    out[1] = float("nan")
+                return out
+
+        ex = _PoisonedInline()
+        try:
+            speeds = measure_worker_speeds(ex, 2, probe_size=64, repeats=4)
+        finally:
+            ex.close()
+        assert len(speeds) == 2
+        assert all(np.isfinite(s) and s > 0 for s in speeds)
+        assert np.isclose(np.mean(speeds), 1.0)
+
+    def test_single_poisoned_round_with_repeats_one(self):
+        """The degenerate case: every sample non-finite (here: the only
+        one).  The fallback keeps the estimate finite instead of raising
+        ZeroDivisionError."""
+
+        class _AllNaNInline(InlineExecutor):
+            def block_seconds(self):
+                return {w: float("nan") for w in super().block_seconds()}
+
+        ex = _AllNaNInline()
+        try:
+            speeds = measure_worker_speeds(ex, 2, probe_size=64, repeats=1)
+        finally:
+            ex.close()
+        assert all(np.isfinite(s) and s > 0 for s in speeds)
+
 
 class TestSharedPlanEndToEnd:
     """The same plan object configures the simulator AND the executors."""

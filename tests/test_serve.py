@@ -251,6 +251,95 @@ class TestGateway:
         # failed requests release their admission slots
         assert gw._admitted == 0
 
+    def test_always_raising_solver_never_leaks_admission_slots(self, pool):
+        """Regression: every failed round releases its slots.
+
+        With a leak, three waves of two requests against max_pending=2
+        would shed the second wave; with correct accounting every wave
+        is admitted and every caller sees the solver's own error."""
+        A = _matrix()
+        gw = ServeGateway(pool, window=0.0, max_batch=32, max_pending=2)
+        key = gw.register(A)
+
+        def boom(key, B):
+            raise RuntimeError("solver down")
+
+        pool.solve_batch = boom
+        b = np.ones(A.shape[0])
+
+        async def scenario():
+            waves = []
+            for _ in range(3):
+                waves.append(
+                    await asyncio.gather(
+                        gw.submit(key, b), gw.submit(key, b),
+                        return_exceptions=True,
+                    )
+                )
+            return waves
+
+        waves = asyncio.run(scenario())
+        for wave in waves:
+            assert all(isinstance(e, RuntimeError) for e in wave)
+            assert not any(isinstance(e, GatewayOverloaded) for e in wave)
+        assert gw._admitted == 0
+        assert gw.stats(wall_seconds=1.0).shed == 0
+
+    def test_failed_admission_releases_its_slot(self, pool):
+        """A request that dies between admit and batcher hand-off (here:
+        a ragged rhs numpy cannot coerce) must hand its slot back."""
+        A = _matrix()
+        gw = ServeGateway(pool, window=0.05, max_batch=32, max_pending=4)
+        key = gw.register(A)
+
+        async def scenario():
+            with pytest.raises((ValueError, TypeError)):
+                await gw.submit(key, [[1.0, 2.0], [3.0]])
+            assert gw._admitted == 0
+            # the slot is genuinely reusable
+            return await gw.submit(key, np.ones(A.shape[0]))
+
+        x = asyncio.run(scenario())
+        np.testing.assert_allclose(x, _direct(A, np.ones(A.shape[0])), atol=1e-6)
+        assert gw._admitted == 0
+
+    def test_synchronous_flush_failure_fails_batch_without_leak(self, pool):
+        """A timer-fired flush that dies before dispatch (mismatched rhs
+        lengths in one coalesced round) must fail every caller in the
+        batch and release their slots -- not strand them forever."""
+        A = _matrix()
+        gw = ServeGateway(pool, window=0.01, max_batch=32, max_pending=4)
+        key = gw.register(A)
+
+        async def scenario():
+            return await asyncio.gather(
+                gw.submit(key, np.ones(A.shape[0])),
+                gw.submit(key, np.ones(A.shape[0] + 1)),
+                return_exceptions=True,
+            )
+
+        out = asyncio.run(scenario())
+        assert len(out) == 2
+        assert all(isinstance(e, Exception) for e in out)
+        assert gw._admitted == 0
+
+    def test_cancelled_request_releases_its_slot(self, pool):
+        A = _matrix()
+        gw = ServeGateway(pool, window=0.05, max_batch=32, max_pending=4)
+        key = gw.register(A)
+
+        async def scenario():
+            task = asyncio.ensure_future(gw.submit(key, np.ones(A.shape[0])))
+            await asyncio.sleep(0)  # admitted, waiting out the window
+            assert gw._admitted == 1
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            await gw.drain()
+            assert gw._admitted == 0
+
+        asyncio.run(scenario())
+
     def test_window_zero_max_batch_one_is_request_at_a_time(self, pool):
         A = _matrix()
         gw = ServeGateway(pool, window=0.0, max_batch=1)
